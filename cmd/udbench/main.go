@@ -1,0 +1,202 @@
+// Command udbench runs the UDBMS multi-model database benchmark.
+//
+// Usage:
+//
+//	udbench list
+//	    List registered experiments (one per table/figure).
+//	udbench run <id>|all [-sf F] [-seed N] [-quick] [-hop D] [-csv]
+//	    Run one experiment (or all) and print its result tables.
+//	udbench generate [-sf F] [-seed N]
+//	    Generate the Figure-1 dataset and print its statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"udbench/internal/core"
+	"udbench/internal/datagen"
+	"udbench/internal/metrics"
+	"udbench/internal/udbms"
+	"udbench/internal/uql"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "udbench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `udbench — UDBMS multi-model database benchmark
+
+commands:
+  list                         list experiments
+  run <id>|all [flags]         run experiments (ids from 'list')
+  generate [flags]             generate the dataset and print stats
+  query "<uql>" [flags]        run a UQL query on a generated dataset
+
+run/generate flags:
+  -sf F      scale factor (default 0.2)
+  -seed N    generator seed (default 42)
+  -quick     shrink sweeps for a fast run
+  -hop D     federation per-request latency (default 100us)
+  -csv       emit CSV instead of aligned tables
+`)
+}
+
+func cmdList() error {
+	t := metrics.NewTable("Experiments", "id", "pillar", "name")
+	for _, e := range core.Experiments() {
+		t.AddRow(e.ID, e.Pillar, e.Name)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func benchFlags(args []string) (core.Config, []string, bool, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	sf := fs.Float64("sf", 0.2, "scale factor")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	quick := fs.Bool("quick", false, "quick mode")
+	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
+	csv := fs.Bool("csv", false, "CSV output")
+	// Allow the experiment id before the flags.
+	var pos []string
+	rest := args
+	for len(rest) > 0 && rest[0] != "" && rest[0][0] != '-' {
+		pos = append(pos, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return core.Config{}, nil, false, err
+	}
+	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop}
+	return cfg, append(pos, fs.Args()...), *csv, nil
+}
+
+func cmdRun(args []string) error {
+	cfg, pos, csv, err := benchFlags(args)
+	if err != nil {
+		return err
+	}
+	if len(pos) == 0 {
+		return fmt.Errorf("run: missing experiment id (see 'udbench list' or use 'all')")
+	}
+	var tables []*metrics.Table
+	for _, id := range pos {
+		if id == "all" {
+			ts, err := core.RunAll(cfg)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, ts...)
+			continue
+		}
+		e, ok := core.ByID(id)
+		if !ok {
+			return fmt.Errorf("run: unknown experiment %q", id)
+		}
+		ts, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, ts...)
+	}
+	for _, t := range tables {
+		if csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	cfg, pos, _, err := benchFlags(args)
+	if err != nil {
+		return err
+	}
+	if len(pos) == 0 {
+		return fmt.Errorf(`query: missing UQL text, e.g. 'FOR c IN customer FILTER c.age > 40 LIMIT 5 RETURN c.name'`)
+	}
+	src := strings.Join(pos, " ")
+	db := udbms.Open()
+	ds := datagen.Generate(datagen.Config{ScaleFactor: cfg.SF, Seed: cfg.Seed})
+	if err := ds.Load(datagen.Target{
+		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+	}); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	rows, err := uql.Run(db, nil, src)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("-- %d rows in %v (SF %g)\n", len(rows), time.Since(t0).Round(time.Microsecond), cfg.SF)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	cfg, _, csv, err := benchFlags(args)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	ds := datagen.Generate(datagen.Config{ScaleFactor: cfg.SF, Seed: cfg.Seed})
+	genTime := time.Since(t0)
+	db := udbms.Open()
+	t1 := time.Now()
+	if err := ds.Load(datagen.Target{
+		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+	}); err != nil {
+		return err
+	}
+	loadTime := time.Since(t1)
+	st := db.Stats()
+	t := metrics.NewTable(fmt.Sprintf("Dataset at SF %g (seed %d)", cfg.SF, cfg.Seed),
+		"model", "entity", "count")
+	t.AddRow("relational", "customer rows", st.Tables["customer"])
+	t.AddRow("document", "order docs", st.Collections["orders"])
+	t.AddRow("document", "product docs", st.Collections["products"])
+	t.AddRow("key-value", "feedback pairs", st.KVPairs)
+	t.AddRow("xml", "invoices", st.XMLDocs)
+	t.AddRow("graph", "vertices", st.Vertices)
+	t.AddRow("graph", "edges", st.Edges)
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+	fmt.Printf("\ngenerate %v, load %v\n", genTime.Round(time.Millisecond), loadTime.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package udbench is a from-scratch reproduction of "Towards
+// Benchmarking Multi-Model Databases" (Jiaheng Lu, CIDR 2017): the
+// UDBMS benchmark for unified multi-model database systems, together
+// with the systems under test it needs — a unified five-model engine
+// (relational, JSON document, property graph, key-value, XML) with
+// cross-model ACID transactions, and a polyglot-federation baseline
+// with two-phase commit.
+//
+// The package tree:
+//
+//	internal/core        experiment harness (one runner per table/figure)
+//	internal/udbms       the unified multi-model engine (system under test)
+//	internal/federation  polyglot baseline: five stores + 2PC + hops
+//	internal/relational  relational engine (schemas, indexes, joins)
+//	internal/document    JSON document store (filters, path indexes)
+//	internal/graph       property graph store (k-hop, Dijkstra, PageRank)
+//	internal/kv          ordered key-value store (skip list, prefix scans)
+//	internal/xmlstore    XML store (parser, XPath subset, validation)
+//	internal/txn         timestamps, 2PL + deadlock detection, version chains
+//	internal/replica     primary/replica lag simulator (consistency substrate)
+//	internal/datagen     deterministic Figure-1 dataset generator
+//	internal/workload    Q1–Q10 queries, T1–T4 transactions, drivers
+//	internal/mmschema    schema inference, evolution ops, query compatibility
+//	internal/convert     model conversions with gold-standard fidelity
+//	internal/consistency staleness / RYW / monotonic / atomicity metrics
+//	internal/metrics     histograms, percentiles, result tables
+//	internal/mmvalue     the shared dynamic value system
+//	cmd/udbench          the benchmark CLI
+//
+// Run the whole benchmark:
+//
+//	go run ./cmd/udbench run all -quick
+//
+// The benchmarks in bench_test.go regenerate every experiment table;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// reference results.
+package udbench

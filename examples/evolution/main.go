@@ -1,0 +1,81 @@
+// Evolution: the benchmark's schema-evolution pillar. The demo infers
+// a schema from live order documents ("data first, schema later"),
+// applies the standard evolution chain step by step, and reports how
+// many historical queries stay usable — with and without automatic
+// query rewriting — then auto-migrates the documents to the final
+// schema.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udbench/internal/datagen"
+	"udbench/internal/metrics"
+	"udbench/internal/mmschema"
+)
+
+func main() {
+	ds := datagen.Generate(datagen.Config{ScaleFactor: 0.03, Seed: 5})
+	base := mmschema.Infer(ds.Orders)
+	fmt.Println("inferred from", len(ds.Orders), "documents:")
+	fmt.Println(" ", base)
+	fmt.Println()
+
+	chain := mmschema.StandardEvolutionChain()
+	queries := mmschema.StandardQuerySet()
+	t := metrics.NewTable("Historical query usability along the evolution chain",
+		"k", "valid", "valid+rewrite", "op")
+	for k := 0; k <= len(chain); k++ {
+		evolved, err := mmschema.Chain(base, chain[:k]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain := mmschema.CheckAll(queries, evolved)
+		rewritten := 0
+		for _, q := range queries {
+			if rw, ok := mmschema.RewriteForOps(q, chain[:k]); ok {
+				if mmschema.CheckCompat(rw, evolved).Valid {
+					rewritten++
+				}
+			}
+		}
+		op := "-"
+		if k > 0 {
+			op = chain[k-1].String()
+		}
+		t.AddRow(k, fmt.Sprintf("%d/%d", plain.Valid, plain.Total),
+			fmt.Sprintf("%d/%d", rewritten, len(queries)), op)
+	}
+	fmt.Println(t.String())
+
+	// Explain the breakage.
+	final, _ := mmschema.Chain(base, chain...)
+	rep := mmschema.CheckAll(queries, final)
+	fmt.Println("why queries broke at the final schema:")
+	for _, r := range rep.Results {
+		if !r.Valid {
+			fmt.Printf("  %-20s %s\n", r.Query, r.Reason)
+		}
+	}
+	fmt.Println()
+
+	// Auto-migrate the documents and show one before/after.
+	migrated := mmschema.MigrateAll(ds.Orders, chain...)
+	fmt.Println("auto-migration example:")
+	fmt.Println("  before:", truncate(ds.Orders[0].String(), 110))
+	fmt.Println("  after: ", truncate(migrated[0].String(), 110))
+	inferred := mmschema.Infer(migrated)
+	if _, ok := inferred.Field("cust"); !ok {
+		log.Fatal("migration did not produce the evolved field")
+	}
+	fmt.Println("\nre-inferred schema after migration:")
+	fmt.Println(" ", inferred)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,222 @@
+// Package consistency implements the consistency-metrics pillar of the
+// UDBMS benchmark: precise, reproducible measurements of consistency
+// behaviour — staleness in versions and time, read-your-writes and
+// monotonic-reads violations, and cross-model atomicity violations —
+// computed from operation traces. The paper requires that "novel
+// consistency metrics which describe consistency behavior for
+// different models of data must be proposed in a precise way"; the
+// definitions here are the precise forms the harness reports.
+package consistency
+
+import (
+	"time"
+)
+
+// Checker accumulates a trace of writes and reads and computes the
+// consistency metrics. It is not safe for concurrent use; the probe
+// drives it from one goroutine (determinism is the point).
+type Checker struct {
+	writes int
+	reads  int
+
+	// lastWriteSeq[client][key] = newest seq the client wrote.
+	lastWriteSeq map[int]map[string]uint64
+	// lastReadSeq[client][key] = newest seq the client has read.
+	lastReadSeq map[int]map[string]uint64
+
+	rywViolations  int
+	monoViolations int
+	missingReads   int
+	freshReads     int
+
+	verStaleSum uint64
+	verStaleMax uint64
+
+	timeStaleSum time.Duration
+	timeStaleMax time.Duration
+	timeStaleN   int
+}
+
+// NewChecker returns an empty checker.
+func NewChecker() *Checker {
+	return &Checker{
+		lastWriteSeq: make(map[int]map[string]uint64),
+		lastReadSeq:  make(map[int]map[string]uint64),
+	}
+}
+
+// RecordWrite notes that client wrote key at sequence seq.
+func (c *Checker) RecordWrite(client int, key string, seq uint64) {
+	c.writes++
+	m := c.lastWriteSeq[client]
+	if m == nil {
+		m = make(map[string]uint64)
+		c.lastWriteSeq[client] = m
+	}
+	if seq > m[key] {
+		m[key] = seq
+	}
+}
+
+// RecordRead notes that client read key and observed version readSeq
+// (0 = key not visible) whose commit wall time was readWall, while the
+// primary's newest version was latestSeq committed at latestWall.
+func (c *Checker) RecordRead(client int, key string, readSeq uint64, readWall time.Time, latestSeq uint64, latestWall time.Time) {
+	c.reads++
+
+	// Read-your-writes: did this client's own newest write regress?
+	if own := c.lastWriteSeq[client][key]; own > 0 && readSeq < own {
+		c.rywViolations++
+	}
+
+	// Monotonic reads: per client+key the observed seq must not go
+	// backwards.
+	m := c.lastReadSeq[client]
+	if m == nil {
+		m = make(map[string]uint64)
+		c.lastReadSeq[client] = m
+	}
+	if prev, ok := m[key]; ok && readSeq < prev {
+		c.monoViolations++
+	}
+	if readSeq > m[key] {
+		m[key] = readSeq
+	}
+
+	// Staleness.
+	if readSeq == 0 && latestSeq > 0 {
+		c.missingReads++
+	}
+	if latestSeq >= readSeq {
+		d := latestSeq - readSeq
+		c.verStaleSum += d
+		if d > c.verStaleMax {
+			c.verStaleMax = d
+		}
+		if d == 0 {
+			c.freshReads++
+		}
+		if d > 0 && readSeq > 0 {
+			td := latestWall.Sub(readWall)
+			if td > 0 {
+				c.timeStaleSum += td
+				c.timeStaleN++
+				if td > c.timeStaleMax {
+					c.timeStaleMax = td
+				}
+			}
+		}
+	}
+}
+
+// Report is the computed metric set.
+type Report struct {
+	Writes int
+	Reads  int
+
+	// RYWViolations counts reads where a client failed to observe its
+	// own newest write.
+	RYWViolations int
+	// MonotonicViolations counts reads that went backwards relative to
+	// an earlier read by the same client on the same key.
+	MonotonicViolations int
+	// MissingReads counts reads that found no version although the
+	// primary had one.
+	MissingReads int
+	// FreshReads counts reads that observed the newest version.
+	FreshReads int
+
+	// VersionStalenessMean/Max measure latestSeq - readSeq per read.
+	VersionStalenessMean float64
+	VersionStalenessMax  uint64
+
+	// TimeStalenessMean/Max measure, for stale reads that did observe
+	// some version, the commit-time gap between the newest version and
+	// the version read (≈ the replication lag the reader experienced).
+	TimeStalenessMean time.Duration
+	TimeStalenessMax  time.Duration
+}
+
+// Report computes the metrics from the accumulated trace.
+func (c *Checker) Report() Report {
+	r := Report{
+		Writes:              c.writes,
+		Reads:               c.reads,
+		RYWViolations:       c.rywViolations,
+		MonotonicViolations: c.monoViolations,
+		MissingReads:        c.missingReads,
+		FreshReads:          c.freshReads,
+		VersionStalenessMax: c.verStaleMax,
+		TimeStalenessMax:    c.timeStaleMax,
+	}
+	if c.reads > 0 {
+		r.VersionStalenessMean = float64(c.verStaleSum) / float64(c.reads)
+	}
+	if c.timeStaleN > 0 {
+		r.TimeStalenessMean = c.timeStaleSum / time.Duration(c.timeStaleN)
+	}
+	return r
+}
+
+// AtomicityChecker detects cross-model atomicity violations: a
+// transaction's writes spread over several stores must be visible
+// all-or-nothing. Register each transaction's write set, then feed it
+// observed snapshots.
+type AtomicityChecker struct {
+	groups []writeGroup
+	// violations counts observed partially-visible groups.
+	violations int
+	snapshots  int
+}
+
+type writeGroup struct {
+	id     string
+	writes map[string]uint64 // resource -> seq that the txn installed
+}
+
+// NewAtomicityChecker returns an empty checker.
+func NewAtomicityChecker() *AtomicityChecker {
+	return &AtomicityChecker{}
+}
+
+// RegisterTxn records that transaction id installed the given
+// resource→sequence versions (resources span stores, e.g.
+// "doc/orders/o1", "xml/o1").
+func (a *AtomicityChecker) RegisterTxn(id string, writes map[string]uint64) {
+	cp := make(map[string]uint64, len(writes))
+	for k, v := range writes {
+		cp[k] = v
+	}
+	a.groups = append(a.groups, writeGroup{id: id, writes: cp})
+}
+
+// ObserveSnapshot feeds the checker one observed state: for each
+// resource, the sequence number the observer saw (missing resources =
+// 0). It returns the ids of transactions whose writes were partially
+// visible in this snapshot.
+func (a *AtomicityChecker) ObserveSnapshot(observed map[string]uint64) []string {
+	a.snapshots++
+	var torn []string
+	for _, g := range a.groups {
+		sawSome, sawAll := false, true
+		for res, seq := range g.writes {
+			if observed[res] >= seq {
+				sawSome = true
+			} else {
+				sawAll = false
+			}
+		}
+		if sawSome && !sawAll {
+			torn = append(torn, g.id)
+		}
+	}
+	a.violations += len(torn)
+	return torn
+}
+
+// Violations returns the cumulative count of partially-visible
+// transaction observations.
+func (a *AtomicityChecker) Violations() int { return a.violations }
+
+// Snapshots returns how many snapshots were observed.
+func (a *AtomicityChecker) Snapshots() int { return a.snapshots }

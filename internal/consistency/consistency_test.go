@@ -1,0 +1,199 @@
+package consistency
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(1_000_000, 0)
+
+func TestCheckerFreshReads(t *testing.T) {
+	c := NewChecker()
+	c.RecordWrite(1, "k", 1)
+	c.RecordRead(1, "k", 1, epoch, 1, epoch)
+	r := c.Report()
+	if r.Writes != 1 || r.Reads != 1 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if r.RYWViolations != 0 || r.MonotonicViolations != 0 || r.MissingReads != 0 {
+		t.Errorf("fresh read produced violations: %+v", r)
+	}
+	if r.FreshReads != 1 || r.VersionStalenessMean != 0 {
+		t.Errorf("freshness wrong: %+v", r)
+	}
+}
+
+func TestCheckerRYWViolation(t *testing.T) {
+	c := NewChecker()
+	c.RecordWrite(1, "k", 5)
+	// Client 1 reads an older version of its own write: violation.
+	c.RecordRead(1, "k", 3, epoch, 5, epoch.Add(time.Second))
+	// Client 2 reading old data is NOT an RYW violation (never wrote).
+	c.RecordRead(2, "k", 3, epoch, 5, epoch.Add(time.Second))
+	r := c.Report()
+	if r.RYWViolations != 1 {
+		t.Errorf("RYW violations = %d, want 1", r.RYWViolations)
+	}
+}
+
+func TestCheckerMonotonicViolation(t *testing.T) {
+	c := NewChecker()
+	c.RecordRead(1, "k", 5, epoch, 5, epoch)
+	c.RecordRead(1, "k", 3, epoch, 6, epoch) // went backwards
+	c.RecordRead(1, "k", 6, epoch, 6, epoch) // recovered
+	c.RecordRead(2, "k", 3, epoch, 6, epoch) // other client: fine
+	r := c.Report()
+	if r.MonotonicViolations != 1 {
+		t.Errorf("monotonic violations = %d, want 1", r.MonotonicViolations)
+	}
+}
+
+func TestCheckerStaleness(t *testing.T) {
+	c := NewChecker()
+	w1 := epoch
+	w5 := epoch.Add(40 * time.Millisecond)
+	// Read version 1 while latest is 5, committed 40ms apart.
+	c.RecordRead(1, "k", 1, w1, 5, w5)
+	c.RecordRead(1, "k", 5, w5, 5, w5)
+	r := c.Report()
+	if r.VersionStalenessMax != 4 {
+		t.Errorf("version staleness max = %d", r.VersionStalenessMax)
+	}
+	if r.VersionStalenessMean != 2 {
+		t.Errorf("version staleness mean = %g", r.VersionStalenessMean)
+	}
+	if r.TimeStalenessMax != 40*time.Millisecond {
+		t.Errorf("time staleness max = %v", r.TimeStalenessMax)
+	}
+	if r.TimeStalenessMean != 40*time.Millisecond {
+		t.Errorf("time staleness mean = %v", r.TimeStalenessMean)
+	}
+}
+
+func TestCheckerMissingReads(t *testing.T) {
+	c := NewChecker()
+	c.RecordRead(1, "k", 0, time.Time{}, 3, epoch)
+	r := c.Report()
+	if r.MissingReads != 1 {
+		t.Errorf("missing reads = %d", r.MissingReads)
+	}
+	// Key that never existed anywhere is not "missing".
+	c2 := NewChecker()
+	c2.RecordRead(1, "k", 0, time.Time{}, 0, time.Time{})
+	if c2.Report().MissingReads != 0 {
+		t.Error("read of never-written key should not count as missing")
+	}
+}
+
+func TestAtomicityChecker(t *testing.T) {
+	a := NewAtomicityChecker()
+	a.RegisterTxn("t1", map[string]uint64{"doc/o1": 10, "xml/o1": 11, "kv/f1": 12})
+	// Fully visible: no violation.
+	torn := a.ObserveSnapshot(map[string]uint64{"doc/o1": 10, "xml/o1": 11, "kv/f1": 12})
+	if len(torn) != 0 {
+		t.Errorf("full visibility reported torn: %v", torn)
+	}
+	// Fully invisible: no violation.
+	torn = a.ObserveSnapshot(map[string]uint64{"doc/o1": 9, "xml/o1": 8})
+	if len(torn) != 0 {
+		t.Errorf("pre-state reported torn: %v", torn)
+	}
+	// Partial: violation.
+	torn = a.ObserveSnapshot(map[string]uint64{"doc/o1": 10, "xml/o1": 8, "kv/f1": 12})
+	if len(torn) != 1 || torn[0] != "t1" {
+		t.Errorf("partial visibility = %v", torn)
+	}
+	if a.Violations() != 1 || a.Snapshots() != 3 {
+		t.Errorf("cumulative = %d/%d", a.Violations(), a.Snapshots())
+	}
+	// Newer versions than the txn's count as visible.
+	torn = a.ObserveSnapshot(map[string]uint64{"doc/o1": 20, "xml/o1": 21, "kv/f1": 22})
+	if len(torn) != 0 {
+		t.Error("overwritten state should count as visible")
+	}
+}
+
+func TestProbeStrongModeIsClean(t *testing.T) {
+	res := RunProbe(ProbeConfig{
+		Clients: 4, Keys: 8, OpsPerClient: 40, Replicas: 2,
+		Lag: 50 * time.Millisecond, ReadFromPrimary: true, Seed: 1,
+	})
+	r := res.Report
+	if r.RYWViolations != 0 || r.MonotonicViolations != 0 || r.MissingReads != 0 {
+		t.Errorf("strong mode produced anomalies: %+v", r)
+	}
+	if r.VersionStalenessMean != 0 {
+		t.Errorf("strong mode staleness = %g", r.VersionStalenessMean)
+	}
+	if r.FreshReads != r.Reads {
+		t.Errorf("strong mode: %d/%d fresh", r.FreshReads, r.Reads)
+	}
+}
+
+func TestProbeZeroLagReplicasAreClean(t *testing.T) {
+	res := RunProbe(ProbeConfig{
+		Clients: 4, Keys: 8, OpsPerClient: 40, Replicas: 3,
+		Lag: 0, Seed: 1,
+	})
+	r := res.Report
+	if r.RYWViolations != 0 || r.VersionStalenessMean != 0 {
+		t.Errorf("zero-lag replicas produced staleness: %+v", r)
+	}
+	if res.Convergence != 0 {
+		t.Errorf("zero-lag convergence = %v", res.Convergence)
+	}
+}
+
+func TestProbeLagProducesAnomalies(t *testing.T) {
+	res := RunProbe(ProbeConfig{
+		Clients: 4, Keys: 8, OpsPerClient: 60, Replicas: 2,
+		Lag: 20 * time.Millisecond, OpGap: time.Millisecond, Seed: 1,
+	})
+	r := res.Report
+	if r.RYWViolations == 0 {
+		t.Error("lagging replicas should violate read-your-writes")
+	}
+	if r.VersionStalenessMean <= 0 {
+		t.Error("lagging replicas should show version staleness")
+	}
+	if r.TimeStalenessMean <= 0 {
+		t.Error("lagging replicas should show time staleness")
+	}
+	if res.Convergence != 20*time.Millisecond {
+		t.Errorf("convergence = %v", res.Convergence)
+	}
+}
+
+func TestProbeStalenessTracksLag(t *testing.T) {
+	// The expected T3 shape: mean time staleness grows ~linearly with
+	// the injected lag.
+	var prev time.Duration
+	for _, lag := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
+		res := RunProbe(ProbeConfig{
+			Clients: 4, Keys: 8, OpsPerClient: 80, Replicas: 2,
+			Lag: lag, OpGap: time.Millisecond, Seed: 7,
+		})
+		got := res.Report.TimeStalenessMean
+		if got <= prev {
+			t.Errorf("staleness did not grow with lag %v: %v <= %v", lag, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestProbeDeterminism(t *testing.T) {
+	cfg := ProbeConfig{Clients: 3, Keys: 5, OpsPerClient: 30, Replicas: 2,
+		Lag: 15 * time.Millisecond, Seed: 9}
+	a := RunProbe(cfg)
+	b := RunProbe(cfg)
+	if a.Report != b.Report {
+		t.Errorf("probe not deterministic:\n%+v\n%+v", a.Report, b.Report)
+	}
+}
+
+func TestProbeDefaults(t *testing.T) {
+	res := RunProbe(ProbeConfig{Seed: 1})
+	if res.Report.Reads == 0 || res.Report.Writes == 0 {
+		t.Error("defaulted probe did nothing")
+	}
+}

@@ -1,0 +1,106 @@
+package consistency
+
+import (
+	"fmt"
+	"time"
+
+	"udbench/internal/datagen"
+	"udbench/internal/mmvalue"
+	"udbench/internal/replica"
+)
+
+// ProbeConfig drives one deterministic replica-consistency experiment
+// (experiment T3): clients write and read a replicated key space under
+// a configurable apply lag, on a virtual clock.
+type ProbeConfig struct {
+	// Clients is the number of simulated client sessions.
+	Clients int
+	// Keys is the size of the shared key space.
+	Keys int
+	// OpsPerClient is the number of write+read rounds per client.
+	OpsPerClient int
+	// Replicas is the replica count.
+	Replicas int
+	// Lag is the replica apply lag (0 = synchronous/ACID-like reads).
+	Lag time.Duration
+	// OpGap is the virtual time between consecutive operations.
+	OpGap time.Duration
+	// ReadFromPrimary reads from the primary instead of replicas
+	// (models the ACID / strong-consistency configuration).
+	ReadFromPrimary bool
+	// Seed drives the deterministic schedule.
+	Seed uint64
+}
+
+// ProbeResult couples the metric report with the configuration that
+// produced it.
+type ProbeResult struct {
+	Config ProbeConfig
+	Report Report
+	// Convergence is the time after the last write at which every
+	// replica has applied the full log.
+	Convergence time.Duration
+}
+
+// RunProbe executes the experiment: each round, a client writes one
+// key on the primary, virtual time advances by OpGap, then the client
+// reads a key (half the time its own last-written key, exercising
+// read-your-writes) from a replica chosen round-robin (or the primary
+// in strong mode). All scheduling is deterministic in Seed.
+func RunProbe(cfg ProbeConfig) ProbeResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 50
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.OpGap <= 0 {
+		cfg.OpGap = time.Millisecond
+	}
+	clock := replica.NewVirtualClock(time.Unix(1_000_000, 0))
+	cluster := replica.NewCluster(cfg.Replicas, func(int) time.Duration { return cfg.Lag }, clock.Now)
+	rng := datagen.NewRNG(cfg.Seed + 0xc0ffee)
+	checker := NewChecker()
+
+	lastKeyOf := make([]string, cfg.Clients)
+	readRR := 0
+	for round := 0; round < cfg.OpsPerClient; round++ {
+		for client := 0; client < cfg.Clients; client++ {
+			// Write.
+			key := fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+			seq := cluster.Write(key, mmvalue.ObjectOf("client", client, "round", round))
+			checker.RecordWrite(client, key, seq)
+			lastKeyOf[client] = key
+			clock.Advance(cfg.OpGap)
+
+			// Read: own key half the time (RYW probe), random otherwise.
+			rkey := key
+			if rng.Intn(2) == 0 {
+				rkey = fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+			} else if lastKeyOf[client] != "" {
+				rkey = lastKeyOf[client]
+			}
+			latest := cluster.ReadPrimary(rkey)
+			var got replica.Versioned
+			if cfg.ReadFromPrimary {
+				got = latest
+			} else {
+				got = cluster.ReadReplica(readRR%cfg.Replicas, rkey)
+				readRR++
+			}
+			checker.RecordRead(client, rkey, got.Seq, got.Wall, latest.Seq, latest.Wall)
+			clock.Advance(cfg.OpGap)
+		}
+	}
+	return ProbeResult{
+		Config:      cfg,
+		Report:      checker.Report(),
+		Convergence: cluster.ConvergenceTime(),
+	}
+}

@@ -1,0 +1,524 @@
+// Package convert implements the multi-model data conversion pillar of
+// the UDBMS benchmark: transformations between the relational and
+// NoSQL representations with measurable round-trip fidelity against
+// gold-standard outputs (the generator's original data).
+//
+// Conversions:
+//
+//   - relational rows ↔ JSON documents (nesting / shredding with child
+//     tables for arrays of objects);
+//   - XML ↔ JSON documents (attribute/@, text/#text conventions);
+//   - relational rows ↔ property graph (vertex per row, edge per
+//     foreign key);
+//   - key-value pairs ↔ relational rows.
+//
+// Each converter documents what it loses; Fidelity quantifies it.
+package convert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udbench/internal/mmschema"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+)
+
+// ColumnMap records how one relational column maps back to a document
+// path, enabling lossless reassembly.
+type ColumnMap struct {
+	// Column is the relational column name.
+	Column string
+	// Path is the dotted document path the column came from.
+	Path string
+	// JSON marks columns holding a JSON-encoded complex value.
+	JSON bool
+}
+
+// TableData is a self-contained relational table: schema, rows and the
+// column-to-path mapping used for reassembly.
+type TableData struct {
+	Name   string
+	Schema relational.Schema
+	Rows   []mmvalue.Value
+	Maps   []ColumnMap
+	// CountCols maps an array-of-objects path to the parent column
+	// holding its element count (null when the source document lacked
+	// the field entirely) — what lets reassembly distinguish a missing
+	// array from an empty one.
+	CountCols map[string]string
+}
+
+// ShredResult is the relational form of a document collection: one
+// parent table plus one child table per array-of-objects field.
+type ShredResult struct {
+	Parent *TableData
+	// Children maps the array path to its child table.
+	Children map[string]*TableData
+	// Notes documents lossy corners encountered (JSON-encoded columns).
+	Notes []string
+}
+
+// reserved child-table columns.
+const (
+	parentCol = "_parent"
+	idxCol    = "_idx"
+)
+
+// ShredDocs converts a document collection to relational form. Scalar
+// paths become columns (dots replaced by "_", disambiguated on
+// collision); arrays of objects become child tables keyed by
+// (_parent, _idx); other complex values are JSON-encoded into string
+// columns, which is recorded in Notes. Documents must carry a string
+// _id, which becomes the parent primary key.
+func ShredDocs(name string, docs []mmvalue.Value) (*ShredResult, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("convert: shred %s: empty collection", name)
+	}
+	schema := mmschema.Infer(docs)
+	if _, ok := schema.Field("_id"); !ok {
+		return nil, fmt.Errorf("convert: shred %s: documents must have _id", name)
+	}
+
+	// Classify paths.
+	arrayObjPaths := map[string]bool{}
+	for _, p := range schema.Paths() {
+		f, _ := schema.Field(p)
+		if f.Type == mmschema.FTArray && allElementsObjects(docs, p) {
+			arrayObjPaths[p] = true
+		}
+	}
+	res := &ShredResult{Children: make(map[string]*TableData)}
+
+	parent, notes, err := buildTable(name, docs, schema, arrayObjPaths, "_id")
+	if err != nil {
+		return nil, err
+	}
+	res.Parent = parent
+	res.Notes = append(res.Notes, notes...)
+	if err := addCountColumns(parent, docs, arrayObjPaths); err != nil {
+		return nil, err
+	}
+
+	for ap := range arrayObjPaths {
+		child, cnotes, err := buildChildTable(name, ap, docs)
+		if err != nil {
+			return nil, err
+		}
+		res.Children[ap] = child
+		res.Notes = append(res.Notes, cnotes...)
+	}
+	sort.Strings(res.Notes)
+	return res, nil
+}
+
+func allElementsObjects(docs []mmvalue.Value, path string) bool {
+	p := mmvalue.ParsePath(path)
+	sawAny := false
+	for _, d := range docs {
+		v, ok := p.Lookup(d)
+		if !ok {
+			continue
+		}
+		elems, isArr := v.AsArray()
+		if !isArr {
+			return false
+		}
+		for _, e := range elems {
+			sawAny = true
+			if e.Kind() != mmvalue.KindObject {
+				return false
+			}
+		}
+	}
+	return sawAny
+}
+
+// buildTable flattens the scalar paths of docs into one table. Paths
+// under array-of-object fields are excluded (they go to child tables).
+func buildTable(name string, docs []mmvalue.Value, schema *mmschema.Schema, skipUnder map[string]bool, pkPath string) (*TableData, []string, error) {
+	var notes []string
+	var maps []ColumnMap
+	var cols []relational.Column
+	used := map[string]bool{}
+
+	colName := func(path string) string {
+		base := strings.ReplaceAll(path, ".", "_")
+		cand := base
+		for i := 2; used[cand]; i++ {
+			cand = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[cand] = true
+		return cand
+	}
+
+	paths := schema.Paths()
+	for _, p := range paths {
+		if underAny(p, skipUnder) {
+			continue
+		}
+		f, _ := schema.Field(p)
+		if f.Type == mmschema.FTObject {
+			continue // leaves appear as dotted paths
+		}
+		col := colName(p)
+		nullable := f.Presence < 1 || p != pkPath && f.Type == mmschema.FTNull
+		switch f.Type {
+		case mmschema.FTInt:
+			cols = append(cols, relational.Column{Name: col, Type: relational.TypeInt, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: col, Path: p})
+		case mmschema.FTFloat:
+			cols = append(cols, relational.Column{Name: col, Type: relational.TypeFloat, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: col, Path: p})
+		case mmschema.FTBool:
+			cols = append(cols, relational.Column{Name: col, Type: relational.TypeBool, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: col, Path: p})
+		case mmschema.FTString:
+			cols = append(cols, relational.Column{Name: col, Type: relational.TypeString, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: col, Path: p})
+		default: // arrays of scalars, mixed, null-only: JSON-encode
+			cols = append(cols, relational.Column{Name: col, Type: relational.TypeString, Nullable: true})
+			maps = append(maps, ColumnMap{Column: col, Path: p, JSON: true})
+			notes = append(notes, fmt.Sprintf("%s.%s: %s JSON-encoded into column %s", name, p, f.Type, col))
+		}
+	}
+	pkCol := strings.ReplaceAll(pkPath, ".", "_")
+	rschema, err := relational.NewSchema(pkCol, cols...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("convert: %s: %w", name, err)
+	}
+	td := &TableData{Name: name, Schema: rschema, Maps: maps}
+	for _, d := range docs {
+		row := mmvalue.NewObject()
+		for _, m := range maps {
+			v, ok := mmvalue.ParsePath(m.Path).Lookup(d)
+			if !ok {
+				continue
+			}
+			if m.JSON {
+				data, err := v.MarshalJSON()
+				if err != nil {
+					return nil, nil, err
+				}
+				row.Set(m.Column, mmvalue.String(string(data)))
+			} else {
+				row.Set(m.Column, v.Clone())
+			}
+		}
+		td.Rows = append(td.Rows, mmvalue.FromObject(row))
+	}
+	return td, notes, nil
+}
+
+// addCountColumns extends the parent table with one nullable INT
+// column per array-of-objects path carrying the element count, and
+// fills it for every row. Rebuilding the schema keeps validation
+// exact.
+func addCountColumns(td *TableData, docs []mmvalue.Value, arrayPaths map[string]bool) error {
+	if len(arrayPaths) == 0 {
+		return nil
+	}
+	td.CountCols = make(map[string]string, len(arrayPaths))
+	paths := make([]string, 0, len(arrayPaths))
+	for p := range arrayPaths {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	cols := append([]relational.Column{}, td.Schema.Columns...)
+	for _, p := range paths {
+		col := strings.ReplaceAll(p, ".", "_") + "__n"
+		td.CountCols[p] = col
+		cols = append(cols, relational.Column{Name: col, Type: relational.TypeInt, Nullable: true})
+	}
+	schema, err := relational.NewSchema(td.Schema.PrimaryKey, cols...)
+	if err != nil {
+		return err
+	}
+	td.Schema = schema
+	for i, d := range docs {
+		row := td.Rows[i].MustObject()
+		for _, p := range paths {
+			v, ok := mmvalue.ParsePath(p).Lookup(d)
+			if !ok {
+				continue
+			}
+			if elems, isArr := v.AsArray(); isArr {
+				row.Set(td.CountCols[p], mmvalue.Int(int64(len(elems))))
+			}
+		}
+	}
+	return nil
+}
+
+func underAny(p string, prefixes map[string]bool) bool {
+	for pre := range prefixes {
+		if p == pre || strings.HasPrefix(p, pre+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// buildChildTable shreds one array-of-objects field into a child table
+// keyed by (_parent, _idx) with a synthetic string primary key.
+func buildChildTable(parentName, arrayPath string, docs []mmvalue.Value) (*TableData, []string, error) {
+	p := mmvalue.ParsePath(arrayPath)
+	var elems []mmvalue.Value
+	for _, d := range docs {
+		if v, ok := p.Lookup(d); ok {
+			es, _ := v.AsArray()
+			elems = append(elems, es...)
+		}
+	}
+	eschema := mmschema.Infer(elems)
+	name := parentName + "_" + strings.ReplaceAll(arrayPath, ".", "_")
+	td, notes, err := buildTable(name, nil, eschema, nil, "")
+	if err != nil && len(elems) > 0 {
+		// buildTable fails without a pk; rebuild manually below.
+		_ = err
+	}
+	// Assemble schema manually: _pk (synthetic), _parent, _idx + element columns.
+	cols := []relational.Column{
+		{Name: "_pk", Type: relational.TypeString},
+		{Name: parentCol, Type: relational.TypeString},
+		{Name: idxCol, Type: relational.TypeInt},
+	}
+	var maps []ColumnMap
+	used := map[string]bool{"_pk": true, parentCol: true, idxCol: true}
+	for _, ep := range eschema.Paths() {
+		f, _ := eschema.Field(ep)
+		if f.Type == mmschema.FTObject {
+			continue
+		}
+		base := strings.ReplaceAll(ep, ".", "_")
+		cand := base
+		for i := 2; used[cand]; i++ {
+			cand = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[cand] = true
+		nullable := f.Presence < 1
+		switch f.Type {
+		case mmschema.FTInt:
+			cols = append(cols, relational.Column{Name: cand, Type: relational.TypeInt, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: cand, Path: ep})
+		case mmschema.FTFloat:
+			cols = append(cols, relational.Column{Name: cand, Type: relational.TypeFloat, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: cand, Path: ep})
+		case mmschema.FTBool:
+			cols = append(cols, relational.Column{Name: cand, Type: relational.TypeBool, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: cand, Path: ep})
+		case mmschema.FTString:
+			cols = append(cols, relational.Column{Name: cand, Type: relational.TypeString, Nullable: nullable})
+			maps = append(maps, ColumnMap{Column: cand, Path: ep})
+		default:
+			cols = append(cols, relational.Column{Name: cand, Type: relational.TypeString, Nullable: true})
+			maps = append(maps, ColumnMap{Column: cand, Path: ep, JSON: true})
+			notes = append(notes, fmt.Sprintf("%s.%s: %s JSON-encoded", name, ep, f.Type))
+		}
+	}
+	rschema, err := relational.NewSchema("_pk", cols...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("convert: %s: %w", name, err)
+	}
+	td = &TableData{Name: name, Schema: rschema, Maps: maps}
+	for _, d := range docs {
+		idv, _ := mmvalue.ParsePath("_id").Lookup(d)
+		pid, _ := idv.AsString()
+		v, ok := p.Lookup(d)
+		if !ok {
+			continue
+		}
+		es, _ := v.AsArray()
+		for i, e := range es {
+			row := mmvalue.NewObject()
+			row.Set("_pk", mmvalue.String(fmt.Sprintf("%s#%d", pid, i)))
+			row.Set(parentCol, mmvalue.String(pid))
+			row.Set(idxCol, mmvalue.Int(int64(i)))
+			for _, m := range maps {
+				ev, ok := mmvalue.ParsePath(m.Path).Lookup(e)
+				if !ok {
+					continue
+				}
+				if m.JSON {
+					data, err := ev.MarshalJSON()
+					if err != nil {
+						return nil, nil, err
+					}
+					row.Set(m.Column, mmvalue.String(string(data)))
+				} else {
+					row.Set(m.Column, ev.Clone())
+				}
+			}
+			td.Rows = append(td.Rows, mmvalue.FromObject(row))
+		}
+	}
+	return td, notes, nil
+}
+
+// NestShredded reassembles documents from a shred result — the inverse
+// of ShredDocs up to the documented losses (field ordering follows the
+// schema's sorted paths; Int/Float distinctions may widen where the
+// inferred column type widened, which mmvalue.Equal treats as equal).
+func NestShredded(sr *ShredResult) ([]mmvalue.Value, error) {
+	// Child rows grouped by parent id, ordered by _idx.
+	type childElem struct {
+		idx  int64
+		elem mmvalue.Value
+	}
+	childrenOf := map[string]map[string][]childElem{} // arrayPath -> parentID -> elems
+	for ap, ct := range sr.Children {
+		group := map[string][]childElem{}
+		for _, row := range ct.Rows {
+			obj := row.MustObject()
+			pidV, _ := obj.Get(parentCol)
+			pid, _ := pidV.AsString()
+			idxV, _ := obj.Get(idxCol)
+			idx, _ := idxV.AsInt()
+			elem, err := rebuild(obj, ct.Maps)
+			if err != nil {
+				return nil, err
+			}
+			group[pid] = append(group[pid], childElem{idx: idx, elem: elem})
+		}
+		for pid := range group {
+			es := group[pid]
+			sort.Slice(es, func(i, j int) bool { return es[i].idx < es[j].idx })
+			group[pid] = es
+		}
+		childrenOf[ap] = group
+	}
+
+	out := make([]mmvalue.Value, 0, len(sr.Parent.Rows))
+	var aps []string
+	for ap := range sr.Children {
+		aps = append(aps, ap)
+	}
+	sort.Strings(aps)
+	for _, row := range sr.Parent.Rows {
+		obj := row.MustObject()
+		doc, err := rebuild(obj, sr.Parent.Maps)
+		if err != nil {
+			return nil, err
+		}
+		idV, _ := mmvalue.ParsePath("_id").Lookup(doc)
+		id, _ := idV.AsString()
+		for _, ap := range aps {
+			// The count column distinguishes a missing array (null)
+			// from an empty one (0).
+			if cntCol, ok := sr.Parent.CountCols[ap]; ok {
+				if v, present := obj.Get(cntCol); !present || v.IsNull() {
+					continue
+				}
+			}
+			es := childrenOf[ap][id]
+			arr := make([]mmvalue.Value, len(es))
+			for i, ce := range es {
+				arr[i] = ce.elem
+			}
+			if doc, err = mmvalue.ParsePath(ap).Set(doc, mmvalue.Array(arr...)); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// rebuild reconstructs a document (or array element) from one row via
+// its column maps.
+func rebuild(row *mmvalue.Object, maps []ColumnMap) (mmvalue.Value, error) {
+	doc := mmvalue.FromObject(mmvalue.NewObject())
+	for _, m := range maps {
+		v, ok := row.Get(m.Column)
+		if !ok || v.IsNull() {
+			continue
+		}
+		if m.JSON {
+			s, _ := v.AsString()
+			parsed, err := mmvalue.ParseJSON([]byte(s))
+			if err != nil {
+				return mmvalue.Null, fmt.Errorf("convert: bad JSON column %s: %w", m.Column, err)
+			}
+			v = parsed
+		}
+		var err error
+		doc, err = mmvalue.ParsePath(m.Path).Set(doc, v.Clone())
+		if err != nil {
+			return mmvalue.Null, err
+		}
+	}
+	return doc, nil
+}
+
+// RowsToDocs converts relational rows into documents: the primary key
+// becomes _id (rendered as string when not already one) and every
+// other column becomes a top-level field. This is the trivial lossless
+// direction.
+func RowsToDocs(rows []mmvalue.Value, pkCol string) []mmvalue.Value {
+	out := make([]mmvalue.Value, len(rows))
+	for i, r := range rows {
+		obj := r.MustObject()
+		doc := mmvalue.NewObject()
+		pk, _ := obj.Get(pkCol)
+		if s, ok := pk.AsString(); ok {
+			doc.Set("_id", mmvalue.String(s))
+		} else {
+			doc.Set("_id", mmvalue.String(pk.String()))
+		}
+		for _, k := range obj.Keys() {
+			if k == pkCol {
+				continue
+			}
+			v, _ := obj.Get(k)
+			doc.Set(k, v.Clone())
+		}
+		// Keep the original key value for lossless reversal.
+		doc.Set("_pkval", pk.Clone())
+		out[i] = mmvalue.FromObject(doc)
+	}
+	return out
+}
+
+// DocsToRows is the inverse of RowsToDocs.
+func DocsToRows(docs []mmvalue.Value, pkCol string) []mmvalue.Value {
+	out := make([]mmvalue.Value, len(docs))
+	for i, d := range docs {
+		obj := d.MustObject()
+		row := mmvalue.NewObject()
+		if pkv, ok := obj.Get("_pkval"); ok {
+			row.Set(pkCol, pkv.Clone())
+		} else if idv, ok := obj.Get("_id"); ok {
+			row.Set(pkCol, idv.Clone())
+		}
+		for _, k := range obj.Keys() {
+			if k == "_id" || k == "_pkval" || k == pkCol {
+				continue
+			}
+			v, _ := obj.Get(k)
+			row.Set(k, v.Clone())
+		}
+		out[i] = mmvalue.FromObject(row)
+	}
+	return out
+}
+
+// Fidelity returns the fraction of positions where orig and back are
+// deep-equal (mmvalue.Equal). Length mismatches count the missing
+// tail as failures.
+func Fidelity(orig, back []mmvalue.Value) float64 {
+	n := len(orig)
+	if len(back) > n {
+		n = len(back)
+	}
+	if n == 0 {
+		return 1
+	}
+	match := 0
+	for i := 0; i < len(orig) && i < len(back); i++ {
+		if mmvalue.Equal(orig[i], back[i]) {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}

@@ -1,0 +1,247 @@
+package convert
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/xmlstore"
+)
+
+// randomDocs builds a random schemaless collection with the shapes the
+// shredder must survive: heterogeneous scalar fields, nested objects,
+// arrays of objects (present / empty / missing per document) and
+// arrays of scalars.
+func randomDocs(r *rand.Rand) []mmvalue.Value {
+	n := 1 + r.Intn(12)
+	fieldPool := []string{"alpha", "beta", "gamma", "delta"}
+	docs := make([]mmvalue.Value, n)
+	for i := 0; i < n; i++ {
+		o := mmvalue.NewObject()
+		o.Set("_id", mmvalue.String(fmt.Sprintf("d%03d", i)))
+		for _, f := range fieldPool {
+			switch r.Intn(6) {
+			case 0:
+				o.Set(f, mmvalue.Int(int64(r.Intn(100))))
+			case 1:
+				o.Set(f, mmvalue.Float(r.Float64()*10))
+			case 2:
+				o.Set(f, mmvalue.String(fmt.Sprintf("s%d", r.Intn(5))))
+			case 3:
+				o.Set(f, mmvalue.Bool(r.Intn(2) == 0))
+			case 4:
+				// absent
+			case 5:
+				nested := mmvalue.NewObject()
+				nested.Set("x", mmvalue.Int(int64(r.Intn(10))))
+				if r.Intn(2) == 0 {
+					nested.Set("y", mmvalue.String("deep"))
+				}
+				o.Set(f, mmvalue.FromObject(nested))
+			}
+		}
+		// Array-of-objects field: missing / empty / populated.
+		switch r.Intn(3) {
+		case 0:
+			// missing entirely
+		case 1:
+			o.Set("items", mmvalue.Array())
+		case 2:
+			k := 1 + r.Intn(3)
+			elems := make([]mmvalue.Value, k)
+			for j := 0; j < k; j++ {
+				e := mmvalue.NewObject()
+				e.Set("sku", mmvalue.String(fmt.Sprintf("p%d", r.Intn(9))))
+				if r.Intn(2) == 0 {
+					e.Set("qty", mmvalue.Int(int64(1+r.Intn(5))))
+				}
+				elems[j] = mmvalue.FromObject(e)
+			}
+			o.Set("items", mmvalue.Array(elems...))
+		}
+		// Array of scalars sometimes.
+		if r.Intn(3) == 0 {
+			k := r.Intn(4)
+			tags := make([]mmvalue.Value, k)
+			for j := 0; j < k; j++ {
+				tags[j] = mmvalue.String(fmt.Sprintf("t%d", r.Intn(6)))
+			}
+			o.Set("tags", mmvalue.Array(tags...))
+		}
+		docs[i] = mmvalue.FromObject(o)
+	}
+	return docs
+}
+
+// Property: shred → validate every row → nest reproduces the original
+// collection exactly, for arbitrary heterogeneous documents.
+func TestPropShredNestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r)
+		sr, err := ShredDocs("p", docs)
+		if err != nil {
+			t.Logf("seed %d: shred error: %v", seed, err)
+			return false
+		}
+		for _, row := range sr.Parent.Rows {
+			if err := sr.Parent.Schema.ValidateRow(row); err != nil {
+				t.Logf("seed %d: invalid parent row: %v", seed, err)
+				return false
+			}
+		}
+		for _, ct := range sr.Children {
+			for _, row := range ct.Rows {
+				if err := ct.Schema.ValidateRow(row); err != nil {
+					t.Logf("seed %d: invalid child row: %v", seed, err)
+					return false
+				}
+			}
+		}
+		back, err := NestShredded(sr)
+		if err != nil {
+			t.Logf("seed %d: nest error: %v", seed, err)
+			return false
+		}
+		if len(back) != len(docs) {
+			t.Logf("seed %d: length %d vs %d", seed, len(back), len(docs))
+			return false
+		}
+		for i := range docs {
+			if !mmvalue.Equal(docs[i], back[i]) {
+				t.Logf("seed %d doc %d:\norig %s\nback %s", seed, i, docs[i], back[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XML built from random JSON-ish values following the
+// XMLToDoc conventions round-trips exactly (no same-named-sibling
+// interleaving is generated, matching the documented-lossless subset).
+func TestPropXMLJSONRoundTrip(t *testing.T) {
+	var build func(r *rand.Rand, depth int) *xmlstore.Node
+	build = func(r *rand.Rand, depth int) *xmlstore.Node {
+		el := xmlstore.NewElement(fmt.Sprintf("e%d", r.Intn(5)))
+		for i := 0; i < r.Intn(3); i++ {
+			el.SetAttr(fmt.Sprintf("a%d", i), fmt.Sprintf("v%d", r.Intn(9)))
+		}
+		if depth <= 0 || r.Intn(3) == 0 {
+			if r.Intn(2) == 0 {
+				el.Append(xmlstore.NewText(fmt.Sprintf("text%d", r.Intn(9))))
+			}
+			return el
+		}
+		// Children grouped by name to stay in the lossless subset.
+		nGroups := 1 + r.Intn(2)
+		for g := 0; g < nGroups; g++ {
+			name := fmt.Sprintf("g%d", g)
+			k := 1 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				child := build(r, depth-1)
+				child.Name = name
+				el.Append(child)
+			}
+		}
+		return el
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := build(r, 3)
+		orig.Name = "root"
+		back, err := DocToXML(XMLToDoc(orig))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !xmlstore.Equal(orig, back) {
+			t.Logf("seed %d:\norig %s\nback %s", seed, xmlstore.Marshal(orig), xmlstore.Marshal(back))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KV round trip is exact for arbitrary JSON-safe values.
+func TestPropKVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pairs []KVPair
+		for i := 0; i < 1+r.Intn(10); i++ {
+			var v mmvalue.Value
+			switch r.Intn(4) {
+			case 0:
+				v = mmvalue.Int(int64(r.Intn(1000)))
+			case 1:
+				v = mmvalue.String(fmt.Sprintf("v%d", r.Intn(100)))
+			case 2:
+				v = mmvalue.ObjectOf("a", r.Intn(10), "b", fmt.Sprintf("x%d", r.Intn(10)))
+			case 3:
+				v = mmvalue.Array(mmvalue.Int(1), mmvalue.Bool(true), mmvalue.Null)
+			}
+			pairs = append(pairs, KVPair{Key: fmt.Sprintf("k/%03d", i), Value: v})
+		}
+		rows, err := KVToRows(pairs)
+		if err != nil {
+			return false
+		}
+		back, err := RowsToKV(rows)
+		if err != nil || len(back) != len(pairs) {
+			return false
+		}
+		for i := range pairs {
+			if back[i].Key != pairs[i].Key || !mmvalue.Equal(back[i].Value, pairs[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: a document missing an array field must not gain an empty
+// array through the round trip (distinguished by the count column).
+func TestMissingVsEmptyArrayRoundTrip(t *testing.T) {
+	docs := []mmvalue.Value{
+		mmvalue.MustParseJSON(`{"_id":"a","items":[{"sku":"x"}]}`),
+		mmvalue.MustParseJSON(`{"_id":"b","items":[]}`),
+		mmvalue.MustParseJSON(`{"_id":"c"}`),
+	}
+	sr, err := ShredDocs("m", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NestShredded(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range docs {
+		if !mmvalue.Equal(docs[i], back[i]) {
+			t.Errorf("doc %d:\norig %s\nback %s", i, docs[i], back[i])
+		}
+	}
+	// The count column encodes the distinction.
+	if sr.Parent.CountCols["items"] == "" {
+		t.Fatal("count column missing")
+	}
+	cnt := sr.Parent.CountCols["items"]
+	rowB := sr.Parent.Rows[1].MustObject()
+	if v, _ := rowB.Get(cnt); !mmvalue.Equal(v, mmvalue.Int(0)) {
+		t.Errorf("empty array count = %s", v)
+	}
+	rowC := sr.Parent.Rows[2].MustObject()
+	if _, ok := rowC.Get(cnt); ok {
+		t.Error("missing array should have null count")
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"a1", "f1", "f2", "f3", "f4", "t2", "t3", "t4", "t5"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Name == "" || e.Pillar == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("t2"); !ok {
+		t.Error("ByID failed")
+	}
+	if _, ok := ByID("zz"); ok {
+		t.Error("phantom experiment")
+	}
+}
+
+func TestF1DatasetStats(t *testing.T) {
+	tables, err := runF1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].NumRows() != 2 {
+		t.Fatalf("F1 shape wrong: %d tables", len(tables))
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "F1") || !strings.Contains(out, "customers") {
+		t.Errorf("F1 output:\n%s", out)
+	}
+}
+
+func TestT2QueryLatency(t *testing.T) {
+	tables, err := runT2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if tab.NumRows() != 10 {
+		t.Fatalf("T2 rows = %d, want 10", tab.NumRows())
+	}
+	// Expected shape: the federation pays hop latency, so on
+	// multi-request queries the speedup column should mostly be > 1.
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")[1:]
+	faster := 0
+	for _, line := range lines {
+		cols := strings.Split(line, ",")
+		sp, err := strconv.ParseFloat(cols[len(cols)-1], 64)
+		if err != nil {
+			continue
+		}
+		if sp > 1 {
+			faster++
+		}
+	}
+	if faster < 6 {
+		t.Errorf("unified engine faster on only %d/10 queries:\n%s", faster, tab.String())
+	}
+}
+
+func TestF2Throughput(t *testing.T) {
+	tables, err := runF2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() != 3 {
+		t.Fatalf("F2 rows = %d", tables[0].NumRows())
+	}
+}
+
+func TestF3Contention(t *testing.T) {
+	tables, err := runF3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() != 2 {
+		t.Fatalf("F3 rows = %d", tables[0].NumRows())
+	}
+}
+
+func TestT3Consistency(t *testing.T) {
+	tables, err := runT3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("T3 should produce two tables, got %d", len(tables))
+	}
+	// Expected shape: strong rows report zero violations; the torn
+	// table's udbms row reports 0 torn reads.
+	out := tables[0].String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "strong") {
+			fields := strings.Fields(line)
+			// "RYW viol" column is the 3rd data column.
+			if fields[2] != "0" {
+				t.Errorf("strong mode row has violations: %s", line)
+			}
+		}
+	}
+	torn := tables[1].CSV()
+	for _, line := range strings.Split(strings.TrimSpace(torn), "\n")[1:] {
+		cols := strings.Split(line, ",")
+		if cols[0] == "udbms" && cols[2] != "0" {
+			t.Errorf("udbms torn reads = %s", cols[2])
+		}
+	}
+}
+
+func TestT4Evolution(t *testing.T) {
+	tables, err := runT4(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if tab.NumRows() != 9 { // k = 0..8
+		t.Fatalf("T4 rows = %d", tab.NumRows())
+	}
+	// Expected shape: validity in the plain column decreases
+	// monotonically down the chain. (The "last op" column is last in
+	// the CSV because op names can contain commas.)
+	csv := strings.Split(strings.TrimSpace(tab.CSV()), "\n")[1:]
+	prev := 1 << 30
+	for _, line := range csv {
+		cols := strings.Split(line, ",")
+		frac := cols[1] // "valid" like "8/8"
+		num, _ := strconv.Atoi(strings.Split(frac, "/")[0])
+		if num > prev {
+			t.Errorf("validity increased: %s", line)
+		}
+		prev = num
+	}
+}
+
+func TestT5Conversion(t *testing.T) {
+	tables, err := runT5(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if tab.NumRows() != 6 {
+		t.Fatalf("T5 rows = %d, want 6", tab.NumRows())
+	}
+	// Expected shape: every fidelity is 1 (the lossless pairs and the
+	// regular invoice corpus).
+	csv := strings.Split(strings.TrimSpace(tab.CSV()), "\n")[1:]
+	for _, line := range csv {
+		cols := strings.Split(line, ",")
+		if cols[2] != "1" {
+			t.Errorf("conversion fidelity below 1: %s", line)
+		}
+	}
+}
+
+func TestF4ScaleUp(t *testing.T) {
+	tables, err := runF4(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() != 2 {
+		t.Fatalf("F4 rows = %d", tables[0].NumRows())
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run skipped in -short")
+	}
+	tables, err := RunAll(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 8 {
+		t.Fatalf("RunAll produced %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.NumRows() == 0 {
+			t.Errorf("table %q is empty", tab.Title)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if d.SF <= 0 || d.HopLatency <= 0 {
+		t.Error("default config not sane")
+	}
+	q := QuickConfig()
+	if !q.Quick || q.SF >= d.SF {
+		t.Error("quick config not sane")
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	calls := 0
+	d, err := medianOf(3, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || calls != 3 || d < time.Millisecond {
+		t.Errorf("medianOf = %v, calls %d, err %v", d, calls, err)
+	}
+	if _, err := medianOf(0, func() error { return nil }); err != nil {
+		t.Error("k<1 should clamp")
+	}
+}

@@ -1,0 +1,377 @@
+// Package document implements the JSON document data model of the
+// UDBMS benchmark: schemaless collections of mmvalue objects with
+// path-predicate queries, projections, partial updates and advisory
+// path indexes.
+//
+// In the Figure-1 dataset this store holds Orders and Product
+// documents.
+package document
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/ordmap"
+	"udbench/internal/txn"
+)
+
+// IDField is the reserved document identifier field.
+const IDField = "_id"
+
+// Store is a set of named collections sharing one transaction manager.
+type Store struct {
+	name string
+	mgr  *txn.Manager
+
+	mu    sync.RWMutex
+	colls map[string]*Collection
+}
+
+// NewStore creates an empty document store named name on mgr.
+func NewStore(name string, mgr *txn.Manager) *Store {
+	return &Store{name: name, mgr: mgr, colls: make(map[string]*Collection)}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Manager returns the transaction manager.
+func (s *Store) Manager() *txn.Manager { return s.mgr }
+
+// Collection returns the named collection, creating it on first use
+// ("data first, schema later or never").
+func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	c := s.colls[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.colls[name]; c == nil {
+		c = &Collection{
+			store:   s,
+			name:    name,
+			docs:    ordmap.New[*txn.Chain[mmvalue.Value]](0xd0c5),
+			indexes: make(map[string]*pathIndex),
+		}
+		s.colls[name] = c
+	}
+	return c
+}
+
+// CollectionNames lists existing collections in sorted order.
+func (s *Store) CollectionNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.colls))
+	for n := range s.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Collection is a schemaless set of documents keyed by their _id
+// string.
+type Collection struct {
+	store *Store
+	name  string
+	docs  *ordmap.Map[*txn.Chain[mmvalue.Value]]
+
+	idxMu   sync.RWMutex
+	indexes map[string]*pathIndex
+}
+
+// pathIndex maps normalized leaf values at one path to doc ids.
+// Like relational indexes it is advisory: entries accumulate at commit
+// time and queries re-verify against the visible document.
+type pathIndex struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string]struct{}
+}
+
+func (ix *pathIndex) add(valKey, id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	b := ix.buckets[valKey]
+	if b == nil {
+		b = make(map[string]struct{})
+		ix.buckets[valKey] = b
+	}
+	b[id] = struct{}{}
+}
+
+func (ix *pathIndex) candidates(valKey string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.buckets[valKey]))
+	for id := range ix.buckets[valKey] {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (ix *pathIndex) drop(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for vk, b := range ix.buckets {
+		delete(b, id)
+		if len(b) == 0 {
+			delete(ix.buckets, vk)
+		}
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+func (c *Collection) resource(id string) string {
+	return c.store.name + "/" + c.name + "/" + id
+}
+
+func (c *Collection) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
+	if tx != nil {
+		return fn(tx)
+	}
+	return c.store.mgr.RunWith(3, fn)
+}
+
+// valKey normalizes a leaf value for indexing, consistent with
+// mmvalue.Equal for scalars.
+func valKey(v mmvalue.Value) string {
+	if f, ok := v.AsFloat(); ok {
+		return fmt.Sprintf("num:%g", f)
+	}
+	return v.Kind().String() + ":" + v.String()
+}
+
+// CreateIndex adds an advisory equality index on the dotted path and
+// backfills it from latest committed documents.
+func (c *Collection) CreateIndex(path string) error {
+	c.idxMu.Lock()
+	if _, exists := c.indexes[path]; exists {
+		c.idxMu.Unlock()
+		return fmt.Errorf("document %s: index on %q already exists", c.name, path)
+	}
+	ix := &pathIndex{buckets: make(map[string]map[string]struct{})}
+	c.indexes[path] = ix
+	c.idxMu.Unlock()
+	p := mmvalue.ParsePath(path)
+	c.docs.Ascend("", "", func(id string, chain *txn.Chain[mmvalue.Value]) bool {
+		if doc, live := chain.ReadLatest(); live {
+			if v, ok := p.Lookup(doc); ok {
+				ix.add(valKey(v), id)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// HasIndex reports whether an index exists on the dotted path.
+func (c *Collection) HasIndex(path string) bool {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	_, ok := c.indexes[path]
+	return ok
+}
+
+func (c *Collection) index(path string) *pathIndex {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	return c.indexes[path]
+}
+
+func (c *Collection) indexDoc(id string, doc mmvalue.Value) {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	for path, ix := range c.indexes {
+		if v, ok := mmvalue.ParsePath(path).Lookup(doc); ok {
+			ix.add(valKey(v), id)
+		}
+	}
+}
+
+// Insert stores doc under its _id field (which must be a non-empty
+// string). Inserting an existing id fails.
+func (c *Collection) Insert(tx *txn.Tx, doc mmvalue.Value) error {
+	obj, ok := doc.AsObject()
+	if !ok {
+		return fmt.Errorf("document %s: document must be an object", c.name)
+	}
+	idv, ok := obj.Get(IDField)
+	if !ok {
+		return fmt.Errorf("document %s: missing %s", c.name, IDField)
+	}
+	id, ok := idv.AsString()
+	if !ok || id == "" {
+		return fmt.Errorf("document %s: %s must be a non-empty string", c.name, IDField)
+	}
+	return c.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(c.resource(id)); err != nil {
+			return err
+		}
+		chain, _ := c.docs.GetOrInsert(id, func() *txn.Chain[mmvalue.Value] {
+			return &txn.Chain[mmvalue.Value]{}
+		})
+		if _, exists := chain.Read(c.store.mgr.Oracle().Current(), tx.ID()); exists {
+			return fmt.Errorf("document %s: duplicate %s %q", c.name, IDField, id)
+		}
+		stored := doc.Clone()
+		chain.Write(tx.ID(), stored, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			c.indexDoc(id, stored)
+		})
+		return nil
+	})
+}
+
+// Get returns the document with the given id as visible to tx. The
+// returned document is shared; Clone before mutating.
+func (c *Collection) Get(tx *txn.Tx, id string) (mmvalue.Value, bool) {
+	chain, ok := c.docs.Get(id)
+	if !ok {
+		return mmvalue.Null, false
+	}
+	if tx == nil {
+		return chain.ReadLatest()
+	}
+	return chain.Read(tx.BeginTS(), tx.ID())
+}
+
+// Update applies fn to a clone of the current document and stores the
+// result; fn must keep the _id unchanged.
+func (c *Collection) Update(tx *txn.Tx, id string, fn func(doc mmvalue.Value) (mmvalue.Value, error)) error {
+	return c.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(c.resource(id)); err != nil {
+			return err
+		}
+		chain, ok := c.docs.Get(id)
+		if !ok {
+			return fmt.Errorf("document %s: no document %q", c.name, id)
+		}
+		cur, live := chain.Read(c.store.mgr.Oracle().Current(), tx.ID())
+		if !live {
+			return fmt.Errorf("document %s: no document %q", c.name, id)
+		}
+		next, err := fn(cur.Clone())
+		if err != nil {
+			return err
+		}
+		no, ok := next.AsObject()
+		if !ok {
+			return fmt.Errorf("document %s: updated document must be an object", c.name)
+		}
+		if nid, _ := no.Get(IDField); !mmvalue.Equal(nid, mmvalue.String(id)) {
+			return fmt.Errorf("document %s: update may not change %s", c.name, IDField)
+		}
+		chain.Write(tx.ID(), next, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			c.indexDoc(id, next)
+		})
+		return nil
+	})
+}
+
+// SetPath sets a single dotted path inside the document to value
+// (a convenience wrapper over Update).
+func (c *Collection) SetPath(tx *txn.Tx, id, path string, value mmvalue.Value) error {
+	return c.Update(tx, id, func(doc mmvalue.Value) (mmvalue.Value, error) {
+		return mmvalue.ParsePath(path).Set(doc, value)
+	})
+}
+
+// UnsetPath removes a dotted path from the document.
+func (c *Collection) UnsetPath(tx *txn.Tx, id, path string) error {
+	return c.Update(tx, id, func(doc mmvalue.Value) (mmvalue.Value, error) {
+		mmvalue.ParsePath(path).Delete(doc)
+		return doc, nil
+	})
+}
+
+// Delete tombstones the document; deleting a missing id is a no-op.
+func (c *Collection) Delete(tx *txn.Tx, id string) error {
+	return c.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(c.resource(id)); err != nil {
+			return err
+		}
+		chain, ok := c.docs.Get(id)
+		if !ok {
+			return nil
+		}
+		chain.Write(tx.ID(), mmvalue.Null, true)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		return nil
+	})
+}
+
+// scan iterates live documents visible to tx in id order.
+func (c *Collection) scan(tx *txn.Tx, fn func(id string, doc mmvalue.Value) bool) {
+	c.docs.Ascend("", "", func(id string, chain *txn.Chain[mmvalue.Value]) bool {
+		var doc mmvalue.Value
+		var ok bool
+		if tx == nil {
+			doc, ok = chain.ReadLatest()
+		} else {
+			doc, ok = chain.Read(tx.BeginTS(), tx.ID())
+		}
+		if !ok {
+			return true
+		}
+		return fn(id, doc)
+	})
+}
+
+func (c *Collection) readVisible(tx *txn.Tx, id string) (mmvalue.Value, bool) {
+	chain, ok := c.docs.Get(id)
+	if !ok {
+		return mmvalue.Null, false
+	}
+	if tx == nil {
+		return chain.ReadLatest()
+	}
+	return chain.Read(tx.BeginTS(), tx.ID())
+}
+
+// Count returns the number of live documents at latest-committed state.
+func (c *Collection) Count() int {
+	n := 0
+	c.scan(nil, func(string, mmvalue.Value) bool { n++; return true })
+	return n
+}
+
+// Compact garbage-collects old versions, removes dead documents and
+// their index entries. Returns versions dropped.
+func (c *Collection) Compact(horizon txn.TS) int {
+	dropped := 0
+	var dead []string
+	c.docs.Ascend("", "", func(id string, chain *txn.Chain[mmvalue.Value]) bool {
+		dropped += chain.GC(horizon)
+		if _, live := chain.ReadLatest(); !live {
+			if ts := chain.LatestCommitTS(); ts != 0 && ts < horizon {
+				dead = append(dead, id)
+			}
+		}
+		return true
+	})
+	c.idxMu.RLock()
+	for _, ix := range c.indexes {
+		for _, id := range dead {
+			ix.drop(id)
+		}
+	}
+	c.idxMu.RUnlock()
+	for _, id := range dead {
+		c.docs.Remove(id)
+	}
+	return dropped
+}

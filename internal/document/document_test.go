@@ -1,0 +1,399 @@
+package document
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+func newTestStore() *Store {
+	return NewStore("doc", txn.NewManager())
+}
+
+func orderDoc(id string, cid int64, total float64, items ...string) mmvalue.Value {
+	arr := make([]mmvalue.Value, len(items))
+	for i, it := range items {
+		arr[i] = mmvalue.ObjectOf("sku", it, "qty", 1)
+	}
+	return mmvalue.ObjectOf(
+		"_id", id,
+		"customer_id", cid,
+		"total", total,
+		"status", "open",
+		"items", mmvalue.Array(arr...),
+		"ship", map[string]any{"city": "hki", "days": 3},
+	)
+}
+
+func TestCollectionAutoCreate(t *testing.T) {
+	s := newTestStore()
+	c1 := s.Collection("orders")
+	c2 := s.Collection("orders")
+	if c1 != c2 {
+		t.Error("Collection should return the same instance")
+	}
+	s.Collection("products")
+	names := s.CollectionNames()
+	if strings.Join(names, ",") != "orders,products" {
+		t.Errorf("CollectionNames = %v", names)
+	}
+	if s.Name() != "doc" || s.Manager() == nil {
+		t.Error("store identity accessors broken")
+	}
+}
+
+func TestInsertGetRules(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	if err := c.Insert(nil, orderDoc("o1", 1, 10.5, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(nil, orderDoc("o1", 2, 3, "b")); err == nil {
+		t.Error("duplicate _id should fail")
+	}
+	if err := c.Insert(nil, mmvalue.Int(5)); err == nil {
+		t.Error("non-object should fail")
+	}
+	if err := c.Insert(nil, mmvalue.ObjectOf("x", 1)); err == nil {
+		t.Error("missing _id should fail")
+	}
+	if err := c.Insert(nil, mmvalue.ObjectOf("_id", 5)); err == nil {
+		t.Error("non-string _id should fail")
+	}
+	if err := c.Insert(nil, mmvalue.ObjectOf("_id", "")); err == nil {
+		t.Error("empty _id should fail")
+	}
+	doc, ok := c.Get(nil, "o1")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if v, _ := mmvalue.ParsePath("ship.city").Lookup(doc); !mmvalue.Equal(v, mmvalue.String("hki")) {
+		t.Error("nested value lost")
+	}
+	if _, ok := c.Get(nil, "zz"); ok {
+		t.Error("phantom doc")
+	}
+}
+
+func TestUpdateAndPathOps(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	c.Insert(nil, orderDoc("o1", 1, 10, "a"))
+	if err := c.SetPath(nil, "o1", "status", mmvalue.String("shipped")); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := c.Get(nil, "o1")
+	if v, _ := mmvalue.ParsePath("status").Lookup(doc); !mmvalue.Equal(v, mmvalue.String("shipped")) {
+		t.Error("SetPath lost")
+	}
+	if err := c.SetPath(nil, "o1", "ship.tracking.code", mmvalue.String("X1")); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = c.Get(nil, "o1")
+	if v, _ := mmvalue.ParsePath("ship.tracking.code").Lookup(doc); !mmvalue.Equal(v, mmvalue.String("X1")) {
+		t.Error("deep SetPath lost")
+	}
+	if err := c.UnsetPath(nil, "o1", "ship.days"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = c.Get(nil, "o1")
+	if _, ok := mmvalue.ParsePath("ship.days").Lookup(doc); ok {
+		t.Error("UnsetPath failed")
+	}
+	// _id change rejected.
+	err := c.Update(nil, "o1", func(d mmvalue.Value) (mmvalue.Value, error) {
+		d.MustObject().Set("_id", mmvalue.String("o9"))
+		return d, nil
+	})
+	if err == nil {
+		t.Error("changing _id should fail")
+	}
+	if err := c.Update(nil, "nope", func(d mmvalue.Value) (mmvalue.Value, error) { return d, nil }); err == nil {
+		t.Error("update missing doc should fail")
+	}
+}
+
+func TestDeleteAndCount(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	for i := 0; i < 5; i++ {
+		c.Insert(nil, orderDoc(fmt.Sprintf("o%d", i), int64(i), float64(i)))
+	}
+	if c.Count() != 5 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	c.Delete(nil, "o2")
+	if c.Count() != 4 {
+		t.Errorf("Count after delete = %d", c.Count())
+	}
+	if err := c.Delete(nil, "missing"); err != nil {
+		t.Errorf("delete missing: %v", err)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	c.Insert(nil, orderDoc("o1", 1, 10, "apple", "pear"))
+	c.Insert(nil, orderDoc("o2", 2, 50, "apple"))
+	c.Insert(nil, orderDoc("o3", 1, 99, "fig"))
+	cases := []struct {
+		f    Filter
+		want int
+	}{
+		{Eq("customer_id", 1), 2},
+		{Ne("customer_id", 1), 1},
+		{Lt("total", 50), 1},
+		{Le("total", 50), 2},
+		{Gt("total", 10), 2},
+		{Ge("total", 10), 3},
+		{Exists("ship.city", true), 3},
+		{Exists("bogus", true), 0},
+		{Exists("bogus", false), 3},
+		{Contains("items.0.sku", "x"), 0}, // not an array
+		{All(Eq("customer_id", 1), Gt("total", 50)), 1},
+		{Any(Eq("_id", "o1"), Eq("_id", "o3")), 2},
+		{Everything(), 3},
+		{Eq("missing", nil), 3}, // missing path matches eq-null
+		{Ne("missing", "x"), 3}, // missing path matches ne-non-null
+		{Ne("missing", nil), 0}, // but not ne-null
+		{Lt("missing", 100), 0}, // range on missing never matches
+		{Eq("ship.city", "hki"), 3},
+	}
+	for _, tc := range cases {
+		if got := c.CountWhere(nil, tc.f); got != tc.want {
+			t.Errorf("%s matched %d, want %d", tc.f, got, tc.want)
+		}
+	}
+	// Array contains on a real array path.
+	c.Insert(nil, mmvalue.ObjectOf("_id", "o4", "tags", []any{"red", "blue"}))
+	if got := c.CountWhere(nil, Contains("tags", "red")); got != 1 {
+		t.Errorf("Contains matched %d", got)
+	}
+	if got := c.CountWhere(nil, Contains("tags", "green")); got != 0 {
+		t.Errorf("Contains(green) matched %d", got)
+	}
+	// Nil filter counts all.
+	if got := c.CountWhere(nil, nil); got != 4 {
+		t.Errorf("nil filter = %d", got)
+	}
+	// Filter strings render.
+	s := All(Eq("a", 1), Any(Lt("b", 2), Contains("c", "x")), Exists("d", true)).String()
+	for _, frag := range []string{"$and", "$or", "$lt", "$contains", "$exists"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("filter string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestFindSortLimitProjection(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	for i := 1; i <= 6; i++ {
+		c.Insert(nil, orderDoc(fmt.Sprintf("o%d", i), int64(i%2), float64(i*10)))
+	}
+	docs := c.Find(nil, Everything(), &FindOptions{SortPath: "total", Descending: true, Limit: 2})
+	if len(docs) != 2 {
+		t.Fatalf("limit got %d", len(docs))
+	}
+	if v, _ := mmvalue.ParsePath("total").Lookup(docs[0]); !mmvalue.Equal(v, mmvalue.Float(60)) {
+		t.Errorf("sort desc first = %s", v)
+	}
+	docs = c.Find(nil, Eq("customer_id", 1), &FindOptions{Projection: []string{"total", "ship.city"}})
+	if len(docs) != 3 {
+		t.Fatalf("projection find got %d", len(docs))
+	}
+	o := docs[0].MustObject()
+	if _, ok := o.Get("_id"); !ok {
+		t.Error("projection must keep _id")
+	}
+	if _, ok := o.Get("status"); ok {
+		t.Error("projection leaked field")
+	}
+	if v, found := mmvalue.ParsePath("ship.city").Lookup(docs[0]); !found || !mmvalue.Equal(v, mmvalue.String("hki")) {
+		t.Error("nested projection missing")
+	}
+	// FindOne.
+	if _, ok := c.FindOne(nil, Eq("_id", "o3")); !ok {
+		t.Error("FindOne missed")
+	}
+	if _, ok := c.FindOne(nil, Eq("_id", "zz")); ok {
+		t.Error("FindOne phantom")
+	}
+	// Find results are clones.
+	docs = c.Find(nil, Eq("_id", "o1"), nil)
+	docs[0].MustObject().Set("total", mmvalue.Float(-1))
+	re, _ := c.Get(nil, "o1")
+	if v, _ := mmvalue.ParsePath("total").Lookup(re); mmvalue.Equal(v, mmvalue.Float(-1)) {
+		t.Error("Find result mutation leaked")
+	}
+}
+
+func TestPathIndexUseAndCorrectness(t *testing.T) {
+	c := newTestStore().Collection("orders")
+	for i := 0; i < 50; i++ {
+		c.Insert(nil, orderDoc(fmt.Sprintf("o%02d", i), int64(i%5), float64(i)))
+	}
+	if err := c.CreateIndex("customer_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("customer_id"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if !c.HasIndex("customer_id") || c.HasIndex("zz") {
+		t.Error("HasIndex wrong")
+	}
+	docs := c.Find(nil, Eq("customer_id", 3), nil)
+	if len(docs) != 10 {
+		t.Fatalf("index find got %d, want 10", len(docs))
+	}
+	// Update moves doc between buckets; stale entries must be filtered.
+	c.SetPath(nil, "o03", "customer_id", mmvalue.Int(4))
+	if got := len(c.Find(nil, Eq("customer_id", 3), nil)); got != 9 {
+		t.Errorf("after move, bucket 3 = %d, want 9", got)
+	}
+	if got := len(c.Find(nil, Eq("customer_id", 4), nil)); got != 11 {
+		t.Errorf("after move, bucket 4 = %d, want 11", got)
+	}
+	if got := c.CountWhere(nil, Eq("customer_id", 4)); got != 11 {
+		t.Errorf("CountWhere via index = %d, want 11", got)
+	}
+}
+
+func TestSnapshotReadsDuringConcurrentWrites(t *testing.T) {
+	s := newTestStore()
+	c := s.Collection("orders")
+	c.Insert(nil, orderDoc("o1", 1, 10))
+	reader := s.Manager().Begin()
+	c.SetPath(nil, "o1", "total", mmvalue.Float(999))
+	c.Insert(nil, orderDoc("o2", 2, 20))
+	// Snapshot still sees old world.
+	doc, _ := c.Get(reader, "o1")
+	if v, _ := mmvalue.ParsePath("total").Lookup(doc); !mmvalue.Equal(v, mmvalue.Float(10)) {
+		t.Errorf("snapshot total = %s", v)
+	}
+	if _, ok := c.Get(reader, "o2"); ok {
+		t.Error("snapshot sees future insert")
+	}
+	if n := c.CountWhere(reader, nil); n != 1 {
+		t.Errorf("snapshot count = %d", n)
+	}
+	reader.Abort()
+}
+
+func TestCrossCollectionTransaction(t *testing.T) {
+	s := newTestStore()
+	orders := s.Collection("orders")
+	products := s.Collection("products")
+	products.Insert(nil, mmvalue.ObjectOf("_id", "p1", "stock", 5))
+	err := s.Manager().RunWith(3, func(tx *txn.Tx) error {
+		if err := orders.Insert(tx, orderDoc("o1", 1, 10, "p1")); err != nil {
+			return err
+		}
+		return products.Update(tx, "p1", func(d mmvalue.Value) (mmvalue.Value, error) {
+			o := d.MustObject()
+			st, _ := o.Get("stock")
+			o.Set("stock", mmvalue.Int(st.MustInt()-1))
+			return d, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := products.Get(nil, "p1")
+	if v, _ := p.MustObject().Get("stock"); !mmvalue.Equal(v, mmvalue.Int(4)) {
+		t.Error("cross-collection txn lost update")
+	}
+	// Failing txn rolls both back.
+	err = s.Manager().RunWith(0, func(tx *txn.Tx) error {
+		orders.Insert(tx, orderDoc("o2", 1, 10, "p1"))
+		products.Update(tx, "p1", func(d mmvalue.Value) (mmvalue.Value, error) {
+			d.MustObject().Set("stock", mmvalue.Int(0))
+			return d, nil
+		})
+		return fmt.Errorf("business rule failed")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := orders.Get(nil, "o2"); ok {
+		t.Error("aborted insert leaked")
+	}
+	p, _ = products.Get(nil, "p1")
+	if v, _ := p.MustObject().Get("stock"); !mmvalue.Equal(v, mmvalue.Int(4)) {
+		t.Error("aborted update leaked")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s := newTestStore()
+	c := s.Collection("orders")
+	c.CreateIndex("customer_id")
+	c.Insert(nil, orderDoc("o1", 1, 10))
+	for i := 0; i < 5; i++ {
+		c.SetPath(nil, "o1", "total", mmvalue.Float(float64(i)))
+	}
+	c.Insert(nil, orderDoc("o2", 2, 20))
+	c.Delete(nil, "o2")
+	horizon := s.Manager().Oracle().Current() + 1
+	if dropped := c.Compact(horizon); dropped < 5 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if _, ok := c.Get(nil, "o1"); !ok {
+		t.Error("live doc lost in compact")
+	}
+	if docs := c.Find(nil, Eq("customer_id", 2), nil); len(docs) != 0 {
+		t.Error("dead doc reachable after compact")
+	}
+}
+
+func TestConcurrentInsertFind(t *testing.T) {
+	s := newTestStore()
+	c := s.Collection("orders")
+	c.CreateIndex("customer_id")
+	var wg sync.WaitGroup
+	const writers, per = 4, 60
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("w%d-o%02d", w, i)
+				if err := c.Insert(nil, orderDoc(id, int64(i%7), float64(i))); err != nil {
+					t.Errorf("insert: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.Find(nil, Eq("customer_id", 3), nil)
+		}
+	}()
+	wg.Wait()
+	if c.Count() != writers*per {
+		t.Fatalf("Count = %d", c.Count())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := NewStore("b", txn.NewManager()).Collection("orders")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Insert(nil, orderDoc(fmt.Sprintf("o%09d", i), int64(i%100), float64(i)))
+	}
+}
+
+func BenchmarkFindIndexed(b *testing.B) {
+	c := NewStore("b", txn.NewManager()).Collection("orders")
+	for i := 0; i < 5000; i++ {
+		c.Insert(nil, orderDoc(fmt.Sprintf("o%06d", i), int64(i%50), float64(i)))
+	}
+	c.CreateIndex("customer_id")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Find(nil, Eq("customer_id", int64(i%50)), nil)
+	}
+}

@@ -1,0 +1,348 @@
+package document
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+// Filter is a predicate over a document, addressed by dotted paths.
+type Filter interface {
+	// Match reports whether the document satisfies the filter.
+	Match(doc mmvalue.Value) bool
+	// String renders a Mongo-ish form for diagnostics.
+	String() string
+	// equalityOn returns (path, literal, true) when the filter pins
+	// path == literal, enabling index lookups.
+	equalityOn() (string, mmvalue.Value, bool)
+}
+
+type cmpFilter struct {
+	path string
+	op   string // "eq","ne","lt","le","gt","ge"
+	lit  mmvalue.Value
+}
+
+func (f cmpFilter) Match(doc mmvalue.Value) bool {
+	v, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	if !ok {
+		// Missing path: only $ne and eq-null match.
+		switch f.op {
+		case "ne":
+			return !f.lit.IsNull()
+		case "eq":
+			return f.lit.IsNull()
+		default:
+			return false
+		}
+	}
+	c := mmvalue.Compare(v, f.lit)
+	switch f.op {
+	case "eq":
+		return c == 0
+	case "ne":
+		return c != 0
+	case "lt":
+		return c < 0
+	case "le":
+		return c <= 0
+	case "gt":
+		return c > 0
+	case "ge":
+		return c >= 0
+	}
+	return false
+}
+
+func (f cmpFilter) String() string {
+	return fmt.Sprintf("{%s: {$%s: %s}}", f.path, f.op, f.lit)
+}
+
+func (f cmpFilter) equalityOn() (string, mmvalue.Value, bool) {
+	if f.op == "eq" && !f.lit.IsNull() {
+		return f.path, f.lit, true
+	}
+	return "", mmvalue.Null, false
+}
+
+// Eq matches path == value.
+func Eq(path string, value any) Filter { return cmpFilter{path, "eq", mmvalue.From(value)} }
+
+// Ne matches path != value (missing paths match unless value is null).
+func Ne(path string, value any) Filter { return cmpFilter{path, "ne", mmvalue.From(value)} }
+
+// Lt matches path < value.
+func Lt(path string, value any) Filter { return cmpFilter{path, "lt", mmvalue.From(value)} }
+
+// Le matches path <= value.
+func Le(path string, value any) Filter { return cmpFilter{path, "le", mmvalue.From(value)} }
+
+// Gt matches path > value.
+func Gt(path string, value any) Filter { return cmpFilter{path, "gt", mmvalue.From(value)} }
+
+// Ge matches path >= value.
+func Ge(path string, value any) Filter { return cmpFilter{path, "ge", mmvalue.From(value)} }
+
+type existsFilter struct {
+	path string
+	want bool
+}
+
+// Exists matches documents where the path is (or is not) present.
+func Exists(path string, want bool) Filter { return existsFilter{path, want} }
+
+func (f existsFilter) Match(doc mmvalue.Value) bool {
+	_, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	return ok == f.want
+}
+
+func (f existsFilter) String() string {
+	return fmt.Sprintf("{%s: {$exists: %v}}", f.path, f.want)
+}
+
+func (f existsFilter) equalityOn() (string, mmvalue.Value, bool) { return "", mmvalue.Null, false }
+
+type containsFilter struct {
+	path string
+	elem mmvalue.Value
+}
+
+// Contains matches documents whose array at path contains an element
+// equal to value.
+func Contains(path string, value any) Filter {
+	return containsFilter{path, mmvalue.From(value)}
+}
+
+func (f containsFilter) Match(doc mmvalue.Value) bool {
+	v, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	if !ok {
+		return false
+	}
+	elems, ok := v.AsArray()
+	if !ok {
+		return false
+	}
+	for _, e := range elems {
+		if mmvalue.Equal(e, f.elem) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f containsFilter) String() string {
+	return fmt.Sprintf("{%s: {$contains: %s}}", f.path, f.elem)
+}
+
+func (f containsFilter) equalityOn() (string, mmvalue.Value, bool) { return "", mmvalue.Null, false }
+
+type andFilter struct{ fs []Filter }
+
+// All matches documents satisfying every sub-filter.
+func All(fs ...Filter) Filter { return andFilter{fs} }
+
+func (f andFilter) Match(doc mmvalue.Value) bool {
+	for _, sub := range f.fs {
+		if !sub.Match(doc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f andFilter) String() string {
+	parts := make([]string, len(f.fs))
+	for i, s := range f.fs {
+		parts[i] = s.String()
+	}
+	return "{$and: [" + strings.Join(parts, ", ") + "]}"
+}
+
+func (f andFilter) equalityOn() (string, mmvalue.Value, bool) {
+	for _, sub := range f.fs {
+		if p, v, ok := sub.equalityOn(); ok {
+			return p, v, true
+		}
+	}
+	return "", mmvalue.Null, false
+}
+
+type orFilter struct{ fs []Filter }
+
+// Any matches documents satisfying at least one sub-filter.
+func Any(fs ...Filter) Filter { return orFilter{fs} }
+
+func (f orFilter) Match(doc mmvalue.Value) bool {
+	for _, sub := range f.fs {
+		if sub.Match(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f orFilter) String() string {
+	parts := make([]string, len(f.fs))
+	for i, s := range f.fs {
+		parts[i] = s.String()
+	}
+	return "{$or: [" + strings.Join(parts, ", ") + "]}"
+}
+
+func (f orFilter) equalityOn() (string, mmvalue.Value, bool) { return "", mmvalue.Null, false }
+
+// funcFilter adapts an arbitrary predicate function.
+type funcFilter struct {
+	fn   func(doc mmvalue.Value) bool
+	desc string
+}
+
+// Func builds a filter from an arbitrary predicate; desc is used for
+// diagnostics. Func filters always scan (no index support).
+func Func(desc string, fn func(doc mmvalue.Value) bool) Filter {
+	return funcFilter{fn: fn, desc: desc}
+}
+
+func (f funcFilter) Match(doc mmvalue.Value) bool { return f.fn(doc) }
+func (f funcFilter) String() string               { return "{$func: " + f.desc + "}" }
+func (f funcFilter) equalityOn() (string, mmvalue.Value, bool) {
+	return "", mmvalue.Null, false
+}
+
+type trueFilter struct{}
+
+// Everything matches every document.
+func Everything() Filter { return trueFilter{} }
+
+func (trueFilter) Match(mmvalue.Value) bool                  { return true }
+func (trueFilter) String() string                            { return "{}" }
+func (trueFilter) equalityOn() (string, mmvalue.Value, bool) { return "", mmvalue.Null, false }
+
+// FindOptions tunes a Find call.
+type FindOptions struct {
+	// SortPath orders results by the value at this dotted path.
+	SortPath string
+	// Descending flips the sort order.
+	Descending bool
+	// Limit caps the number of results; <0 means unlimited.
+	Limit int
+	// Projection restricts result documents to these dotted paths
+	// (plus _id).
+	Projection []string
+}
+
+// Find returns clones of all documents visible to tx matching filter,
+// honouring opts. A nil opts means no sort, no limit, full documents.
+func (c *Collection) Find(tx *txn.Tx, filter Filter, opts *FindOptions) []mmvalue.Value {
+	if filter == nil {
+		filter = Everything()
+	}
+	limit := -1
+	if opts != nil {
+		limit = opts.Limit
+		if opts.Limit == 0 {
+			limit = -1
+		}
+	}
+	var out []mmvalue.Value
+	noSort := opts == nil || opts.SortPath == ""
+	collect := func(doc mmvalue.Value) bool {
+		if !filter.Match(doc) {
+			return true
+		}
+		out = append(out, doc)
+		// Early stop only when no post-sort is requested.
+		return !(noSort && limit >= 0 && len(out) >= limit)
+	}
+	// Index route when the filter pins an indexed path.
+	if path, lit, ok := filter.equalityOn(); ok && c.HasIndex(path) {
+		ix := c.index(path)
+		ids := ix.candidates(valKey(lit))
+		sort.Strings(ids)
+		for _, id := range ids {
+			doc, live := c.readVisible(tx, id)
+			if !live {
+				continue
+			}
+			if !collect(doc) {
+				break
+			}
+		}
+	} else {
+		c.scan(tx, func(_ string, doc mmvalue.Value) bool { return collect(doc) })
+	}
+	if opts != nil && opts.SortPath != "" {
+		p := mmvalue.ParsePath(opts.SortPath)
+		sort.SliceStable(out, func(i, j int) bool {
+			a := p.LookupOr(out[i], mmvalue.Null)
+			b := p.LookupOr(out[j], mmvalue.Null)
+			if opts.Descending {
+				return mmvalue.Compare(a, b) > 0
+			}
+			return mmvalue.Compare(a, b) < 0
+		})
+	}
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	res := make([]mmvalue.Value, len(out))
+	for i, doc := range out {
+		if opts != nil && len(opts.Projection) > 0 {
+			res[i] = project(doc, opts.Projection)
+		} else {
+			res[i] = doc.Clone()
+		}
+	}
+	return res
+}
+
+// FindOne returns the first matching document in id order.
+func (c *Collection) FindOne(tx *txn.Tx, filter Filter) (mmvalue.Value, bool) {
+	docs := c.Find(tx, filter, &FindOptions{Limit: 1})
+	if len(docs) == 0 {
+		return mmvalue.Null, false
+	}
+	return docs[0], true
+}
+
+// CountWhere returns the number of documents matching filter.
+func (c *Collection) CountWhere(tx *txn.Tx, filter Filter) int {
+	if filter == nil {
+		filter = Everything()
+	}
+	n := 0
+	if path, lit, ok := filter.equalityOn(); ok && c.HasIndex(path) {
+		ix := c.index(path)
+		for _, id := range ix.candidates(valKey(lit)) {
+			if doc, live := c.readVisible(tx, id); live && filter.Match(doc) {
+				n++
+			}
+		}
+		return n
+	}
+	c.scan(tx, func(_ string, doc mmvalue.Value) bool {
+		if filter.Match(doc) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func project(doc mmvalue.Value, paths []string) mmvalue.Value {
+	o := mmvalue.NewObject()
+	if id, ok := mmvalue.ParsePath(IDField).Lookup(doc); ok {
+		o.Set(IDField, id)
+	}
+	root := mmvalue.FromObject(o)
+	for _, p := range paths {
+		pp := mmvalue.ParsePath(p)
+		if v, ok := pp.Lookup(doc); ok {
+			root, _ = pp.Set(root, v.Clone())
+		}
+	}
+	return root
+}

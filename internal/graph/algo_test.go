@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+// buildTwoComponents: triangle a-b-c plus chain x-y, and one isolated
+// vertex z. A second edge label "other" connects a-x (must be ignored
+// by label-filtered algorithms).
+func buildTwoComponents(t testing.TB) *Store {
+	t.Helper()
+	g := NewStore("g", txn.NewManager())
+	for _, v := range []VID{"a", "b", "c", "x", "y", "z"} {
+		if err := g.AddVertex(nil, v, "n", mmvalue.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := [][2]VID{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"x", "y"}}
+	for i, e := range edges {
+		if err := g.AddEdge(nil, EID(fmt.Sprintf("e%d", i)), "knows", e[0], e[1], mmvalue.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(nil, "cross", "other", "a", "x", mmvalue.Null); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := buildTwoComponents(t)
+	comps := g.ConnectedComponents(nil, "knows")
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	// Largest first: {a,b,c}, then {x,y}, then {z}.
+	if fmt.Sprint(comps[0]) != "[a b c]" {
+		t.Errorf("comp0 = %v", comps[0])
+	}
+	if fmt.Sprint(comps[1]) != "[x y]" {
+		t.Errorf("comp1 = %v", comps[1])
+	}
+	if fmt.Sprint(comps[2]) != "[z]" {
+		t.Errorf("comp2 = %v", comps[2])
+	}
+	// All labels: the "other" edge merges the two big components.
+	all := g.ConnectedComponents(nil, "")
+	if len(all) != 2 {
+		t.Errorf("all-label components = %d, want 2", len(all))
+	}
+	if len(all[0]) != 5 {
+		t.Errorf("merged component size = %d", len(all[0]))
+	}
+	// Empty graph.
+	if comps := NewStore("e", txn.NewManager()).ConnectedComponents(nil, ""); comps != nil {
+		t.Error("empty graph should have no components")
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	g := buildTwoComponents(t)
+	if n := g.TriangleCount(nil, "knows"); n != 1 {
+		t.Errorf("triangles = %d, want 1", n)
+	}
+	// Adding one chord creates a second triangle: a-b-d.
+	g.AddVertex(nil, "d", "n", mmvalue.Null)
+	g.AddEdge(nil, "ad", "knows", "a", "d", mmvalue.Null)
+	g.AddEdge(nil, "bd", "knows", "d", "b", mmvalue.Null) // reversed direction still undirected
+	if n := g.TriangleCount(nil, "knows"); n != 2 {
+		t.Errorf("triangles after chord = %d, want 2", n)
+	}
+	// Self loops and duplicate edges don't inflate the count.
+	g.AddEdge(nil, "self", "knows", "a", "a", mmvalue.Null)
+	g.AddEdge(nil, "dup", "knows", "b", "a", mmvalue.Null)
+	if n := g.TriangleCount(nil, "knows"); n != 2 {
+		t.Errorf("triangles with loop+dup = %d, want 2", n)
+	}
+	if n := g.TriangleCount(nil, "other"); n != 0 {
+		t.Errorf("other-label triangles = %d", n)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := buildTwoComponents(t)
+	// a and b share c.
+	if got := g.CommonNeighbors(nil, "a", "b", "knows"); fmt.Sprint(got) != "[c]" {
+		t.Errorf("common(a,b) = %v", got)
+	}
+	// a and x share nothing over knows.
+	if got := g.CommonNeighbors(nil, "a", "x", "knows"); len(got) != 0 {
+		t.Errorf("common(a,x) = %v", got)
+	}
+	// The endpoints themselves are excluded.
+	g.AddEdge(nil, "ab2", "knows", "b", "a", mmvalue.Null)
+	got := g.CommonNeighbors(nil, "a", "c", "knows")
+	if fmt.Sprint(got) != "[b]" {
+		t.Errorf("common(a,c) = %v", got)
+	}
+}
+
+func TestAlgorithmsHonorSnapshots(t *testing.T) {
+	g := buildTwoComponents(t)
+	reader := g.Manager().Begin()
+	// Later edge merges components — invisible to the snapshot.
+	g.AddEdge(nil, "merge", "knows", "c", "x", mmvalue.Null)
+	if comps := g.ConnectedComponents(reader, "knows"); len(comps) != 3 {
+		t.Errorf("snapshot components = %d, want 3", len(comps))
+	}
+	if comps := g.ConnectedComponents(nil, "knows"); len(comps) != 2 {
+		t.Errorf("latest components = %d, want 2", len(comps))
+	}
+	reader.Abort()
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	g := NewStore("b", txn.NewManager())
+	const n = 300
+	for i := 0; i < n; i++ {
+		g.AddVertex(nil, VID(fmt.Sprintf("v%03d", i)), "n", mmvalue.Null)
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 5; d++ {
+			from := VID(fmt.Sprintf("v%03d", i))
+			to := VID(fmt.Sprintf("v%03d", (i+d)%n))
+			g.AddEdge(nil, EID(fmt.Sprintf("e%d-%d", i, d)), "l", from, to, mmvalue.Null)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.TriangleCount(nil, "l")
+	}
+}

@@ -1,0 +1,417 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+func newTestGraph() *Store {
+	return NewStore("g", txn.NewManager())
+}
+
+// buildSocial builds:  a -knows-> b -knows-> c -knows-> d,  a -knows-> c
+// plus product purchases a -bought-> p1, c -bought-> p1.
+func buildSocial(t testing.TB) *Store {
+	t.Helper()
+	g := newTestGraph()
+	for _, v := range []VID{"a", "b", "c", "d"} {
+		if err := g.AddVertex(nil, v, "customer", mmvalue.ObjectOf("name", string(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddVertex(nil, "p1", "product", mmvalue.ObjectOf("sku", "p1")); err != nil {
+		t.Fatal(err)
+	}
+	edges := []struct {
+		id       EID
+		label    string
+		from, to VID
+	}{
+		{"e1", "knows", "a", "b"},
+		{"e2", "knows", "b", "c"},
+		{"e3", "knows", "c", "d"},
+		{"e4", "knows", "a", "c"},
+		{"e5", "bought", "a", "p1"},
+		{"e6", "bought", "c", "p1"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(nil, e.id, e.label, e.from, e.to, mmvalue.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddAndGetVertexEdge(t *testing.T) {
+	g := buildSocial(t)
+	v, ok := g.GetVertex(nil, "a")
+	if !ok || v.Label != "customer" {
+		t.Fatalf("GetVertex = %+v, %v", v, ok)
+	}
+	if name, _ := v.Props.MustObject().Get("name"); !mmvalue.Equal(name, mmvalue.String("a")) {
+		t.Error("vertex props wrong")
+	}
+	e, ok := g.GetEdge(nil, "e1")
+	if !ok || e.From != "a" || e.To != "b" || e.Label != "knows" {
+		t.Fatalf("GetEdge = %+v", e)
+	}
+	if _, ok := g.GetVertex(nil, "zz"); ok {
+		t.Error("phantom vertex")
+	}
+	if _, ok := g.GetEdge(nil, "zz"); ok {
+		t.Error("phantom edge")
+	}
+	if g.VertexCount(nil) != 5 || g.EdgeCount(nil) != 6 {
+		t.Errorf("counts = %d/%d", g.VertexCount(nil), g.EdgeCount(nil))
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	g := newTestGraph()
+	if err := g.AddVertex(nil, "", "l", mmvalue.Null); err == nil {
+		t.Error("empty vertex id should fail")
+	}
+	if err := g.AddVertex(nil, "a", "l", mmvalue.Int(3)); err == nil {
+		t.Error("non-object props should fail")
+	}
+	g.AddVertex(nil, "a", "l", mmvalue.Null)
+	if err := g.AddVertex(nil, "a", "l", mmvalue.Null); err == nil {
+		t.Error("duplicate vertex should fail")
+	}
+	if err := g.AddEdge(nil, "", "l", "a", "a", mmvalue.Null); err == nil {
+		t.Error("empty edge id should fail")
+	}
+	if err := g.AddEdge(nil, "e", "l", "a", "missing", mmvalue.Null); err == nil {
+		t.Error("edge to missing vertex should fail")
+	}
+	if err := g.AddEdge(nil, "e", "l", "missing", "a", mmvalue.Null); err == nil {
+		t.Error("edge from missing vertex should fail")
+	}
+	g.AddEdge(nil, "e", "l", "a", "a", mmvalue.Null)
+	if err := g.AddEdge(nil, "e", "l", "a", "a", mmvalue.Null); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := buildSocial(t)
+	out := g.Neighbors(nil, "a", Out, "knows")
+	if len(out) != 2 {
+		t.Fatalf("a out-knows = %d", len(out))
+	}
+	if out[0].ID != "e1" || out[1].ID != "e4" {
+		t.Errorf("neighbors not sorted: %v %v", out[0].ID, out[1].ID)
+	}
+	if d := g.Degree(nil, "c", In, "knows"); d != 2 {
+		t.Errorf("c in-degree = %d", d)
+	}
+	if d := g.Degree(nil, "a", Both, ""); d != 3 {
+		t.Errorf("a both any-label = %d", d)
+	}
+	if d := g.Degree(nil, "p1", In, "bought"); d != 2 {
+		t.Errorf("p1 purchases = %d", d)
+	}
+	if d := g.Degree(nil, "zz", Out, ""); d != 0 {
+		t.Errorf("missing vertex degree = %d", d)
+	}
+}
+
+func TestKHop(t *testing.T) {
+	g := buildSocial(t)
+	hop1 := g.KHop(nil, "a", 1, Out, "knows")
+	if fmt.Sprint(hop1) != "[b c]" {
+		t.Errorf("1-hop = %v", hop1)
+	}
+	hop2 := g.KHop(nil, "a", 2, Out, "knows")
+	if fmt.Sprint(hop2) != "[b c d]" {
+		t.Errorf("2-hop = %v", hop2)
+	}
+	hop0 := g.KHop(nil, "a", 0, Out, "knows")
+	if len(hop0) != 0 {
+		t.Errorf("0-hop = %v", hop0)
+	}
+	// In direction: who knows c within 1 hop.
+	in1 := g.KHop(nil, "c", 1, In, "knows")
+	if fmt.Sprint(in1) != "[a b]" {
+		t.Errorf("in 1-hop = %v", in1)
+	}
+	// Both: d reaches everyone in 2 hops.
+	both2 := g.KHop(nil, "d", 2, Both, "knows")
+	if fmt.Sprint(both2) != "[a b c]" {
+		t.Errorf("both 2-hop = %v", both2)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildSocial(t)
+	path, ok := g.ShortestPath(nil, "a", "d", Out, "knows")
+	if !ok || fmt.Sprint(path) != "[a c d]" {
+		t.Errorf("path = %v, %v", path, ok)
+	}
+	if p, ok := g.ShortestPath(nil, "a", "a", Out, ""); !ok || len(p) != 1 {
+		t.Error("self path should be [a]")
+	}
+	if _, ok := g.ShortestPath(nil, "d", "a", Out, "knows"); ok {
+		t.Error("d cannot reach a along out edges")
+	}
+	if path, ok := g.ShortestPath(nil, "d", "a", Both, "knows"); !ok || len(path) != 3 {
+		t.Errorf("both-direction path = %v, %v", path, ok)
+	}
+}
+
+func TestWeightedShortestPath(t *testing.T) {
+	g := newTestGraph()
+	for _, v := range []VID{"a", "b", "c"} {
+		g.AddVertex(nil, v, "n", mmvalue.Null)
+	}
+	g.AddEdge(nil, "ab", "road", "a", "b", mmvalue.ObjectOf("w", 1.0))
+	g.AddEdge(nil, "bc", "road", "b", "c", mmvalue.ObjectOf("w", 1.0))
+	g.AddEdge(nil, "ac", "road", "a", "c", mmvalue.ObjectOf("w", 5.0))
+	path, cost, ok := g.WeightedShortestPath(nil, "a", "c", Out, "road", "w")
+	if !ok || cost != 2 || fmt.Sprint(path) != "[a b c]" {
+		t.Errorf("dijkstra = %v cost %g ok %v", path, cost, ok)
+	}
+	// Missing weight property defaults to 1.
+	g.AddVertex(nil, "d", "n", mmvalue.Null)
+	g.AddEdge(nil, "cd", "road", "c", "d", mmvalue.Null)
+	_, cost, ok = g.WeightedShortestPath(nil, "a", "d", Out, "road", "w")
+	if !ok || cost != 3 {
+		t.Errorf("default weight cost = %g", cost)
+	}
+	if _, _, ok := g.WeightedShortestPath(nil, "d", "a", Out, "road", "w"); ok {
+		t.Error("unreachable should report false")
+	}
+}
+
+func TestRemoveEdgeAndVertex(t *testing.T) {
+	g := buildSocial(t)
+	if err := g.RemoveEdge(nil, "e4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.GetEdge(nil, "e4"); ok {
+		t.Error("removed edge visible")
+	}
+	path, _ := g.ShortestPath(nil, "a", "d", Out, "knows")
+	if fmt.Sprint(path) != "[a b c d]" {
+		t.Errorf("path after edge removal = %v", path)
+	}
+	// Removing vertex c removes incident edges.
+	if err := g.RemoveVertex(nil, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.GetVertex(nil, "c"); ok {
+		t.Error("removed vertex visible")
+	}
+	if _, ok := g.GetEdge(nil, "e2"); ok {
+		t.Error("incident edge e2 survived vertex removal")
+	}
+	if _, ok := g.GetEdge(nil, "e6"); ok {
+		t.Error("incident edge e6 survived vertex removal")
+	}
+	if _, ok := g.ShortestPath(nil, "a", "d", Out, "knows"); ok {
+		t.Error("d should be unreachable after c removed")
+	}
+	// Removing a missing vertex is a no-op.
+	if err := g.RemoveVertex(nil, "zz"); err != nil {
+		t.Errorf("remove missing vertex: %v", err)
+	}
+}
+
+func TestTransactionalGraphOps(t *testing.T) {
+	g := buildSocial(t)
+	mgr := g.Manager()
+	tx := mgr.Begin()
+	g.AddVertex(tx, "x", "customer", mmvalue.Null)
+	g.AddEdge(tx, "ex", "knows", "a", "x", mmvalue.Null)
+	// Invisible outside.
+	if _, ok := g.GetVertex(nil, "x"); ok {
+		t.Error("uncommitted vertex visible")
+	}
+	if g.Degree(nil, "a", Out, "knows") != 2 {
+		t.Error("uncommitted edge counted")
+	}
+	// Visible inside.
+	if _, ok := g.GetVertex(tx, "x"); !ok {
+		t.Error("own vertex invisible")
+	}
+	if g.Degree(tx, "a", Out, "knows") != 3 {
+		t.Error("own edge not counted")
+	}
+	tx.Abort()
+	if _, ok := g.GetVertex(nil, "x"); ok {
+		t.Error("aborted vertex leaked")
+	}
+	if g.Degree(nil, "a", Out, "knows") != 2 {
+		t.Error("aborted edge leaked into adjacency")
+	}
+	// Commit path.
+	tx2 := mgr.Begin()
+	g.AddVertex(tx2, "x", "customer", mmvalue.Null)
+	g.AddEdge(tx2, "ex", "knows", "a", "x", mmvalue.Null)
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(nil, "a", Out, "knows") != 3 {
+		t.Error("committed edge lost")
+	}
+}
+
+func TestSetVertexProps(t *testing.T) {
+	g := buildSocial(t)
+	err := g.SetVertexProps(nil, "a", func(p mmvalue.Value) (mmvalue.Value, error) {
+		p.MustObject().Set("vip", mmvalue.Bool(true))
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.GetVertex(nil, "a")
+	if vip, _ := v.Props.MustObject().Get("vip"); !mmvalue.Equal(vip, mmvalue.Bool(true)) {
+		t.Error("props update lost")
+	}
+	if err := g.SetVertexProps(nil, "zz", func(p mmvalue.Value) (mmvalue.Value, error) { return p, nil }); err == nil {
+		t.Error("update missing vertex should fail")
+	}
+	err = g.SetVertexProps(nil, "a", func(p mmvalue.Value) (mmvalue.Value, error) {
+		return mmvalue.Int(3), nil
+	})
+	if err == nil {
+		t.Error("non-object props should fail")
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	g := newTestGraph()
+	// Star: everyone points at "hub".
+	g.AddVertex(nil, "hub", "n", mmvalue.Null)
+	for i := 0; i < 5; i++ {
+		v := VID(fmt.Sprintf("s%d", i))
+		g.AddVertex(nil, v, "n", mmvalue.Null)
+		g.AddEdge(nil, EID("e"+string(v)), "link", v, "hub", mmvalue.Null)
+	}
+	rank := g.PageRank(nil, 0.85, 30)
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+	for i := 0; i < 5; i++ {
+		if rank[VID(fmt.Sprintf("s%d", i))] >= rank["hub"] {
+			t.Errorf("hub should dominate spokes")
+		}
+	}
+	if g.PageRank(nil, 0.85, 5) == nil {
+		t.Error("non-empty graph returned nil ranks")
+	}
+	if NewStore("e", txn.NewManager()).PageRank(nil, 0.85, 5) != nil {
+		t.Error("empty graph should return nil")
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	g := buildSocial(t)
+	// customers who bought p1
+	pairs := g.MatchPattern(nil, "bought",
+		func(v Vertex) bool { return v.Label == "customer" },
+		func(v Vertex) bool { return v.Label == "product" },
+	)
+	if len(pairs) != 2 {
+		t.Fatalf("pattern matched %d pairs", len(pairs))
+	}
+	// nil predicates match everything with the label
+	all := g.MatchPattern(nil, "knows", nil, nil)
+	if len(all) != 4 {
+		t.Errorf("knows pattern = %d", len(all))
+	}
+	none := g.MatchPattern(nil, "bought",
+		func(v Vertex) bool { return false }, nil)
+	if len(none) != 0 {
+		t.Error("false predicate should match nothing")
+	}
+}
+
+func TestEdgeIDReuseAfterDelete(t *testing.T) {
+	g := newTestGraph()
+	for _, v := range []VID{"a", "b", "c"} {
+		g.AddVertex(nil, v, "n", mmvalue.Null)
+	}
+	g.AddEdge(nil, "e", "l", "a", "b", mmvalue.Null)
+	g.RemoveEdge(nil, "e")
+	// Reuse the id with different endpoints.
+	if err := g.AddEdge(nil, "e", "l", "b", "c", mmvalue.Null); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.GetEdge(nil, "e")
+	if !ok || e.From != "b" || e.To != "c" {
+		t.Fatalf("reused edge = %+v", e)
+	}
+	if g.Degree(nil, "a", Out, "l") != 0 {
+		t.Error("old adjacency entry survived reuse")
+	}
+	if g.Degree(nil, "b", Out, "l") != 1 {
+		t.Error("new adjacency entry missing")
+	}
+}
+
+func TestConcurrentGraphMutations(t *testing.T) {
+	g := newTestGraph()
+	g.AddVertex(nil, "center", "n", mmvalue.Null)
+	var wg sync.WaitGroup
+	const workers, per = 4, 40
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := VID(fmt.Sprintf("w%d-v%d", w, i))
+				if err := g.AddVertex(nil, v, "n", mmvalue.Null); err != nil {
+					t.Errorf("vertex: %v", err)
+					return
+				}
+				if err := g.AddEdge(nil, EID("e-"+string(v)), "l", v, "center", mmvalue.Null); err != nil {
+					t.Errorf("edge: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			g.Degree(nil, "center", In, "l")
+			g.KHop(nil, "center", 1, In, "l")
+		}
+	}()
+	wg.Wait()
+	if got := g.Degree(nil, "center", In, "l"); got != workers*per {
+		t.Fatalf("center degree = %d, want %d", got, workers*per)
+	}
+}
+
+func BenchmarkKHop(b *testing.B) {
+	g := NewStore("b", txn.NewManager())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g.AddVertex(nil, VID(fmt.Sprintf("v%04d", i)), "n", mmvalue.Null)
+	}
+	// Ring + chords.
+	for i := 0; i < n; i++ {
+		from := VID(fmt.Sprintf("v%04d", i))
+		to := VID(fmt.Sprintf("v%04d", (i+1)%n))
+		chord := VID(fmt.Sprintf("v%04d", (i+7)%n))
+		g.AddEdge(nil, EID(fmt.Sprintf("r%04d", i)), "l", from, to, mmvalue.Null)
+		g.AddEdge(nil, EID(fmt.Sprintf("c%04d", i)), "l", from, chord, mmvalue.Null)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KHop(nil, VID(fmt.Sprintf("v%04d", i%n)), 3, Out, "l")
+	}
+}

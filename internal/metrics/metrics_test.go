@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("zero histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45*time.Millisecond || p50 > 56*time.Millisecond {
+		t.Errorf("p50 = %v (4%% bucket error expected)", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if s := h.Snapshot(); !strings.Contains(s, "n=100") {
+		t.Errorf("Snapshot = %s", s)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i*i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Errorf("percentile %g (%v) below %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	b.Observe(20 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 20*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	// Merging into an empty histogram.
+	var c Histogram
+	c.Merge(&a)
+	if c.Count() != 3 || c.Min() != time.Millisecond {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestZeroAndNegativeDurations(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to bucket 0
+	if h.Count() != 2 {
+		t.Error("observations lost")
+	}
+	_ = h.Percentile(50)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "ops/s", "p99")
+	tb.AddRow("udbms", 1234.5678, 42*time.Millisecond)
+	tb.AddRow("federation", 99.0, 180*time.Millisecond)
+	s := tb.String()
+	for _, frag := range []string{"== Demo ==", "name", "udbms", "1234.6", "99", "42ms"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("table output missing %q:\n%s", frag, s)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Title + header + separator + 2 data rows.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	tb.AddRow(1, 2.5)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n1,2.500\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if v := Throughput(100, time.Second); v != 100 {
+		t.Errorf("Throughput = %g", v)
+	}
+	if v := Throughput(100, 0); v != 0 {
+		t.Errorf("zero-elapsed throughput = %g", v)
+	}
+	if v := Throughput(50, 500*time.Millisecond); v != 100 {
+		t.Errorf("Throughput = %g", v)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.142",
+		1234.56: "1234.6",
+		0.001:   "0.001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package mmschema
+
+import (
+	"fmt"
+	"strings"
+
+	"udbench/internal/mmvalue"
+)
+
+// Op is one schema-evolution operation. Ops transform both the schema
+// (Apply) and existing documents (Migrate), and know how they affect
+// historical queries (see Compat in query.go).
+type Op interface {
+	// Name identifies the operation class ("add", "remove", ...).
+	Name() string
+	// String renders a human-readable description.
+	String() string
+	// Apply transforms the schema in place; it fails when the target
+	// path does not fit the operation.
+	Apply(s *Schema) error
+	// Migrate rewrites one document to the new schema.
+	Migrate(doc mmvalue.Value) mmvalue.Value
+	// Destructive reports whether the op can break historical queries
+	// that referenced the schema before it.
+	Destructive() bool
+}
+
+// AddField introduces a new optional field with a default value.
+type AddField struct {
+	Path    string
+	Type    FieldType
+	Default mmvalue.Value
+}
+
+// Name implements Op.
+func (o AddField) Name() string { return "add" }
+
+// String implements Op.
+func (o AddField) String() string { return fmt.Sprintf("ADD %s %s", o.Path, o.Type) }
+
+// Destructive implements Op: adding is always backward compatible.
+func (o AddField) Destructive() bool { return false }
+
+// Apply implements Op.
+func (o AddField) Apply(s *Schema) error {
+	if _, exists := s.Fields[o.Path]; exists {
+		return fmt.Errorf("mmschema: add: field %q already exists", o.Path)
+	}
+	s.Fields[o.Path] = Field{Path: o.Path, Type: o.Type, Presence: 1}
+	return nil
+}
+
+// Migrate implements Op.
+func (o AddField) Migrate(doc mmvalue.Value) mmvalue.Value {
+	out, _ := mmvalue.ParsePath(o.Path).Set(doc, o.Default.Clone())
+	return out
+}
+
+// RemoveField deletes a field.
+type RemoveField struct {
+	Path string
+}
+
+// Name implements Op.
+func (o RemoveField) Name() string { return "remove" }
+
+// String implements Op.
+func (o RemoveField) String() string { return "REMOVE " + o.Path }
+
+// Destructive implements Op.
+func (o RemoveField) Destructive() bool { return true }
+
+// Apply implements Op.
+func (o RemoveField) Apply(s *Schema) error {
+	if _, exists := s.Fields[o.Path]; !exists {
+		return fmt.Errorf("mmschema: remove: no field %q", o.Path)
+	}
+	delete(s.Fields, o.Path)
+	// Nested children of a removed object go too.
+	for p := range s.Fields {
+		if strings.HasPrefix(p, o.Path+".") {
+			delete(s.Fields, p)
+		}
+	}
+	return nil
+}
+
+// Migrate implements Op.
+func (o RemoveField) Migrate(doc mmvalue.Value) mmvalue.Value {
+	mmvalue.ParsePath(o.Path).Delete(doc)
+	return doc
+}
+
+// RenameField moves a field to a new path (same nesting level or any
+// other object path).
+type RenameField struct {
+	From, To string
+}
+
+// Name implements Op.
+func (o RenameField) Name() string { return "rename" }
+
+// String implements Op.
+func (o RenameField) String() string { return fmt.Sprintf("RENAME %s -> %s", o.From, o.To) }
+
+// Destructive implements Op: historical queries addressing the old
+// path break (unless the engine rewrites them; the benchmark measures
+// both modes).
+func (o RenameField) Destructive() bool { return true }
+
+// Apply implements Op.
+func (o RenameField) Apply(s *Schema) error {
+	f, exists := s.Fields[o.From]
+	if !exists {
+		return fmt.Errorf("mmschema: rename: no field %q", o.From)
+	}
+	if _, taken := s.Fields[o.To]; taken {
+		return fmt.Errorf("mmschema: rename: field %q already exists", o.To)
+	}
+	delete(s.Fields, o.From)
+	f.Path = o.To
+	s.Fields[o.To] = f
+	// Move nested children along.
+	for p, cf := range s.Fields {
+		if strings.HasPrefix(p, o.From+".") {
+			np := o.To + p[len(o.From):]
+			delete(s.Fields, p)
+			cf.Path = np
+			s.Fields[np] = cf
+		}
+	}
+	return nil
+}
+
+// Migrate implements Op.
+func (o RenameField) Migrate(doc mmvalue.Value) mmvalue.Value {
+	p := mmvalue.ParsePath(o.From)
+	v, ok := p.Lookup(doc)
+	if !ok {
+		return doc
+	}
+	p.Delete(doc)
+	out, _ := mmvalue.ParsePath(o.To).Set(doc, v)
+	return out
+}
+
+// ChangeType re-types a field, converting existing values (int↔float↔
+// string, anything→string; inconvertible values become the type's zero).
+type ChangeType struct {
+	Path    string
+	NewType FieldType
+}
+
+// Name implements Op.
+func (o ChangeType) Name() string { return "retype" }
+
+// String implements Op.
+func (o ChangeType) String() string { return fmt.Sprintf("RETYPE %s -> %s", o.Path, o.NewType) }
+
+// Destructive implements Op: type-sensitive historical queries break.
+func (o ChangeType) Destructive() bool { return true }
+
+// Apply implements Op.
+func (o ChangeType) Apply(s *Schema) error {
+	f, exists := s.Fields[o.Path]
+	if !exists {
+		return fmt.Errorf("mmschema: retype: no field %q", o.Path)
+	}
+	f.Type = o.NewType
+	s.Fields[o.Path] = f
+	return nil
+}
+
+// Migrate implements Op.
+func (o ChangeType) Migrate(doc mmvalue.Value) mmvalue.Value {
+	p := mmvalue.ParsePath(o.Path)
+	v, ok := p.Lookup(doc)
+	if !ok {
+		return doc
+	}
+	out, _ := p.Set(doc, convert(v, o.NewType))
+	return out
+}
+
+func convert(v mmvalue.Value, t FieldType) mmvalue.Value {
+	switch t {
+	case FTString:
+		if s, ok := v.AsString(); ok {
+			return mmvalue.String(s)
+		}
+		return mmvalue.String(v.String())
+	case FTInt:
+		if f, ok := v.AsFloat(); ok {
+			return mmvalue.Int(int64(f))
+		}
+		return mmvalue.Int(0)
+	case FTFloat:
+		if f, ok := v.AsFloat(); ok {
+			return mmvalue.Float(f)
+		}
+		return mmvalue.Float(0)
+	case FTBool:
+		return mmvalue.Bool(v.Truthy())
+	default:
+		return v
+	}
+}
+
+// NestFields moves top-level fields under a new object field, e.g.
+// {street, zip} -> {address: {street, zip}}.
+type NestFields struct {
+	Fields []string
+	Under  string
+}
+
+// Name implements Op.
+func (o NestFields) Name() string { return "nest" }
+
+// String implements Op.
+func (o NestFields) String() string {
+	return fmt.Sprintf("NEST (%s) UNDER %s", strings.Join(o.Fields, ", "), o.Under)
+}
+
+// Destructive implements Op.
+func (o NestFields) Destructive() bool { return true }
+
+// Apply implements Op.
+func (o NestFields) Apply(s *Schema) error {
+	for _, f := range o.Fields {
+		if _, ok := s.Fields[f]; !ok {
+			return fmt.Errorf("mmschema: nest: no field %q", f)
+		}
+	}
+	if _, taken := s.Fields[o.Under]; taken {
+		return fmt.Errorf("mmschema: nest: field %q already exists", o.Under)
+	}
+	s.Fields[o.Under] = Field{Path: o.Under, Type: FTObject, Presence: 1}
+	for _, fp := range o.Fields {
+		f := s.Fields[fp]
+		delete(s.Fields, fp)
+		np := o.Under + "." + fp
+		f.Path = np
+		s.Fields[np] = f
+	}
+	return nil
+}
+
+// Migrate implements Op.
+func (o NestFields) Migrate(doc mmvalue.Value) mmvalue.Value {
+	for _, fp := range o.Fields {
+		p := mmvalue.ParsePath(fp)
+		v, ok := p.Lookup(doc)
+		if !ok {
+			continue
+		}
+		p.Delete(doc)
+		doc, _ = mmvalue.ParsePath(o.Under+"."+fp).Set(doc, v)
+	}
+	return doc
+}
+
+// FlattenField inlines an object field's children to the top level
+// with the parent name as prefix, e.g. {address:{zip}} -> {address_zip}.
+type FlattenField struct {
+	Path string
+	// Sep joins the parent and child names; "_" by default.
+	Sep string
+}
+
+// Name implements Op.
+func (o FlattenField) Name() string { return "flatten" }
+
+// String implements Op.
+func (o FlattenField) String() string { return "FLATTEN " + o.Path }
+
+// Destructive implements Op.
+func (o FlattenField) Destructive() bool { return true }
+
+func (o FlattenField) sep() string {
+	if o.Sep == "" {
+		return "_"
+	}
+	return o.Sep
+}
+
+// Apply implements Op.
+func (o FlattenField) Apply(s *Schema) error {
+	f, exists := s.Fields[o.Path]
+	if !exists {
+		return fmt.Errorf("mmschema: flatten: no field %q", o.Path)
+	}
+	if f.Type != FTObject {
+		return fmt.Errorf("mmschema: flatten: field %q is %s, not object", o.Path, f.Type)
+	}
+	delete(s.Fields, o.Path)
+	prefix := o.Path + "."
+	for p, cf := range s.Fields {
+		if strings.HasPrefix(p, prefix) {
+			child := p[len(prefix):]
+			delete(s.Fields, p)
+			np := o.Path + o.sep() + strings.ReplaceAll(child, ".", o.sep())
+			cf.Path = np
+			s.Fields[np] = cf
+		}
+	}
+	return nil
+}
+
+// Migrate implements Op.
+func (o FlattenField) Migrate(doc mmvalue.Value) mmvalue.Value {
+	p := mmvalue.ParsePath(o.Path)
+	v, ok := p.Lookup(doc)
+	if !ok {
+		return doc
+	}
+	obj, isObj := v.AsObject()
+	if !isObj {
+		return doc
+	}
+	p.Delete(doc)
+	root, _ := doc.AsObject()
+	if root == nil {
+		return doc
+	}
+	for _, k := range obj.Keys() {
+		cv, _ := obj.Get(k)
+		root.Set(o.Path+o.sep()+k, cv)
+	}
+	return doc
+}
+
+// Chain applies a sequence of ops to a schema, bumping the version per
+// op. It returns the evolved schema (the input is not modified).
+func Chain(s *Schema, ops ...Op) (*Schema, error) {
+	cur := s.Clone()
+	for i, op := range ops {
+		if err := op.Apply(cur); err != nil {
+			return nil, fmt.Errorf("mmschema: step %d (%s): %w", i+1, op, err)
+		}
+		cur.Version++
+	}
+	return cur, nil
+}
+
+// MigrateAll rewrites a document set through the op chain, returning
+// new documents (inputs are cloned first).
+func MigrateAll(docs []mmvalue.Value, ops ...Op) []mmvalue.Value {
+	out := make([]mmvalue.Value, len(docs))
+	for i, d := range docs {
+		cur := d.Clone()
+		for _, op := range ops {
+			cur = op.Migrate(cur)
+		}
+		out[i] = cur
+	}
+	return out
+}

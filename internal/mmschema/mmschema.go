@@ -1,0 +1,196 @@
+// Package mmschema implements the multi-model schema-evolution pillar
+// of the UDBMS benchmark. NoSQL systems follow a "data first, schema
+// later or never" paradigm, so the benchmark must be able to (a) infer
+// schemas from schemaless data, (b) systematically evolve them through
+// controlled operation chains, (c) auto-migrate existing documents, and
+// (d) measure how evolution affects the usability of historical
+// queries — the paper's stated requirement that "the change of schema
+// can affect the usability of history queries".
+package mmschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udbench/internal/mmvalue"
+)
+
+// FieldType is the inferred/declared type of a schema field.
+type FieldType uint8
+
+// Field types; Mixed means multiple types were observed at one path.
+const (
+	FTNull FieldType = iota
+	FTBool
+	FTInt
+	FTFloat
+	FTString
+	FTArray
+	FTObject
+	FTMixed
+)
+
+// String returns the lower-case type name.
+func (t FieldType) String() string {
+	switch t {
+	case FTNull:
+		return "null"
+	case FTBool:
+		return "bool"
+	case FTInt:
+		return "int"
+	case FTFloat:
+		return "float"
+	case FTString:
+		return "string"
+	case FTArray:
+		return "array"
+	case FTObject:
+		return "object"
+	case FTMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+func typeOf(v mmvalue.Value) FieldType {
+	switch v.Kind() {
+	case mmvalue.KindNull:
+		return FTNull
+	case mmvalue.KindBool:
+		return FTBool
+	case mmvalue.KindInt:
+		return FTInt
+	case mmvalue.KindFloat:
+		return FTFloat
+	case mmvalue.KindString:
+		return FTString
+	case mmvalue.KindArray:
+		return FTArray
+	case mmvalue.KindObject:
+		return FTObject
+	}
+	return FTMixed
+}
+
+// Field describes one path in a schema.
+type Field struct {
+	Path string
+	Type FieldType
+	// Presence is the fraction of sampled documents containing the
+	// path (1.0 = required in every document).
+	Presence float64
+}
+
+// Schema is a versioned set of fields keyed by dotted path.
+type Schema struct {
+	Version int
+	Fields  map[string]Field
+}
+
+// NewSchema returns an empty schema at version 0.
+func NewSchema() *Schema {
+	return &Schema{Fields: make(map[string]Field)}
+}
+
+// Clone copies the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Version: s.Version, Fields: make(map[string]Field, len(s.Fields))}
+	for k, v := range s.Fields {
+		c.Fields[k] = v
+	}
+	return c
+}
+
+// Paths returns the schema's field paths, sorted.
+func (s *Schema) Paths() []string {
+	out := make([]string, 0, len(s.Fields))
+	for p := range s.Fields {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Field returns the field at path.
+func (s *Schema) Field(path string) (Field, bool) {
+	f, ok := s.Fields[path]
+	return f, ok
+}
+
+// String renders a compact textual form.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schema v%d {", s.Version)
+	for i, p := range s.Paths() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		f := s.Fields[p]
+		fmt.Fprintf(&sb, "%s: %s", p, f.Type)
+		if f.Presence < 1 {
+			fmt.Fprintf(&sb, "?(%.0f%%)", f.Presence*100)
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Infer derives a schema from a sample of documents. Array element
+// paths are folded into the array path itself (the benchmark treats
+// arrays as opaque for schema purposes); nested object fields appear
+// as dotted paths. Fields observed with multiple scalar types become
+// FTMixed (Int+Float widen to Float instead).
+func Infer(docs []mmvalue.Value) *Schema {
+	s := NewSchema()
+	if len(docs) == 0 {
+		return s
+	}
+	counts := make(map[string]int)
+	types := make(map[string]FieldType)
+	for _, d := range docs {
+		seen := map[string]bool{}
+		inferWalk(d, "", counts, types, seen)
+	}
+	for path, t := range types {
+		s.Fields[path] = Field{
+			Path:     path,
+			Type:     t,
+			Presence: float64(counts[path]) / float64(len(docs)),
+		}
+	}
+	return s
+}
+
+func inferWalk(v mmvalue.Value, prefix string, counts map[string]int, types map[string]FieldType, seen map[string]bool) {
+	obj, ok := v.AsObject()
+	if !ok {
+		return
+	}
+	for _, k := range obj.Keys() {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		val, _ := obj.Get(k)
+		t := typeOf(val)
+		if !seen[path] {
+			seen[path] = true
+			counts[path]++
+		}
+		if old, exists := types[path]; !exists {
+			types[path] = t
+		} else if old != t {
+			if (old == FTInt && t == FTFloat) || (old == FTFloat && t == FTInt) {
+				types[path] = FTFloat
+			} else {
+				types[path] = FTMixed
+			}
+		}
+		if t == FTObject {
+			inferWalk(val, path, counts, types, seen)
+		}
+	}
+}

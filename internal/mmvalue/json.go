@@ -1,0 +1,148 @@
+package mmvalue
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MarshalJSON encodes v as standard JSON. Object fields are emitted in
+// insertion order. Non-finite floats are encoded as null (JSON has no
+// NaN/Inf).
+func (v Value) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeJSON(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeJSON(buf *bytes.Buffer, v Value) error {
+	switch v.kind {
+	case KindNull:
+		buf.WriteString("null")
+	case KindBool:
+		if v.b {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case KindInt:
+		fmt.Fprintf(buf, "%d", v.i)
+	case KindFloat:
+		if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+			buf.WriteString("null")
+			return nil
+		}
+		b, err := json.Marshal(v.f)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case KindString:
+		b, err := json.Marshal(v.s)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case KindArray:
+		buf.WriteByte('[')
+		for i, e := range v.arr {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := encodeJSON(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case KindObject:
+		buf.WriteByte('{')
+		for i, k := range v.obj.keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := encodeJSON(buf, v.obj.m[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	}
+	return nil
+}
+
+// ParseJSON decodes a JSON document into a Value. Numbers without a
+// fractional part or exponent become Int; others become Float. Object
+// key order follows the document where possible (keys are sorted when
+// decoding nested structures via the generic decoder, which loses
+// document order; UDBench treats object order as non-significant).
+func ParseJSON(data []byte) (Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return Null, fmt.Errorf("mmvalue: parse json: %w", err)
+	}
+	// Reject trailing garbage after the first value.
+	if dec.More() {
+		return Null, fmt.Errorf("mmvalue: parse json: trailing data")
+	}
+	return fromDecoded(raw), nil
+}
+
+func fromDecoded(raw any) Value {
+	switch x := raw.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Bool(x)
+	case string:
+		return String(x)
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return Int(i)
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return String(x.String())
+		}
+		return Float(f)
+	case []any:
+		elems := make([]Value, len(x))
+		for i, e := range x {
+			elems[i] = fromDecoded(e)
+		}
+		return Array(elems...)
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		o := NewObject()
+		for _, k := range keys {
+			o.Set(k, fromDecoded(x[k]))
+		}
+		return FromObject(o)
+	default:
+		panic(fmt.Sprintf("mmvalue: unexpected decoded type %T", raw))
+	}
+}
+
+// MustParseJSON decodes JSON and panics on error; intended for tests
+// and literals in examples.
+func MustParseJSON(data string) Value {
+	v, err := ParseJSON([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

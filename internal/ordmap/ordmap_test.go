@@ -1,0 +1,142 @@
+package ordmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetOrInsertAndGet(t *testing.T) {
+	m := New[int](1)
+	v, inserted := m.GetOrInsert("a", func() int { return 7 })
+	if !inserted || v != 7 {
+		t.Fatalf("first insert = (%d, %v)", v, inserted)
+	}
+	v, inserted = m.GetOrInsert("a", func() int { return 99 })
+	if inserted || v != 7 {
+		t.Fatalf("second insert should return existing, got (%d, %v)", v, inserted)
+	}
+	if got, ok := m.Get("a"); !ok || got != 7 {
+		t.Fatalf("Get = (%d, %v)", got, ok)
+	}
+	if _, ok := m.Get("zzz"); ok {
+		t.Error("missing key found")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := New[int](1)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		m.GetOrInsert(k, func() int { return i })
+	}
+	if !m.Remove("k05") || m.Remove("k05") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if m.Len() != 19 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get("k05"); ok {
+		t.Error("removed key still present")
+	}
+	// Order preserved.
+	var keys []string
+	m.Ascend("", "", func(k string, _ int) bool { keys = append(keys, k); return true })
+	if !sort.StringsAreSorted(keys) || len(keys) != 19 {
+		t.Errorf("keys after remove = %v", keys)
+	}
+}
+
+func TestAscendBoundsAndStop(t *testing.T) {
+	m := New[string](1)
+	for _, k := range []string{"a", "c", "e", "g"} {
+		k := k
+		m.GetOrInsert(k, func() string { return k })
+	}
+	var got []string
+	m.Ascend("b", "f", func(k, _ string) bool { got = append(got, k); return true })
+	if fmt.Sprint(got) != "[c e]" {
+		t.Errorf("bounded ascend = %v", got)
+	}
+	got = nil
+	m.Ascend("", "", func(k, _ string) bool { got = append(got, k); return false })
+	if fmt.Sprint(got) != "[a]" {
+		t.Errorf("early stop = %v", got)
+	}
+}
+
+func TestConcurrentInsertsAndReads(t *testing.T) {
+	m := New[int](42)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := fmt.Sprintf("w%d-%04d", w, i)
+				m.GetOrInsert(k, func() int { return i })
+				m.Get(k)
+				m.Ascend(k, "", func(string, int) bool { return false })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), workers*per)
+	}
+}
+
+func TestPropMatchesReferenceMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New[int](seed)
+		ref := map[string]int{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("%03d", r.Intn(80))
+			if r.Intn(4) == 0 {
+				m.Remove(k)
+				delete(ref, k)
+			} else {
+				val := r.Intn(100)
+				if _, ok := ref[k]; !ok {
+					ref[k] = val
+				}
+				m.GetOrInsert(k, func() int { return val })
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		var keys []string
+		ok := true
+		m.Ascend("", "", func(k string, v int) bool {
+			keys = append(keys, k)
+			if rv, present := ref[k]; !present || rv != v {
+				ok = false
+			}
+			return true
+		})
+		return ok && sort.StringsAreSorted(keys) && len(keys) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "abd"}, {"", ""}, {"\xff\xff", ""}, {"a\xff", "b"},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); got != c.want {
+			t.Errorf("PrefixEnd(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"udbench/internal/mmvalue"
+)
+
+// Expr is a boolean predicate over a row. Expressions are built with
+// the Col/Lit constructors and the comparison/logic combinators, and
+// evaluated against a row object.
+type Expr interface {
+	// Eval reports whether the row satisfies the predicate.
+	Eval(row mmvalue.Value) bool
+	// String renders a SQL-ish form for diagnostics.
+	String() string
+	// equalityOn returns (column, literal, true) when the expression
+	// pins column = literal, enabling index lookups. Conjunctions
+	// surface any pinned branch.
+	equalityOn() (string, mmvalue.Value, bool)
+}
+
+// ColRef names a column inside a predicate; build with Col.
+type ColRef struct{ Name string }
+
+// Col references a column by name.
+func Col(name string) ColRef { return ColRef{Name: name} }
+
+func (c ColRef) value(row mmvalue.Value) mmvalue.Value {
+	obj, ok := row.AsObject()
+	if !ok {
+		return mmvalue.Null
+	}
+	return obj.GetOr(c.Name, mmvalue.Null)
+}
+
+type cmpOp uint8
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+func (o cmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+type cmpExpr struct {
+	col ColRef
+	op  cmpOp
+	lit mmvalue.Value
+}
+
+func (e cmpExpr) Eval(row mmvalue.Value) bool {
+	v := e.col.value(row)
+	// SQL semantics: comparisons with NULL are never true (except when
+	// explicitly testing equality against NULL, which UDBench treats
+	// as IS NULL for usability).
+	if v.IsNull() {
+		return e.op == opEq && e.lit.IsNull()
+	}
+	if e.lit.IsNull() {
+		return e.op == opNe
+	}
+	c := mmvalue.Compare(v, e.lit)
+	switch e.op {
+	case opEq:
+		return c == 0
+	case opNe:
+		return c != 0
+	case opLt:
+		return c < 0
+	case opLe:
+		return c <= 0
+	case opGt:
+		return c > 0
+	case opGe:
+		return c >= 0
+	}
+	return false
+}
+
+func (e cmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.col.Name, e.op, e.lit)
+}
+
+func (e cmpExpr) equalityOn() (string, mmvalue.Value, bool) {
+	if e.op == opEq && !e.lit.IsNull() {
+		return e.col.Name, e.lit, true
+	}
+	return "", mmvalue.Null, false
+}
+
+// Eq builds column = literal.
+func (c ColRef) Eq(v any) Expr { return cmpExpr{c, opEq, mmvalue.From(v)} }
+
+// Ne builds column <> literal.
+func (c ColRef) Ne(v any) Expr { return cmpExpr{c, opNe, mmvalue.From(v)} }
+
+// Lt builds column < literal.
+func (c ColRef) Lt(v any) Expr { return cmpExpr{c, opLt, mmvalue.From(v)} }
+
+// Le builds column <= literal.
+func (c ColRef) Le(v any) Expr { return cmpExpr{c, opLe, mmvalue.From(v)} }
+
+// Gt builds column > literal.
+func (c ColRef) Gt(v any) Expr { return cmpExpr{c, opGt, mmvalue.From(v)} }
+
+// Ge builds column >= literal.
+func (c ColRef) Ge(v any) Expr { return cmpExpr{c, opGe, mmvalue.From(v)} }
+
+// inExpr implements column IN (set).
+type inExpr struct {
+	col ColRef
+	set []mmvalue.Value
+}
+
+// In builds column IN (values...).
+func (c ColRef) In(vals ...any) Expr {
+	set := make([]mmvalue.Value, len(vals))
+	for i, v := range vals {
+		set[i] = mmvalue.From(v)
+	}
+	return inExpr{c, set}
+}
+
+func (e inExpr) Eval(row mmvalue.Value) bool {
+	v := e.col.value(row)
+	for _, s := range e.set {
+		if mmvalue.Equal(v, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e inExpr) String() string {
+	parts := make([]string, len(e.set))
+	for i, s := range e.set {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", e.col.Name, strings.Join(parts, ", "))
+}
+
+func (e inExpr) equalityOn() (string, mmvalue.Value, bool) {
+	if len(e.set) == 1 {
+		return e.col.Name, e.set[0], true
+	}
+	return "", mmvalue.Null, false
+}
+
+// likeExpr implements a simple LIKE with % wildcards at either end.
+type likeExpr struct {
+	col     ColRef
+	pattern string
+}
+
+// Like builds column LIKE pattern, where pattern may carry a leading
+// and/or trailing %. Patterns without % match exactly.
+func (c ColRef) Like(pattern string) Expr { return likeExpr{c, pattern} }
+
+func (e likeExpr) Eval(row mmvalue.Value) bool {
+	s, ok := e.col.value(row).AsString()
+	if !ok {
+		return false
+	}
+	p := e.pattern
+	pre := strings.HasPrefix(p, "%")
+	suf := strings.HasSuffix(p, "%")
+	core := strings.TrimSuffix(strings.TrimPrefix(p, "%"), "%")
+	switch {
+	case pre && suf:
+		return strings.Contains(s, core)
+	case pre:
+		return strings.HasSuffix(s, core)
+	case suf:
+		return strings.HasPrefix(s, core)
+	default:
+		return s == core
+	}
+}
+
+func (e likeExpr) String() string {
+	return fmt.Sprintf("%s LIKE %q", e.col.Name, e.pattern)
+}
+
+func (e likeExpr) equalityOn() (string, mmvalue.Value, bool) {
+	return "", mmvalue.Null, false
+}
+
+type andExpr struct{ l, r Expr }
+
+// And is logical conjunction.
+func And(l, r Expr) Expr { return andExpr{l, r} }
+
+func (e andExpr) Eval(row mmvalue.Value) bool { return e.l.Eval(row) && e.r.Eval(row) }
+func (e andExpr) String() string              { return "(" + e.l.String() + " AND " + e.r.String() + ")" }
+func (e andExpr) equalityOn() (string, mmvalue.Value, bool) {
+	if c, v, ok := e.l.equalityOn(); ok {
+		return c, v, true
+	}
+	return e.r.equalityOn()
+}
+
+type orExpr struct{ l, r Expr }
+
+// Or is logical disjunction.
+func Or(l, r Expr) Expr { return orExpr{l, r} }
+
+func (e orExpr) Eval(row mmvalue.Value) bool { return e.l.Eval(row) || e.r.Eval(row) }
+func (e orExpr) String() string              { return "(" + e.l.String() + " OR " + e.r.String() + ")" }
+func (e orExpr) equalityOn() (string, mmvalue.Value, bool) {
+	// A disjunction cannot pin a single index bucket.
+	return "", mmvalue.Null, false
+}
+
+type notExpr struct{ e Expr }
+
+// Not is logical negation.
+func Not(e Expr) Expr { return notExpr{e} }
+
+func (e notExpr) Eval(row mmvalue.Value) bool { return !e.e.Eval(row) }
+func (e notExpr) String() string              { return "NOT " + e.e.String() }
+func (e notExpr) equalityOn() (string, mmvalue.Value, bool) {
+	return "", mmvalue.Null, false
+}
+
+// TrueExpr matches every row (used for unconditional scans).
+type TrueExpr struct{}
+
+// Eval always reports true.
+func (TrueExpr) Eval(mmvalue.Value) bool { return true }
+
+// String renders "TRUE".
+func (TrueExpr) String() string { return "TRUE" }
+
+func (TrueExpr) equalityOn() (string, mmvalue.Value, bool) { return "", mmvalue.Null, false }

@@ -1,0 +1,181 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+func TestOrderByMissingColumnSortsNullsFirst(t *testing.T) {
+	tbl := NewTable("t", MustSchema("id",
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "score", Type: TypeInt, Nullable: true},
+	), txn.NewManager())
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 1, "score", 10))
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 2)) // score absent
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 3, "score", 5))
+	rows := tbl.Query(nil).OrderBy("score", false).Rows()
+	ids := make([]int64, len(rows))
+	for i, r := range rows {
+		id, _ := r.MustObject().Get("id")
+		ids[i] = id.MustInt()
+	}
+	// Null (missing) collates before numbers.
+	if fmt.Sprint(ids) != "[2 3 1]" {
+		t.Errorf("null-first order = %v", ids)
+	}
+	rows = tbl.Query(nil).OrderBy("score", true).Rows()
+	id0, _ := rows[0].MustObject().Get("id")
+	if id0.MustInt() != 1 {
+		t.Errorf("desc order first = %d", id0.MustInt())
+	}
+}
+
+func TestProjectionOfMissingColumns(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 1, "name", "a"))
+	rows := tbl.Query(nil).Project("id", "age", "bogus").Rows()
+	o := rows[0].MustObject()
+	if _, ok := o.Get("id"); !ok {
+		t.Error("projection lost present column")
+	}
+	if _, ok := o.Get("age"); ok {
+		t.Error("absent nullable column should not materialize")
+	}
+	if _, ok := o.Get("bogus"); ok {
+		t.Error("unknown column should not materialize")
+	}
+}
+
+func TestQueryStackedWhereIsConjunction(t *testing.T) {
+	tbl := newCustomerTable(t)
+	for i := 1; i <= 10; i++ {
+		tbl.Insert(nil, row(int64(i), fmt.Sprintf("c%d", i), int64(20+i), "hki"))
+	}
+	n := tbl.Query(nil).
+		Where(Col("age").Gt(22)).
+		Where(Col("age").Lt(28)).
+		Count()
+	if n != 5 { // ages 23..27
+		t.Errorf("stacked where = %d, want 5", n)
+	}
+}
+
+func TestHashJoinSkipsNullKeys(t *testing.T) {
+	mgr := txn.NewManager()
+	db := NewDB(mgr)
+	left, _ := db.CreateTable("l", MustSchema("id",
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "ref", Type: TypeInt, Nullable: true},
+	))
+	right, _ := db.CreateTable("r", MustSchema("id",
+		Column{Name: "id", Type: TypeInt},
+	))
+	left.Insert(nil, mmvalue.ObjectOf("id", 1, "ref", 10))
+	left.Insert(nil, mmvalue.ObjectOf("id", 2)) // null ref
+	right.Insert(nil, mmvalue.ObjectOf("id", 10))
+	joined := left.Query(nil).HashJoin(right, "ref", "id")
+	if len(joined) != 1 {
+		t.Fatalf("join rows = %d, want 1 (null keys never match)", len(joined))
+	}
+}
+
+func TestIndexedCountMatchesScanCount(t *testing.T) {
+	tbl := newCustomerTable(t)
+	for i := 1; i <= 60; i++ {
+		tbl.Insert(nil, row(int64(i), "n", int64(i%7), fmt.Sprintf("c%d", i%4)))
+	}
+	tbl.CreateIndex("city")
+	for c := 0; c < 4; c++ {
+		city := fmt.Sprintf("c%d", c)
+		viaIndex := tbl.Query(nil).Where(Col("city").Eq(city)).Count()
+		viaScan := 0
+		for _, r := range tbl.Query(nil).Rows() {
+			if v, _ := r.MustObject().Get("city"); mmvalue.Equal(v, mmvalue.String(city)) {
+				viaScan++
+			}
+		}
+		if viaIndex != viaScan {
+			t.Errorf("city %s: index count %d != scan count %d", city, viaIndex, viaScan)
+		}
+	}
+}
+
+func TestQueryLimitWithoutOrderStopsEarly(t *testing.T) {
+	tbl := newCustomerTable(t)
+	for i := 1; i <= 100; i++ {
+		tbl.Insert(nil, row(int64(i), "n", 30, "hki"))
+	}
+	rows := tbl.Query(nil).Limit(7).Rows()
+	if len(rows) != 7 {
+		t.Errorf("limit rows = %d", len(rows))
+	}
+	// Limit 0 returns nothing; negative means unlimited.
+	if n := len(tbl.Query(nil).Limit(0).Rows()); n != 0 {
+		t.Errorf("limit 0 rows = %d", n)
+	}
+	if n := len(tbl.Query(nil).Limit(-1).Rows()); n != 100 {
+		t.Errorf("limit -1 rows = %d", n)
+	}
+}
+
+func TestInExprMultipleValuesNoIndexPin(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.CreateIndex("city")
+	tbl.Insert(nil, row(1, "a", 30, "x"))
+	tbl.Insert(nil, row(2, "b", 30, "y"))
+	tbl.Insert(nil, row(3, "c", 30, "z"))
+	q := tbl.Query(nil).Where(Col("city").In("x", "y"))
+	if q.Plan().UseIndex {
+		t.Error("multi-value IN must not pin one index bucket")
+	}
+	if n := q.Count(); n != 2 {
+		t.Errorf("IN matched %d", n)
+	}
+	// Single-value IN does use the index.
+	q = tbl.Query(nil).Where(Col("city").In("z"))
+	if !q.Plan().UseIndex {
+		t.Error("single-value IN should use the index")
+	}
+	if n := q.Count(); n != 1 {
+		t.Errorf("single IN matched %d", n)
+	}
+}
+
+func TestGroupByEmptyTable(t *testing.T) {
+	tbl := newCustomerTable(t)
+	res, err := tbl.Query(nil).GroupBy("city", Agg{Fn: "count", As: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("groups on empty table = %d", len(res))
+	}
+}
+
+func TestAggregatesIgnoreNonNumeric(t *testing.T) {
+	tbl := NewTable("t", MustSchema("id",
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "g", Type: TypeString},
+		Column{Name: "v", Type: TypeString, Nullable: true},
+	), txn.NewManager())
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 1, "g", "a", "v", "not-a-number"))
+	tbl.Insert(nil, mmvalue.ObjectOf("id", 2, "g", "a"))
+	res, err := tbl.Query(nil).GroupBy("g",
+		Agg{Fn: "avg", Column: "v", As: "avg"},
+		Agg{Fn: "min", Column: "v", As: "min"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res[0].MustObject()
+	if v, _ := o.Get("avg"); !v.IsNull() {
+		t.Errorf("avg of non-numeric = %s, want null", v)
+	}
+	// min works lexicographically over the string value.
+	if v, _ := o.Get("min"); !mmvalue.Equal(v, mmvalue.String("not-a-number")) {
+		t.Errorf("min = %s", v)
+	}
+}

@@ -1,0 +1,630 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+)
+
+func customerSchema() Schema {
+	return MustSchema("id",
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "age", Type: TypeInt, Nullable: true},
+		Column{Name: "city", Type: TypeString, Nullable: true},
+		Column{Name: "vip", Type: TypeBool, Nullable: true},
+	)
+}
+
+func newCustomerTable(t testing.TB) *Table {
+	t.Helper()
+	return NewTable("customer", customerSchema(), txn.NewManager())
+}
+
+func row(id int64, name string, age int64, city string) mmvalue.Value {
+	return mmvalue.ObjectOf("id", id, "name", name, "age", age, "city", city)
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("id"); err == nil {
+		t.Error("pk not in columns should fail")
+	}
+	if _, err := NewSchema("id", Column{Name: "id", Type: TypeInt}, Column{Name: "id", Type: TypeInt}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := NewSchema("id", Column{Name: "id", Type: TypeInt, Nullable: true}); err == nil {
+		t.Error("nullable pk should fail")
+	}
+	if _, err := NewSchema("id", Column{Name: ""}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	s := customerSchema()
+	if err := s.ValidateRow(row(1, "a", 30, "x")); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.ValidateRow(mmvalue.ObjectOf("id", 1)); err == nil {
+		t.Error("missing required column should fail")
+	}
+	if err := s.ValidateRow(mmvalue.ObjectOf("id", 1, "name", 5)); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if err := s.ValidateRow(mmvalue.ObjectOf("id", 1, "name", "a", "bogus", 1)); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := s.ValidateRow(mmvalue.Int(1)); err == nil {
+		t.Error("non-object row should fail")
+	}
+	// Nullable column may be absent or null.
+	if err := s.ValidateRow(mmvalue.ObjectOf("id", 1, "name", "a", "age", nil)); err != nil {
+		t.Errorf("explicit null in nullable column: %v", err)
+	}
+	// Float column accepts ints.
+	fs := MustSchema("id", Column{Name: "id", Type: TypeInt}, Column{Name: "price", Type: TypeFloat})
+	if err := fs.ValidateRow(mmvalue.ObjectOf("id", 1, "price", 5)); err != nil {
+		t.Errorf("int into float column: %v", err)
+	}
+}
+
+func TestColumnTypeStrings(t *testing.T) {
+	if TypeInt.String() != "INT" || TypeFloat.String() != "FLOAT" ||
+		TypeString.String() != "VARCHAR" || TypeBool.String() != "BOOLEAN" {
+		t.Error("type names wrong")
+	}
+	if ColumnType(9).String() != "TYPE(9)" {
+		t.Error("unknown type name wrong")
+	}
+	names := customerSchema().ColumnNames()
+	if strings.Join(names, ",") != "id,name,age,city,vip" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestEncodeKeyOrderPreserving(t *testing.T) {
+	ints := []int64{-1 << 62, -100, -1, 0, 1, 7, 100, 1 << 62}
+	for i := 1; i < len(ints); i++ {
+		a := EncodeKey(mmvalue.Int(ints[i-1]))
+		b := EncodeKey(mmvalue.Int(ints[i]))
+		if !(a < b) {
+			t.Errorf("EncodeKey order violated: %d -> %q !< %d -> %q", ints[i-1], a, ints[i], b)
+		}
+	}
+	floats := []float64{-1e10, -1, -0.5, 0, 0.5, 1, 1e10}
+	for i := 1; i < len(floats); i++ {
+		a := EncodeKey(mmvalue.Float(floats[i-1]))
+		b := EncodeKey(mmvalue.Float(floats[i]))
+		if !(a < b) {
+			t.Errorf("float key order violated at %g", floats[i])
+		}
+	}
+	if !(EncodeKey(mmvalue.String("abc")) < EncodeKey(mmvalue.String("abd"))) {
+		t.Error("string keys must preserve order")
+	}
+	if !(EncodeKey(mmvalue.Bool(false)) < EncodeKey(mmvalue.Bool(true))) {
+		t.Error("bool keys must preserve order")
+	}
+}
+
+func TestDecodeIntKeyRoundTrip(t *testing.T) {
+	for _, v := range []int64{-1 << 60, -5, 0, 5, 1 << 60} {
+		k := EncodeKey(mmvalue.Int(v))
+		got, ok := DecodeIntKey(k)
+		if !ok || got != v {
+			t.Errorf("DecodeIntKey(EncodeKey(%d)) = (%d, %v)", v, got, ok)
+		}
+	}
+	if _, ok := DecodeIntKey("snope"); ok {
+		t.Error("non-int key should not decode")
+	}
+	if _, ok := DecodeIntKey("i123"); ok {
+		t.Error("short key should not decode")
+	}
+}
+
+func TestPropEncodeKeyMatchesCompare(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(mmvalue.Int(a))
+		kb := EncodeKey(mmvalue.Int(b))
+		return (a < b) == (ka < kb) && (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tbl := newCustomerTable(t)
+	if err := tbl.Insert(nil, row(1, "alice", 30, "hki")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Get(nil, 1)
+	if !ok {
+		t.Fatal("row not found")
+	}
+	if name, _ := got.MustObject().Get("name"); !mmvalue.Equal(name, mmvalue.String("alice")) {
+		t.Error("wrong row")
+	}
+	// Duplicate PK rejected.
+	if err := tbl.Insert(nil, row(1, "bob", 20, "tku")); err == nil {
+		t.Error("duplicate pk should fail")
+	}
+	// Invalid row rejected.
+	if err := tbl.Insert(nil, mmvalue.ObjectOf("id", 2)); err == nil {
+		t.Error("invalid row should fail")
+	}
+	if err := tbl.Delete(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get(nil, 1); ok {
+		t.Error("deleted row visible")
+	}
+	// Re-insert after delete is allowed.
+	if err := tbl.Insert(nil, row(1, "carol", 40, "esp")); err != nil {
+		t.Errorf("re-insert after delete: %v", err)
+	}
+	if tbl.Count() != 1 {
+		t.Errorf("Count = %d", tbl.Count())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.Insert(nil, row(1, "alice", 30, "hki"))
+	err := tbl.Update(nil, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+		r.MustObject().Set("age", mmvalue.Int(31))
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tbl.Get(nil, 1)
+	if age, _ := got.MustObject().Get("age"); !mmvalue.Equal(age, mmvalue.Int(31)) {
+		t.Error("update lost")
+	}
+	// Changing the PK is rejected.
+	err = tbl.Update(nil, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+		r.MustObject().Set("id", mmvalue.Int(99))
+		return r, nil
+	})
+	if err == nil {
+		t.Error("pk change should fail")
+	}
+	if err := tbl.Update(nil, 42, func(r mmvalue.Value) (mmvalue.Value, error) { return r, nil }); err == nil {
+		t.Error("update of missing row should fail")
+	}
+}
+
+func TestReturnedRowsAreClones(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.Insert(nil, row(1, "alice", 30, "hki"))
+	rows := tbl.Query(nil).Rows()
+	rows[0].MustObject().Set("name", mmvalue.String("EVIL"))
+	got, _ := tbl.Get(nil, 1)
+	if name, _ := got.MustObject().Get("name"); !mmvalue.Equal(name, mmvalue.String("alice")) {
+		t.Error("query result mutation leaked into the store")
+	}
+}
+
+func TestQueryWhereOrderLimitProject(t *testing.T) {
+	tbl := newCustomerTable(t)
+	for i := 1; i <= 10; i++ {
+		city := "hki"
+		if i%2 == 0 {
+			city = "tku"
+		}
+		tbl.Insert(nil, row(int64(i), fmt.Sprintf("c%02d", i), int64(20+i), city))
+	}
+	rows := tbl.Query(nil).Where(Col("city").Eq("hki")).Rows()
+	if len(rows) != 5 {
+		t.Fatalf("filter got %d rows", len(rows))
+	}
+	rows = tbl.Query(nil).
+		Where(Col("age").Gt(25)).
+		OrderBy("age", true).
+		Limit(2).
+		Project("id", "age").
+		Rows()
+	if len(rows) != 2 {
+		t.Fatalf("limit got %d rows", len(rows))
+	}
+	if age, _ := rows[0].MustObject().Get("age"); !mmvalue.Equal(age, mmvalue.Int(30)) {
+		t.Errorf("order desc first age = %s", age)
+	}
+	if _, hasName := rows[0].MustObject().Get("name"); hasName {
+		t.Error("projection leaked column")
+	}
+	if n := tbl.Query(nil).Where(Col("age").Ge(25)).Count(); n != 6 {
+		t.Errorf("Count = %d, want 6", n)
+	}
+}
+
+func TestExprSemantics(t *testing.T) {
+	r := row(1, "alice", 30, "hki")
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Col("age").Eq(30), true},
+		{Col("age").Ne(30), false},
+		{Col("age").Lt(31), true},
+		{Col("age").Le(30), true},
+		{Col("age").Gt(30), false},
+		{Col("age").Ge(31), false},
+		{Col("name").Like("ali%"), true},
+		{Col("name").Like("%ice"), true},
+		{Col("name").Like("%lic%"), true},
+		{Col("name").Like("alice"), true},
+		{Col("name").Like("bob%"), false},
+		{Col("age").Like("3%"), false}, // LIKE on non-string
+		{Col("city").In("hki", "tku"), true},
+		{Col("city").In("tku"), false},
+		{And(Col("age").Eq(30), Col("city").Eq("hki")), true},
+		{And(Col("age").Eq(30), Col("city").Eq("tku")), false},
+		{Or(Col("age").Eq(99), Col("city").Eq("hki")), true},
+		{Not(Col("age").Eq(30)), false},
+		{TrueExpr{}, true},
+		// NULL semantics: vip column is absent.
+		{Col("vip").Eq(true), false},
+		{Col("vip").Eq(nil), true}, // IS NULL
+		{Col("vip").Lt(5), false},
+		{Col("age").Ne(nil), true}, // IS NOT NULL
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(r); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// String rendering sanity.
+	s := And(Col("a").Eq(1), Or(Col("b").Lt(2), Not(Col("c").In(1, 2)))).String()
+	if !strings.Contains(s, "AND") || !strings.Contains(s, "OR") || !strings.Contains(s, "IN") {
+		t.Errorf("expr string = %s", s)
+	}
+}
+
+func TestIndexLookupAndPlan(t *testing.T) {
+	tbl := newCustomerTable(t)
+	for i := 1; i <= 100; i++ {
+		city := fmt.Sprintf("city%d", i%10)
+		tbl.Insert(nil, row(int64(i), fmt.Sprintf("c%03d", i), int64(20+i%50), city))
+	}
+	if err := tbl.CreateIndex("city"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("city"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if err := tbl.CreateIndex("bogus"); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	q := tbl.Query(nil).Where(Col("city").Eq("city3"))
+	if p := q.Plan(); !p.UseIndex || p.Column != "city" {
+		t.Errorf("Plan = %+v, want index on city", p)
+	}
+	rows := q.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("index lookup got %d rows, want 10", len(rows))
+	}
+	// Index result matches scan result.
+	scanRows := tbl.Query(nil).Where(And(Col("city").Like("city3"), TrueExpr{})).Rows()
+	if len(scanRows) != len(rows) {
+		t.Errorf("index vs scan mismatch: %d vs %d", len(rows), len(scanRows))
+	}
+	// Index stays correct after updates: move one row to city3.
+	tbl.Update(nil, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+		r.MustObject().Set("city", mmvalue.String("city3"))
+		return r, nil
+	})
+	rows = tbl.Query(nil).Where(Col("city").Eq("city3")).Rows()
+	if len(rows) != 11 {
+		t.Errorf("after update index lookup got %d rows, want 11", len(rows))
+	}
+	// Stale entries (old city of row 1) must not produce wrong rows.
+	rows = tbl.Query(nil).Where(Col("city").Eq("city1")).Rows()
+	for _, r := range rows {
+		if c, _ := r.MustObject().Get("city"); !mmvalue.Equal(c, mmvalue.String("city1")) {
+			t.Error("index returned row with wrong city")
+		}
+	}
+}
+
+func TestIndexSnapshotCorrectness(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.CreateIndex("city")
+	tbl.Insert(nil, row(1, "alice", 30, "hki"))
+	mgr := tbl.Manager()
+	reader := mgr.Begin()
+	// After the reader starts, move the row to tku.
+	tbl.Update(nil, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+		r.MustObject().Set("city", mmvalue.String("tku"))
+		return r, nil
+	})
+	// The reader's snapshot must still find the row under hki.
+	rows := tbl.Query(reader).Where(Col("city").Eq("hki")).Rows()
+	if len(rows) != 1 {
+		t.Errorf("snapshot index lookup found %d rows, want 1", len(rows))
+	}
+	// And must not find it under tku.
+	rows = tbl.Query(reader).Where(Col("city").Eq("tku")).Rows()
+	if len(rows) != 0 {
+		t.Errorf("snapshot sees future index entry: %d rows", len(rows))
+	}
+	reader.Abort()
+}
+
+func TestHashJoin(t *testing.T) {
+	mgr := txn.NewManager()
+	db := NewDB(mgr)
+	cust, _ := db.CreateTable("customer", customerSchema())
+	orders, _ := db.CreateTable("orders", MustSchema("oid",
+		Column{Name: "oid", Type: TypeInt},
+		Column{Name: "cid", Type: TypeInt},
+		Column{Name: "total", Type: TypeFloat},
+	))
+	for i := 1; i <= 3; i++ {
+		cust.Insert(nil, row(int64(i), fmt.Sprintf("c%d", i), 30, "hki"))
+	}
+	for i := 1; i <= 6; i++ {
+		orders.Insert(nil, mmvalue.ObjectOf("oid", i, "cid", i%3+1, "total", float64(i)*10))
+	}
+	joined := orders.Query(nil).Where(Col("total").Ge(20)).HashJoin(cust, "cid", "id")
+	if len(joined) != 5 {
+		t.Fatalf("join got %d rows, want 5", len(joined))
+	}
+	for _, jr := range joined {
+		o := jr.MustObject()
+		cid, _ := o.Get("cid")
+		jid, _ := o.Get("customer.id")
+		if !mmvalue.Equal(cid, jid) {
+			t.Errorf("join key mismatch: %s vs %s", cid, jid)
+		}
+		if _, ok := o.Get("customer.name"); !ok {
+			t.Error("joined row missing right column")
+		}
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := newCustomerTable(t)
+	data := []struct {
+		id   int64
+		city string
+		age  int64
+	}{
+		{1, "hki", 30}, {2, "hki", 40}, {3, "tku", 20}, {4, "tku", 24}, {5, "tku", 28},
+	}
+	for _, d := range data {
+		tbl.Insert(nil, row(d.id, fmt.Sprintf("c%d", d.id), d.age, d.city))
+	}
+	res, err := tbl.Query(nil).GroupBy("city",
+		Agg{Fn: "count", As: "n"},
+		Agg{Fn: "avg", Column: "age", As: "avg_age"},
+		Agg{Fn: "sum", Column: "age", As: "sum_age"},
+		Agg{Fn: "min", Column: "age", As: "min_age"},
+		Agg{Fn: "max", Column: "age", As: "max_age"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("groups = %d", len(res))
+	}
+	// Groups ordered by key: hki before tku (indexKey ordering on strings).
+	hki := res[0].MustObject()
+	if v, _ := hki.Get("n"); !mmvalue.Equal(v, mmvalue.Int(2)) {
+		t.Errorf("hki count = %s", v)
+	}
+	if v, _ := hki.Get("avg_age"); !mmvalue.Equal(v, mmvalue.Float(35)) {
+		t.Errorf("hki avg = %s", v)
+	}
+	tku := res[1].MustObject()
+	if v, _ := tku.Get("sum_age"); !mmvalue.Equal(v, mmvalue.Float(72)) {
+		t.Errorf("tku sum = %s", v)
+	}
+	if v, _ := tku.Get("min_age"); !mmvalue.Equal(v, mmvalue.Int(20)) {
+		t.Errorf("tku min = %s", v)
+	}
+	if v, _ := tku.Get("max_age"); !mmvalue.Equal(v, mmvalue.Int(28)) {
+		t.Errorf("tku max = %s", v)
+	}
+	if _, err := tbl.Query(nil).GroupBy("city", Agg{Fn: "median", As: "m"}); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+	if _, err := tbl.Query(nil).GroupBy("city", Agg{Fn: "count"}); err == nil {
+		t.Error("missing output name should fail")
+	}
+}
+
+func TestTransactionRollbackRestoresRows(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.Insert(nil, row(1, "alice", 30, "hki"))
+	mgr := tbl.Manager()
+	tx := mgr.Begin()
+	tbl.Update(tx, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+		r.MustObject().Set("age", mmvalue.Int(99))
+		return r, nil
+	})
+	tbl.Insert(tx, row(2, "bob", 20, "tku"))
+	tx.Abort()
+	got, _ := tbl.Get(nil, 1)
+	if age, _ := got.MustObject().Get("age"); !mmvalue.Equal(age, mmvalue.Int(30)) {
+		t.Error("aborted update leaked")
+	}
+	if _, ok := tbl.Get(nil, 2); ok {
+		t.Error("aborted insert leaked")
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewDB(txn.NewManager())
+	if _, err := db.CreateTable("t", customerSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", customerSchema()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	db.CreateTable("a", customerSchema())
+	if names := db.TableNames(); strings.Join(names, ",") != "a,t" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if _, ok := db.Table("t"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := db.Table("zz"); ok {
+		t.Error("phantom table")
+	}
+	if db.Manager() == nil {
+		t.Error("Manager is nil")
+	}
+}
+
+func TestConcurrentInsertsAndQueries(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.CreateIndex("city")
+	var wg sync.WaitGroup
+	const writers, per = 4, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := int64(w*per + i)
+				if err := tbl.Insert(nil, row(id, fmt.Sprintf("c%d", id), id%60, fmt.Sprintf("city%d", id%5))); err != nil {
+					t.Errorf("insert: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			tbl.Query(nil).Where(Col("city").Eq("city2")).Rows()
+			tbl.Query(nil).Where(Col("age").Lt(10)).Count()
+		}
+	}()
+	wg.Wait()
+	if tbl.Count() != writers*per {
+		t.Fatalf("Count = %d, want %d", tbl.Count(), writers*per)
+	}
+	rows := tbl.Query(nil).Where(Col("city").Eq("city2")).Rows()
+	if len(rows) != writers*per/5 {
+		t.Errorf("city2 rows = %d, want %d", len(rows), writers*per/5)
+	}
+}
+
+func TestCompactDropsVersionsAndDeadIndexEntries(t *testing.T) {
+	tbl := newCustomerTable(t)
+	tbl.CreateIndex("city")
+	tbl.Insert(nil, row(1, "alice", 30, "hki"))
+	for i := 0; i < 5; i++ {
+		tbl.Update(nil, 1, func(r mmvalue.Value) (mmvalue.Value, error) {
+			r.MustObject().Set("age", mmvalue.Int(int64(31+i)))
+			return r, nil
+		})
+	}
+	tbl.Insert(nil, row(2, "bob", 20, "tku"))
+	tbl.Delete(nil, 2)
+	horizon := tbl.Manager().Oracle().Current() + 1
+	dropped := tbl.Compact(horizon)
+	if dropped < 5 {
+		t.Errorf("dropped = %d, want >= 5", dropped)
+	}
+	if got, ok := tbl.Get(nil, 1); !ok {
+		t.Error("live row lost")
+	} else if age, _ := got.MustObject().Get("age"); !mmvalue.Equal(age, mmvalue.Int(35)) {
+		t.Errorf("latest version wrong after compact: %s", age)
+	}
+	rows := tbl.Query(nil).Where(Col("city").Eq("tku")).Rows()
+	if len(rows) != 0 {
+		t.Error("compacted dead row still reachable via index")
+	}
+}
+
+// Property: query by scan and query by index always agree.
+func TestPropIndexMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := NewTable("p", customerSchema(), txn.NewManager())
+		tbl.CreateIndex("city")
+		live := map[int64]string{}
+		for i := 0; i < 120; i++ {
+			id := int64(r.Intn(30))
+			switch r.Intn(4) {
+			case 0, 1: // insert or replace
+				city := fmt.Sprintf("c%d", r.Intn(5))
+				if _, exists := live[id]; exists {
+					tbl.Update(nil, id, func(row mmvalue.Value) (mmvalue.Value, error) {
+						row.MustObject().Set("city", mmvalue.String(city))
+						return row, nil
+					})
+				} else {
+					tbl.Insert(nil, row(id, "x", 1, city))
+				}
+				live[id] = city
+			case 2:
+				tbl.Delete(nil, id)
+				delete(live, id)
+			case 3: // verify one city
+				city := fmt.Sprintf("c%d", r.Intn(5))
+				got := tbl.Query(nil).Where(Col("city").Eq(city)).Rows()
+				var want []int64
+				for id, c := range live {
+					if c == city {
+						want = append(want, id)
+					}
+				}
+				if len(got) != len(want) {
+					return false
+				}
+				var gotIDs []int64
+				for _, g := range got {
+					id, _ := g.MustObject().Get("id")
+					gotIDs = append(gotIDs, id.MustInt())
+				}
+				sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				for i := range want {
+					if gotIDs[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tbl := NewTable("b", customerSchema(), txn.NewManager())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(nil, row(int64(i), "n", 30, "hki"))
+	}
+}
+
+func BenchmarkIndexLookupVsScan(b *testing.B) {
+	tbl := NewTable("b", customerSchema(), txn.NewManager())
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(nil, row(int64(i), "n", int64(i%50), fmt.Sprintf("city%d", i%100)))
+	}
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tbl.Query(nil).Where(Col("city").Like("city42")).Rows()
+		}
+	})
+	tbl.CreateIndex("city")
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tbl.Query(nil).Where(Col("city").Eq("city42")).Rows()
+		}
+	})
+}

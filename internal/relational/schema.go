@@ -1,0 +1,218 @@
+// Package relational implements the relational data model of the UDBMS
+// benchmark: typed tables with primary and secondary indexes, a
+// predicate language, a small planner (index vs. scan), joins and
+// aggregation. Rows are mmvalue objects validated against the table
+// schema, which keeps conversion to and from the NoSQL models lossless.
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"udbench/internal/mmvalue"
+)
+
+// ColumnType is the declared type of a relational column.
+type ColumnType uint8
+
+// Supported column types.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the SQL-ish type name.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// accepts reports whether a value conforms to the column type.
+func (t ColumnType) accepts(v mmvalue.Value) bool {
+	switch t {
+	case TypeInt:
+		return v.Kind() == mmvalue.KindInt
+	case TypeFloat:
+		return v.Kind() == mmvalue.KindFloat || v.Kind() == mmvalue.KindInt
+	case TypeString:
+		return v.Kind() == mmvalue.KindString
+	case TypeBool:
+		return v.Kind() == mmvalue.KindBool
+	default:
+		return false
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name     string
+	Type     ColumnType
+	Nullable bool
+}
+
+// Schema describes a table: its ordered columns and the primary key
+// column. UDBench uses single-column primary keys (the Figure-1 data
+// model needs no composite keys; composite logical keys are encoded as
+// strings by the generator).
+type Schema struct {
+	Columns    []Column
+	PrimaryKey string
+}
+
+// NewSchema builds a schema and validates it.
+func NewSchema(pk string, cols ...Column) (Schema, error) {
+	s := Schema{Columns: cols, PrimaryKey: pk}
+	seen := make(map[string]bool, len(cols))
+	pkFound := false
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("relational: empty column name")
+		}
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("relational: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Name == pk {
+			pkFound = true
+			if c.Nullable {
+				return Schema{}, fmt.Errorf("relational: primary key %q cannot be nullable", pk)
+			}
+		}
+	}
+	if !pkFound {
+		return Schema{}, fmt.Errorf("relational: primary key %q is not a column", pk)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for tests and fixtures.
+func MustSchema(pk string, cols ...Column) Schema {
+	s, err := NewSchema(pk, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Column returns the named column definition.
+func (s Schema) Column(name string) (Column, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnNames returns the column names in declaration order.
+func (s Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ValidateRow checks that row (an object) conforms to the schema:
+// every non-nullable column present with a conforming value, no unknown
+// fields, primary key present.
+func (s Schema) ValidateRow(row mmvalue.Value) error {
+	obj, ok := row.AsObject()
+	if !ok {
+		return fmt.Errorf("relational: row must be an object, got %s", row.Kind())
+	}
+	for _, c := range s.Columns {
+		v, present := obj.Get(c.Name)
+		if !present || v.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("relational: column %q is required", c.Name)
+			}
+			continue
+		}
+		if !c.Type.accepts(v) {
+			return fmt.Errorf("relational: column %q expects %s, got %s", c.Name, c.Type, v.Kind())
+		}
+	}
+	for _, k := range obj.Keys() {
+		if _, known := s.Column(k); !known {
+			return fmt.Errorf("relational: unknown column %q", k)
+		}
+	}
+	return nil
+}
+
+// EncodeKey renders a primary-key value as an order-preserving string:
+// byte comparison of encoded keys matches mmvalue.Compare for values of
+// one type. Ints are encoded as sign-flipped fixed-width hex, floats by
+// their order-preserving IEEE bit trick, strings raw, bools as 0/1.
+func EncodeKey(v mmvalue.Value) string {
+	switch v.Kind() {
+	case mmvalue.KindInt:
+		i, _ := v.AsInt()
+		return "i" + fmt.Sprintf("%016x", uint64(i)^(1<<63))
+	case mmvalue.KindFloat:
+		f, _ := v.AsFloat()
+		bits := floatSortableBits(f)
+		return "f" + fmt.Sprintf("%016x", bits)
+	case mmvalue.KindString:
+		s, _ := v.AsString()
+		return "s" + s
+	case mmvalue.KindBool:
+		if b, _ := v.AsBool(); b {
+			return "b1"
+		}
+		return "b0"
+	default:
+		return "x" + v.String()
+	}
+}
+
+func floatSortableBits(f float64) uint64 {
+	bits := mathFloat64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits // negative: flip all
+	}
+	return bits | (1 << 63) // positive: flip sign
+}
+
+// DecodeIntKey recovers the int64 from an EncodeKey-produced int key.
+func DecodeIntKey(key string) (int64, bool) {
+	if len(key) != 17 || key[0] != 'i' {
+		return 0, false
+	}
+	u, err := strconv.ParseUint(key[1:], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int64(u ^ (1 << 63)), true
+}
+
+// indexKey renders any column value for equality indexing: a stable
+// string that two Equal values share. Numerics are normalized so
+// Int(1) and Float(1) share a bucket, in line with mmvalue.Equal.
+func indexKey(v mmvalue.Value) string {
+	if f, ok := v.AsFloat(); ok {
+		return fmt.Sprintf("num:%g", f)
+	}
+	var sb strings.Builder
+	sb.WriteString(v.Kind().String())
+	sb.WriteByte(':')
+	sb.WriteString(v.String())
+	return sb.String()
+}
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,339 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/ordmap"
+	"udbench/internal/txn"
+)
+
+// Table is a transactional relational table: multi-versioned rows keyed
+// by encoded primary key, with optional secondary equality indexes.
+//
+// Secondary indexes are advisory: entries are added at commit time and
+// only removed by Compact, so a lookup may return extra candidates;
+// the executor always re-checks the predicate against the
+// snapshot-visible row. This keeps index maintenance correct under
+// multi-versioning without versioning the index itself.
+type Table struct {
+	name   string
+	schema Schema
+	mgr    *txn.Manager
+	rows   *ordmap.Map[*txn.Chain[mmvalue.Value]]
+
+	idxMu   sync.RWMutex
+	indexes map[string]*hashIndex // column name -> index
+}
+
+// hashIndex maps indexKey(value) -> set of primary-key strings.
+type hashIndex struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string]struct{}
+}
+
+func newHashIndex() *hashIndex {
+	return &hashIndex{buckets: make(map[string]map[string]struct{})}
+}
+
+func (ix *hashIndex) add(valKey, pk string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	b := ix.buckets[valKey]
+	if b == nil {
+		b = make(map[string]struct{})
+		ix.buckets[valKey] = b
+	}
+	b[pk] = struct{}{}
+}
+
+func (ix *hashIndex) candidates(valKey string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	b := ix.buckets[valKey]
+	out := make([]string, 0, len(b))
+	for pk := range b {
+		out = append(out, pk)
+	}
+	return out
+}
+
+func (ix *hashIndex) drop(pk string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for vk, b := range ix.buckets {
+		delete(b, pk)
+		if len(b) == 0 {
+			delete(ix.buckets, vk)
+		}
+	}
+}
+
+// NewTable creates a table with the given schema attached to mgr.
+func NewTable(name string, schema Schema, mgr *txn.Manager) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		mgr:     mgr,
+		rows:    ordmap.New[*txn.Chain[mmvalue.Value]](0x7ab1e),
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Manager returns the transaction manager.
+func (t *Table) Manager() *txn.Manager { return t.mgr }
+
+// CreateIndex adds a secondary equality index on column and backfills
+// it from the latest committed rows.
+func (t *Table) CreateIndex(column string) error {
+	if _, ok := t.schema.Column(column); !ok {
+		return fmt.Errorf("relational %s: no column %q to index", t.name, column)
+	}
+	ix := newHashIndex()
+	t.idxMu.Lock()
+	if _, exists := t.indexes[column]; exists {
+		t.idxMu.Unlock()
+		return fmt.Errorf("relational %s: index on %q already exists", t.name, column)
+	}
+	t.indexes[column] = ix
+	t.idxMu.Unlock()
+	t.rows.Ascend("", "", func(pk string, chain *txn.Chain[mmvalue.Value]) bool {
+		if row, live := chain.ReadLatest(); live {
+			if v, ok := row.MustObject().Get(column); ok {
+				ix.add(indexKey(v), pk)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// HasIndex reports whether a secondary index exists on column.
+func (t *Table) HasIndex(column string) bool {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	_, ok := t.indexes[column]
+	return ok
+}
+
+func (t *Table) index(column string) *hashIndex {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return t.indexes[column]
+}
+
+func (t *Table) resource(pk string) string { return t.name + "/" + pk }
+
+func (t *Table) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
+	if tx != nil {
+		return fn(tx)
+	}
+	return t.mgr.RunWith(3, fn)
+}
+
+// pkOf extracts and encodes the primary key of a valid row.
+func (t *Table) pkOf(row mmvalue.Value) (string, error) {
+	obj, ok := row.AsObject()
+	if !ok {
+		return "", fmt.Errorf("relational %s: row must be an object", t.name)
+	}
+	v, ok := obj.Get(t.schema.PrimaryKey)
+	if !ok || v.IsNull() {
+		return "", fmt.Errorf("relational %s: missing primary key %q", t.name, t.schema.PrimaryKey)
+	}
+	return EncodeKey(v), nil
+}
+
+// Insert adds a new row. It fails if a live row with the same primary
+// key is visible at latest-committed state or pending in this
+// transaction.
+func (t *Table) Insert(tx *txn.Tx, row mmvalue.Value) error {
+	if err := t.schema.ValidateRow(row); err != nil {
+		return err
+	}
+	pk, err := t.pkOf(row)
+	if err != nil {
+		return err
+	}
+	return t.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+			return err
+		}
+		chain, _ := t.rows.GetOrInsert(pk, func() *txn.Chain[mmvalue.Value] {
+			return &txn.Chain[mmvalue.Value]{}
+		})
+		if _, exists := chain.Read(t.mgr.Oracle().Current(), tx.ID()); exists {
+			return fmt.Errorf("relational %s: duplicate primary key %v", t.name, pk)
+		}
+		stored := row.Clone()
+		chain.Write(tx.ID(), stored, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			t.indexRow(pk, stored)
+		})
+		return nil
+	})
+}
+
+// indexRow registers a committed row's values in all secondary indexes.
+func (t *Table) indexRow(pk string, row mmvalue.Value) {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	obj := row.MustObject()
+	for col, ix := range t.indexes {
+		if v, ok := obj.Get(col); ok && !v.IsNull() {
+			ix.add(indexKey(v), pk)
+		}
+	}
+}
+
+// Get returns the row with the given primary-key value as visible to
+// tx (latest committed when tx is nil). The returned row is shared;
+// callers must Clone before mutating.
+func (t *Table) Get(tx *txn.Tx, pkValue any) (mmvalue.Value, bool) {
+	pk := EncodeKey(mmvalue.From(pkValue))
+	chain, ok := t.rows.Get(pk)
+	if !ok {
+		return mmvalue.Null, false
+	}
+	if tx == nil {
+		return chain.ReadLatest()
+	}
+	return chain.Read(tx.BeginTS(), tx.ID())
+}
+
+// Update applies fn to the current version of the row with the given
+// primary key and stores the result. fn receives a clone and returns
+// the replacement row (same primary key required).
+func (t *Table) Update(tx *txn.Tx, pkValue any, fn func(row mmvalue.Value) (mmvalue.Value, error)) error {
+	pk := EncodeKey(mmvalue.From(pkValue))
+	return t.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+			return err
+		}
+		chain, ok := t.rows.Get(pk)
+		if !ok {
+			return fmt.Errorf("relational %s: no row with key %v", t.name, pkValue)
+		}
+		cur, live := chain.Read(t.mgr.Oracle().Current(), tx.ID())
+		if !live {
+			return fmt.Errorf("relational %s: no row with key %v", t.name, pkValue)
+		}
+		next, err := fn(cur.Clone())
+		if err != nil {
+			return err
+		}
+		if err := t.schema.ValidateRow(next); err != nil {
+			return err
+		}
+		npk, err := t.pkOf(next)
+		if err != nil {
+			return err
+		}
+		if npk != pk {
+			return fmt.Errorf("relational %s: update may not change the primary key", t.name)
+		}
+		chain.Write(tx.ID(), next, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			t.indexRow(pk, next)
+		})
+		return nil
+	})
+}
+
+// Delete tombstones the row with the given primary key. Deleting a
+// missing row reports ErrNoRow via a normal error.
+func (t *Table) Delete(tx *txn.Tx, pkValue any) error {
+	pk := EncodeKey(mmvalue.From(pkValue))
+	return t.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+			return err
+		}
+		chain, ok := t.rows.Get(pk)
+		if !ok {
+			return nil
+		}
+		if _, live := chain.Read(t.mgr.Oracle().Current(), tx.ID()); !live {
+			return nil
+		}
+		chain.Write(tx.ID(), mmvalue.Null, true)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		return nil
+	})
+}
+
+// scan iterates live rows visible to tx in primary-key order.
+func (t *Table) scan(tx *txn.Tx, fn func(pk string, row mmvalue.Value) bool) {
+	t.rows.Ascend("", "", func(pk string, chain *txn.Chain[mmvalue.Value]) bool {
+		var row mmvalue.Value
+		var ok bool
+		if tx == nil {
+			row, ok = chain.ReadLatest()
+		} else {
+			row, ok = chain.Read(tx.BeginTS(), tx.ID())
+		}
+		if !ok {
+			return true
+		}
+		return fn(pk, row)
+	})
+}
+
+// readVisible resolves one pk under the tx snapshot.
+func (t *Table) readVisible(tx *txn.Tx, pk string) (mmvalue.Value, bool) {
+	chain, ok := t.rows.Get(pk)
+	if !ok {
+		return mmvalue.Null, false
+	}
+	if tx == nil {
+		return chain.ReadLatest()
+	}
+	return chain.Read(tx.BeginTS(), tx.ID())
+}
+
+// Count returns the number of live rows at latest-committed state.
+func (t *Table) Count() int {
+	n := 0
+	t.scan(nil, func(string, mmvalue.Value) bool { n++; return true })
+	return n
+}
+
+// Compact garbage-collects old versions and rebuilds secondary indexes
+// from live rows, dropping stale index entries. Returns versions
+// dropped. Must not run concurrently with transactions reading below
+// horizon.
+func (t *Table) Compact(horizon txn.TS) int {
+	dropped := 0
+	var deadPKs []string
+	t.rows.Ascend("", "", func(pk string, chain *txn.Chain[mmvalue.Value]) bool {
+		dropped += chain.GC(horizon)
+		if _, live := chain.ReadLatest(); !live {
+			if ts := chain.LatestCommitTS(); ts != 0 && ts < horizon {
+				deadPKs = append(deadPKs, pk)
+			}
+		}
+		return true
+	})
+	t.idxMu.RLock()
+	for _, ix := range t.indexes {
+		for _, pk := range deadPKs {
+			ix.drop(pk)
+		}
+	}
+	t.idxMu.RUnlock()
+	for _, pk := range deadPKs {
+		t.rows.Remove(pk)
+	}
+	return dropped
+}

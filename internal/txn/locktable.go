@@ -1,0 +1,207 @@
+package txn
+
+import (
+	"sync"
+)
+
+type lockMode uint8
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockTable implements strict two-phase locking over string-named
+// resources with deadlock detection on the wait-for graph. A single
+// mutex guards the whole table; waiters block on a shared condition
+// variable and re-evaluate grantability on every release. This is
+// deliberately simple and correct; lock hold times in the benchmark
+// dominate table overhead.
+type lockTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[string]*lockEntry
+	// waitsFor[a] = set of txIDs that a is currently waiting on.
+	waitsFor map[uint64]map[uint64]struct{}
+	// aborted marks waiters chosen as deadlock victims so they stop
+	// waiting and return ErrDeadlock.
+	aborted map[uint64]struct{}
+}
+
+type lockEntry struct {
+	// holders maps txID -> mode currently granted.
+	holders map[uint64]lockMode
+	waiters int
+}
+
+func newLockTable() *lockTable {
+	lt := &lockTable{
+		entries:  make(map[string]*lockEntry),
+		waitsFor: make(map[uint64]map[uint64]struct{}),
+		aborted:  make(map[uint64]struct{}),
+	}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+// acquire blocks until the lock is granted or the caller is chosen as a
+// deadlock victim. It returns (true, nil) when a new lock was granted,
+// (false, nil) when the transaction already held a sufficient lock, and
+// (false, ErrDeadlock) when aborted.
+func (lt *lockTable) acquire(txID uint64, resource string, mode lockMode) (bool, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+
+	e := lt.entries[resource]
+	if e == nil {
+		e = &lockEntry{holders: make(map[uint64]lockMode)}
+		lt.entries[resource] = e
+	}
+	if held, ok := e.holders[txID]; ok {
+		if held == lockExclusive || mode == lockShared {
+			return false, nil // already sufficient
+		}
+		// Upgrade S -> X: wait until we are the only holder.
+	}
+
+	for {
+		// Refresh our wait edges each retry so released blockers do
+		// not linger in the graph and cause spurious victims.
+		lt.clearWaits(txID)
+		if _, victim := lt.aborted[txID]; victim {
+			delete(lt.aborted, txID)
+			return false, ErrDeadlock
+		}
+		if lt.grantable(e, txID, mode) {
+			e.holders[txID] = mode
+			lt.clearWaits(txID)
+			return true, nil
+		}
+		// Record wait edges to every conflicting holder, then check
+		// whether that closed a cycle.
+		blockers := lt.conflictingHolders(e, txID, mode)
+		w := lt.waitsFor[txID]
+		if w == nil {
+			w = make(map[uint64]struct{})
+			lt.waitsFor[txID] = w
+		}
+		for _, b := range blockers {
+			w[b] = struct{}{}
+		}
+		if victim, found := lt.findCycleVictim(txID); found {
+			if victim == txID {
+				delete(lt.aborted, txID) // in case marked
+				lt.clearWaits(txID)
+				return false, ErrDeadlock
+			}
+			lt.aborted[victim] = struct{}{}
+			lt.cond.Broadcast()
+		}
+		e.waiters++
+		lt.cond.Wait()
+		e.waiters--
+	}
+}
+
+// grantable reports whether txID may take the lock in mode right now.
+func (lt *lockTable) grantable(e *lockEntry, txID uint64, mode lockMode) bool {
+	for holder, hm := range e.holders {
+		if holder == txID {
+			continue
+		}
+		if mode == lockExclusive || hm == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (lt *lockTable) conflictingHolders(e *lockEntry, txID uint64, mode lockMode) []uint64 {
+	var out []uint64
+	for holder, hm := range e.holders {
+		if holder == txID {
+			continue
+		}
+		if mode == lockExclusive || hm == lockExclusive {
+			out = append(out, holder)
+		}
+	}
+	return out
+}
+
+// findCycleVictim searches the wait-for graph for a cycle reachable
+// from start and returns the youngest (highest-ID) transaction on the
+// cycle as the victim. Higher ID means started later, so less work is
+// wasted.
+func (lt *lockTable) findCycleVictim(start uint64) (victim uint64, found bool) {
+	// Iterative DFS tracking the path to recover cycle membership.
+	type frame struct {
+		node uint64
+		next []uint64
+	}
+	onPath := map[uint64]bool{}
+	var path []uint64
+	push := func(n uint64) frame {
+		var succ []uint64
+		for s := range lt.waitsFor[n] {
+			succ = append(succ, s)
+		}
+		onPath[n] = true
+		path = append(path, n)
+		return frame{node: n, next: succ}
+	}
+	stack := []frame{push(start)}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if len(top.next) == 0 {
+			onPath[top.node] = false
+			path = path[:len(path)-1]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		n := top.next[len(top.next)-1]
+		top.next = top.next[:len(top.next)-1]
+		if onPath[n] {
+			// Cycle: path from n..end plus n. Pick youngest.
+			victim = n
+			seen := false
+			for _, p := range path {
+				if p == n {
+					seen = true
+				}
+				if seen && p > victim {
+					victim = p
+				}
+			}
+			return victim, true
+		}
+		if _, hasEdges := lt.waitsFor[n]; hasEdges {
+			stack = append(stack, push(n))
+		}
+	}
+	return 0, false
+}
+
+// releaseAll drops every lock held by txID and clears its wait state.
+func (lt *lockTable) releaseAll(txID uint64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for res, e := range lt.entries {
+		if _, ok := e.holders[txID]; ok {
+			delete(e.holders, txID)
+			if len(e.holders) == 0 && e.waiters == 0 {
+				delete(lt.entries, res)
+			}
+		}
+	}
+	lt.clearWaits(txID)
+	delete(lt.aborted, txID)
+	lt.cond.Broadcast()
+}
+
+// clearWaits removes txID's outgoing wait edges and any incoming edges
+// pointing at it from the wait-for graph bookkeeping of *other* waiters
+// are refreshed when they retry.
+func (lt *lockTable) clearWaits(txID uint64) {
+	delete(lt.waitsFor, txID)
+}

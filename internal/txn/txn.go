@@ -1,0 +1,265 @@
+// Package txn provides the transactional substrate shared by all UDBench
+// stores: a global timestamp oracle, per-record multi-version chains, a
+// strict two-phase-locking lock table with wait-for-graph deadlock
+// detection, and the transaction object that ties them together.
+//
+// Concurrency model ("SI+SS2PL"): writers take exclusive locks held to
+// commit (strict 2PL), so write sets serialize. Readers never lock; they
+// read the newest record version whose commit timestamp is <= the
+// transaction's begin timestamp, i.e. snapshot reads. A transaction
+// always sees its own uncommitted writes.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TS is a logical timestamp issued by the Oracle.
+type TS uint64
+
+// Oracle issues strictly increasing logical timestamps. The zero Oracle
+// is ready to use.
+type Oracle struct {
+	counter atomic.Uint64
+}
+
+// Next returns the next timestamp (starting at 1).
+func (o *Oracle) Next() TS { return TS(o.counter.Add(1)) }
+
+// Current returns the most recently issued timestamp.
+func (o *Oracle) Current() TS { return TS(o.counter.Load()) }
+
+// Errors returned by transaction operations.
+var (
+	// ErrDeadlock is returned to the victim of a deadlock; the
+	// transaction has been aborted and must be retried by the caller.
+	ErrDeadlock = errors.New("txn: deadlock detected, transaction aborted")
+	// ErrTxClosed is returned when using a committed or aborted Tx.
+	ErrTxClosed = errors.New("txn: transaction is closed")
+	// ErrLockTimeout is reserved for lock-wait timeouts (unused by the
+	// default wait-for-graph policy but part of the public contract).
+	ErrLockTimeout = errors.New("txn: lock wait timeout")
+)
+
+// Status describes the lifecycle state of a transaction.
+type Status uint8
+
+// Transaction lifecycle states.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Manager coordinates transactions across any number of stores. All
+// stores attached to the same Manager share one lock space and one
+// commit point, which is what makes UDBMS cross-model transactions
+// atomic. Create with NewManager.
+type Manager struct {
+	oracle Oracle
+	locks  *lockTable
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]*Tx
+
+	// commitMu makes the commit point atomic with respect to snapshot
+	// acquisition: Commit stamps every written version chain while
+	// holding the write side, and Begin reads the oracle under the
+	// read side. Without it a reader beginning between two stamp hooks
+	// of one commit would see a torn cross-store state.
+	commitMu sync.RWMutex
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewManager returns a ready Manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:  newLockTable(),
+		active: make(map[uint64]*Tx),
+	}
+}
+
+// Begin starts a transaction with a snapshot at the current timestamp.
+func (m *Manager) Begin() *Tx {
+	m.commitMu.RLock()
+	beginTS := m.oracle.Current()
+	m.commitMu.RUnlock()
+	tx := &Tx{
+		id:      m.nextID.Add(1),
+		beginTS: beginTS,
+		mgr:     m,
+	}
+	m.mu.Lock()
+	m.active[tx.id] = tx
+	m.mu.Unlock()
+	return tx
+}
+
+// Oracle exposes the manager's timestamp oracle (used by replication
+// and consistency metrics to relate events to commit timestamps).
+func (m *Manager) Oracle() *Oracle { return &m.oracle }
+
+// Stats reports cumulative commit and abort counts.
+func (m *Manager) Stats() (commits, aborts uint64) {
+	return m.commits.Load(), m.aborts.Load()
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Tx is a single transaction. A Tx is not safe for concurrent use by
+// multiple goroutines.
+type Tx struct {
+	id      uint64
+	beginTS TS
+	mgr     *Manager
+	status  Status
+
+	undo       []func()
+	commitHook []func(TS)
+	heldLocks  []string
+}
+
+// ID returns the transaction's unique identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// BeginTS returns the snapshot timestamp reads are served at.
+func (tx *Tx) BeginTS() TS { return tx.beginTS }
+
+// Status returns the lifecycle state.
+func (tx *Tx) Status() Status { return tx.status }
+
+// Active reports whether the transaction can still be used.
+func (tx *Tx) Active() bool { return tx.status == StatusActive }
+
+// LockExclusive acquires an exclusive lock on the named resource,
+// blocking until granted. If waiting would close a cycle in the
+// wait-for graph the transaction is aborted and ErrDeadlock returned.
+// Locks are held until Commit or Abort (strict 2PL).
+func (tx *Tx) LockExclusive(resource string) error {
+	if tx.status != StatusActive {
+		return ErrTxClosed
+	}
+	granted, err := tx.mgr.locks.acquire(tx.id, resource, lockExclusive)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if granted {
+		tx.heldLocks = append(tx.heldLocks, resource)
+	}
+	return nil
+}
+
+// LockShared acquires a shared lock on the named resource. Shared locks
+// are only used by the optional serializable read mode; snapshot reads
+// do not lock.
+func (tx *Tx) LockShared(resource string) error {
+	if tx.status != StatusActive {
+		return ErrTxClosed
+	}
+	granted, err := tx.mgr.locks.acquire(tx.id, resource, lockShared)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if granted {
+		tx.heldLocks = append(tx.heldLocks, resource)
+	}
+	return nil
+}
+
+// OnUndo registers fn to run (in reverse order) if the transaction
+// aborts. Stores use this to remove uncommitted versions.
+func (tx *Tx) OnUndo(fn func()) { tx.undo = append(tx.undo, fn) }
+
+// OnCommit registers fn to run with the commit timestamp when the
+// transaction commits. Stores use this to stamp uncommitted versions.
+func (tx *Tx) OnCommit(fn func(TS)) { tx.commitHook = append(tx.commitHook, fn) }
+
+// Commit atomically installs all writes at a single new commit
+// timestamp and releases all locks. The commit point (timestamp
+// assignment plus version stamping) is atomic with respect to Begin,
+// so snapshot readers see either all of a transaction's writes or
+// none of them, across every store on this manager.
+func (tx *Tx) Commit() (TS, error) {
+	if tx.status != StatusActive {
+		return 0, ErrTxClosed
+	}
+	tx.mgr.commitMu.Lock()
+	commitTS := tx.mgr.oracle.Next()
+	for _, fn := range tx.commitHook {
+		fn(commitTS)
+	}
+	tx.mgr.commitMu.Unlock()
+	tx.status = StatusCommitted
+	tx.finish()
+	tx.mgr.commits.Add(1)
+	return commitTS, nil
+}
+
+// Abort rolls back all writes and releases all locks. Abort on a closed
+// transaction is a no-op.
+func (tx *Tx) Abort() {
+	if tx.status != StatusActive {
+		return
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.status = StatusAborted
+	tx.finish()
+	tx.mgr.aborts.Add(1)
+}
+
+func (tx *Tx) finish() {
+	tx.mgr.locks.releaseAll(tx.id)
+	tx.heldLocks = nil
+	tx.undo = nil
+	tx.commitHook = nil
+	tx.mgr.mu.Lock()
+	delete(tx.mgr.active, tx.id)
+	tx.mgr.mu.Unlock()
+}
+
+// RunWith executes fn inside a fresh transaction, committing on nil and
+// aborting on error. On ErrDeadlock it retries up to retries times.
+func (m *Manager) RunWith(retries int, fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := m.Begin()
+		err := fn(tx)
+		if err == nil {
+			_, err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if !errors.Is(err, ErrDeadlock) || attempt >= retries {
+			return err
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package udbms
+
+import (
+	"fmt"
+
+	"udbench/internal/document"
+	"udbench/internal/graph"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+	"udbench/internal/txn"
+	"udbench/internal/xmlstore"
+)
+
+// Pipeline is a fluent multi-model query: it starts from one model and
+// hops across the others, carrying a working set of row objects. All
+// stages read under the same transaction snapshot, which is the core
+// capability a unified engine offers over a federation.
+//
+// Each stage transforms the working set; errors are deferred to Rows.
+type Pipeline struct {
+	db   *DB
+	tx   *txn.Tx
+	rows []mmvalue.Value
+	err  error
+}
+
+// Pipeline starts an empty pipeline under tx (nil = latest committed).
+func (db *DB) Pipeline(tx *txn.Tx) *Pipeline {
+	return &Pipeline{db: db, tx: tx}
+}
+
+// Err returns the first error the pipeline encountered.
+func (p *Pipeline) Err() error { return p.err }
+
+// Rows returns the current working set.
+func (p *Pipeline) Rows() ([]mmvalue.Value, error) { return p.rows, p.err }
+
+// Count returns the size of the working set.
+func (p *Pipeline) Count() (int, error) { return len(p.rows), p.err }
+
+// FromRelational seeds the pipeline with rows of the named table
+// matching the predicate (nil = all rows).
+func (p *Pipeline) FromRelational(table string, where relational.Expr) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	t, ok := p.db.Relational.Table(table)
+	if !ok {
+		p.err = fmt.Errorf("udbms: no table %q", table)
+		return p
+	}
+	q := t.Query(p.tx)
+	if where != nil {
+		q = q.Where(where)
+	}
+	p.rows = q.Rows()
+	return p
+}
+
+// FromDocuments seeds the pipeline with documents of the named
+// collection matching the filter (nil = all documents).
+func (p *Pipeline) FromDocuments(collection string, filter document.Filter) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	p.rows = p.db.Docs.Collection(collection).Find(p.tx, filter, nil)
+	return p
+}
+
+// FromGraphVertices seeds the pipeline with graph vertices whose label
+// matches (""=any) and whose properties satisfy ok (nil=all). Each row
+// is the vertex property object extended with "_vid" and "_label".
+func (p *Pipeline) FromGraphVertices(label string, ok func(graph.Vertex) bool) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	p.rows = p.rows[:0]
+	p.db.Graph.Vertices(p.tx, func(v graph.Vertex) bool {
+		if label != "" && v.Label != label {
+			return true
+		}
+		if ok != nil && !ok(v) {
+			return true
+		}
+		row := v.Props.Clone().MustObject()
+		row.Set("_vid", mmvalue.String(string(v.ID)))
+		row.Set("_label", mmvalue.String(v.Label))
+		p.rows = append(p.rows, mmvalue.FromObject(row))
+		return true
+	})
+	return p
+}
+
+// Filter keeps rows for which keep returns true.
+func (p *Pipeline) Filter(keep func(row mmvalue.Value) bool) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	kept := p.rows[:0]
+	for _, r := range p.rows {
+		if keep(r) {
+			kept = append(kept, r)
+		}
+	}
+	p.rows = kept
+	return p
+}
+
+// Map replaces each row with fn(row).
+func (p *Pipeline) Map(fn func(row mmvalue.Value) mmvalue.Value) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	for i, r := range p.rows {
+		p.rows[i] = fn(r)
+	}
+	return p
+}
+
+// Limit truncates the working set.
+func (p *Pipeline) Limit(n int) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	if n >= 0 && len(p.rows) > n {
+		p.rows = p.rows[:n]
+	}
+	return p
+}
+
+// JoinDocuments extends each row with the documents of collection
+// whose docPath value equals the row's rowField value; matches land as
+// an array under asField. Rows without matches keep an empty array.
+// When the collection has an index on docPath it is used per row.
+func (p *Pipeline) JoinDocuments(collection, rowField, docPath, asField string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	coll := p.db.Docs.Collection(collection)
+	for _, r := range p.rows {
+		obj := r.MustObject()
+		key := obj.GetOr(rowField, mmvalue.Null)
+		var matches []mmvalue.Value
+		if !key.IsNull() {
+			matches = coll.Find(p.tx, document.Eq(docPath, key), nil)
+		}
+		obj.Set(asField, mmvalue.Array(matches...))
+	}
+	return p
+}
+
+// JoinRelational extends each row with the rows of table whose column
+// equals the row's rowField value, landing under asField as an array.
+func (p *Pipeline) JoinRelational(table, rowField, column, asField string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	t, ok := p.db.Relational.Table(table)
+	if !ok {
+		p.err = fmt.Errorf("udbms: no table %q", table)
+		return p
+	}
+	for _, r := range p.rows {
+		obj := r.MustObject()
+		key := obj.GetOr(rowField, mmvalue.Null)
+		var matches []mmvalue.Value
+		if !key.IsNull() {
+			matches = t.Query(p.tx).Where(relational.Col(column).Eq(key)).Rows()
+		}
+		obj.Set(asField, mmvalue.Array(matches...))
+	}
+	return p
+}
+
+// JoinKVPrefix extends each row with all key-value pairs whose key has
+// prefix prefixFn(row), landing under asField as an array of
+// {key, value} objects.
+func (p *Pipeline) JoinKVPrefix(prefixFn func(row mmvalue.Value) string, asField string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	for _, r := range p.rows {
+		obj := r.MustObject()
+		var matches []mmvalue.Value
+		p.db.KV.ScanPrefix(p.tx, prefixFn(r), func(k string, v mmvalue.Value) bool {
+			matches = append(matches, mmvalue.ObjectOf("key", k, "value", v.Clone()))
+			return true
+		})
+		obj.Set(asField, mmvalue.Array(matches...))
+	}
+	return p
+}
+
+// JoinXML evaluates the XPath against the XML document idFn(row) names
+// and lands the string results under asField.
+func (p *Pipeline) JoinXML(idFn func(row mmvalue.Value) string, xpath string, asField string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	xp, err := xmlstore.CompileXPath(xpath)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	for _, r := range p.rows {
+		obj := r.MustObject()
+		var vals []mmvalue.Value
+		if doc, ok := p.db.XML.Get(p.tx, idFn(r)); ok {
+			for _, s := range xp.SelectValues(doc) {
+				vals = append(vals, mmvalue.String(s))
+			}
+		}
+		obj.Set(asField, mmvalue.Array(vals...))
+	}
+	return p
+}
+
+// ExpandGraph replaces each row's vertex neighbourhood: for the vertex
+// named by vidFn(row), the ids of vertices within k hops over label in
+// direction dir land under asField as an array of strings.
+func (p *Pipeline) ExpandGraph(vidFn func(row mmvalue.Value) string, k int, dir graph.Dir, label, asField string) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	for _, r := range p.rows {
+		obj := r.MustObject()
+		hops := p.db.Graph.KHop(p.tx, graph.VID(vidFn(r)), k, dir, label)
+		vals := make([]mmvalue.Value, len(hops))
+		for i, h := range hops {
+			vals[i] = mmvalue.String(string(h))
+		}
+		obj.Set(asField, mmvalue.Array(vals...))
+	}
+	return p
+}

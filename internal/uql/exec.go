@@ -1,0 +1,103 @@
+package uql
+
+import (
+	"fmt"
+	"sort"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/txn"
+	"udbench/internal/udbms"
+)
+
+// Execute runs the query against the unified engine under tx (nil =
+// latest committed; pass a transaction for a stable snapshot). Sources
+// are resolved against the catalog: relational table first, then
+// document collection (graph sources are explicit via GRAPH(label)).
+func (q *Query) Execute(db *udbms.DB, tx *txn.Tx) ([]mmvalue.Value, error) {
+	p := db.Pipeline(tx)
+	switch {
+	case q.IsGraph:
+		p = p.FromGraphVertices(q.Source, nil)
+	default:
+		if _, isTable := db.Relational.Table(q.Source); isTable {
+			p = p.FromRelational(q.Source, nil)
+		} else if contains(db.Docs.CollectionNames(), q.Source) {
+			p = p.FromDocuments(q.Source, nil)
+		} else {
+			return nil, fmt.Errorf("uql: unknown source %q (no such table or collection)", q.Source)
+		}
+	}
+	for _, st := range q.Stages {
+		switch s := st.(type) {
+		case FilterStage:
+			cond := s.Cond
+			p = p.Filter(func(row mmvalue.Value) bool {
+				return cond.Eval(row).Truthy()
+			})
+		case JoinStage:
+			if _, isTable := db.Relational.Table(s.Source); isTable {
+				p = p.JoinRelational(s.Source, s.RightPath, s.LeftPath, s.Var)
+			} else if contains(db.Docs.CollectionNames(), s.Source) {
+				p = p.JoinDocuments(s.Source, s.RightPath, s.LeftPath, s.Var)
+			} else {
+				return nil, fmt.Errorf("uql: unknown join source %q", s.Source)
+			}
+		case LimitStage:
+			p = p.Limit(s.N)
+		case SortStage:
+			rows, err := p.Rows()
+			if err != nil {
+				return nil, err
+			}
+			path := mmvalue.ParsePath(s.Path)
+			sort.SliceStable(rows, func(i, j int) bool {
+				a := path.LookupOr(rows[i], mmvalue.Null)
+				b := path.LookupOr(rows[j], mmvalue.Null)
+				if s.Desc {
+					return mmvalue.Compare(a, b) > 0
+				}
+				return mmvalue.Compare(a, b) < 0
+			})
+		default:
+			return nil, fmt.Errorf("uql: unhandled stage %s", st.stageName())
+		}
+	}
+	rows, err := p.Rows()
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Return) == 0 {
+		return rows, nil
+	}
+	out := make([]mmvalue.Value, len(rows))
+	for i, row := range rows {
+		o := mmvalue.NewObject()
+		for _, ri := range q.Return {
+			if ri.Path == "" {
+				o.Set(ri.Alias, row)
+				continue
+			}
+			o.Set(ri.Alias, mmvalue.ParsePath(ri.Path).LookupOr(row, mmvalue.Null))
+		}
+		out[i] = mmvalue.FromObject(o)
+	}
+	return out, nil
+}
+
+// Run parses and executes src in one call.
+func Run(db *udbms.DB, tx *txn.Tx, src string) ([]mmvalue.Value, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(db, tx)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,513 @@
+package uql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"udbench/internal/mmvalue"
+)
+
+// Query is a parsed UQL statement.
+type Query struct {
+	// Var is the iteration variable of the FOR clause.
+	Var string
+	// Source is the seeded table/collection, or the graph label when
+	// IsGraph is set.
+	Source  string
+	IsGraph bool
+	// Stages apply in order.
+	Stages []Stage
+	// Return lists the projected items (empty = whole rows).
+	Return []RetItem
+}
+
+// Stage is one pipeline clause.
+type Stage interface{ stageName() string }
+
+// FilterStage keeps rows whose expression is truthy.
+type FilterStage struct{ Cond Expr }
+
+func (FilterStage) stageName() string { return "FILTER" }
+
+// JoinStage joins another source: rows gain an array field named Var
+// with the matching records.
+type JoinStage struct {
+	Var       string
+	Source    string
+	LeftPath  string // path inside the joined source
+	RightPath string // path inside the current row
+}
+
+func (JoinStage) stageName() string { return "JOIN" }
+
+// LimitStage truncates the row set.
+type LimitStage struct{ N int }
+
+func (LimitStage) stageName() string { return "LIMIT" }
+
+// SortStage orders rows by a path.
+type SortStage struct {
+	Path string
+	Desc bool
+}
+
+func (SortStage) stageName() string { return "SORT" }
+
+// RetItem is one projected output.
+type RetItem struct {
+	Path  string
+	Alias string
+}
+
+// Expr is a UQL expression evaluated against a row.
+type Expr interface {
+	// Eval returns the expression value on the row.
+	Eval(row mmvalue.Value) mmvalue.Value
+	// String renders UQL-ish source.
+	String() string
+}
+
+type pathExpr struct{ path string }
+
+func (e pathExpr) Eval(row mmvalue.Value) mmvalue.Value {
+	return mmvalue.ParsePath(e.path).LookupOr(row, mmvalue.Null)
+}
+func (e pathExpr) String() string { return e.path }
+
+type litExpr struct{ v mmvalue.Value }
+
+func (e litExpr) Eval(mmvalue.Value) mmvalue.Value { return e.v }
+func (e litExpr) String() string                   { return e.v.String() }
+
+type cmpExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e cmpExpr) Eval(row mmvalue.Value) mmvalue.Value {
+	lv, rv := e.l.Eval(row), e.r.Eval(row)
+	if e.op == "LIKE" {
+		ls, ok1 := lv.AsString()
+		ps, ok2 := rv.AsString()
+		if !ok1 || !ok2 {
+			return mmvalue.Bool(false)
+		}
+		return mmvalue.Bool(likeMatch(ls, ps))
+	}
+	c := mmvalue.Compare(lv, rv)
+	switch e.op {
+	case "==":
+		return mmvalue.Bool(c == 0)
+	case "!=":
+		return mmvalue.Bool(c != 0)
+	case "<":
+		return mmvalue.Bool(c < 0)
+	case "<=":
+		return mmvalue.Bool(c <= 0)
+	case ">":
+		return mmvalue.Bool(c > 0)
+	case ">=":
+		return mmvalue.Bool(c >= 0)
+	}
+	return mmvalue.Bool(false)
+}
+func (e cmpExpr) String() string { return e.l.String() + " " + e.op + " " + e.r.String() }
+
+func likeMatch(s, pattern string) bool {
+	pre := strings.HasPrefix(pattern, "%")
+	suf := strings.HasSuffix(pattern, "%")
+	core := strings.TrimSuffix(strings.TrimPrefix(pattern, "%"), "%")
+	switch {
+	case pre && suf:
+		return strings.Contains(s, core)
+	case pre:
+		return strings.HasSuffix(s, core)
+	case suf:
+		return strings.HasPrefix(s, core)
+	default:
+		return s == core
+	}
+}
+
+type boolExpr struct {
+	op   string // AND, OR
+	l, r Expr
+}
+
+func (e boolExpr) Eval(row mmvalue.Value) mmvalue.Value {
+	if e.op == "AND" {
+		return mmvalue.Bool(e.l.Eval(row).Truthy() && e.r.Eval(row).Truthy())
+	}
+	return mmvalue.Bool(e.l.Eval(row).Truthy() || e.r.Eval(row).Truthy())
+}
+func (e boolExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+type notExpr struct{ e Expr }
+
+func (e notExpr) Eval(row mmvalue.Value) mmvalue.Value {
+	return mmvalue.Bool(!e.e.Eval(row).Truthy())
+}
+func (e notExpr) String() string { return "NOT " + e.e.String() }
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	// forVar is the FOR variable; join vars accumulate so path
+	// resolution can strip the right prefixes.
+	forVar   string
+	joinVars map[string]bool
+}
+
+// Parse compiles UQL source into a Query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, joinVars: map[string]bool{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("uql: unexpected %q after query end", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("uql: expected %s, got %q at %d", kw, p.cur().text, p.cur().pos)
+	}
+	p.advance()
+	return nil
+}
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", fmt.Errorf("uql: expected identifier, got %q at %d", p.cur().text, p.cur().pos)
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(v, ".") {
+		return nil, fmt.Errorf("uql: FOR variable %q must be a plain identifier", v)
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	q := &Query{Var: v}
+	p.forVar = v
+	if p.atKeyword("GRAPH") {
+		p.advance()
+		if !p.at(tokLParen) {
+			return nil, fmt.Errorf("uql: expected ( after GRAPH")
+		}
+		p.advance()
+		label, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokRParen) {
+			return nil, fmt.Errorf("uql: expected ) after GRAPH label")
+		}
+		p.advance()
+		q.Source = label
+		q.IsGraph = true
+	} else {
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Source = src
+	}
+	for {
+		switch {
+		case p.atKeyword("FILTER"):
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.Stages = append(q.Stages, FilterStage{Cond: e})
+		case p.atKeyword("JOIN"):
+			p.advance()
+			jv, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("IN"); err != nil {
+				return nil, err
+			}
+			src, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			left, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.at(tokOp) || p.cur().text != "==" {
+				return nil, fmt.Errorf("uql: JOIN condition must be ==, got %q", p.cur().text)
+			}
+			p.advance()
+			right, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			lp, err := p.joinSidePath(left, jv)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := p.joinSidePath(right, jv)
+			if err != nil {
+				return nil, err
+			}
+			// One side must reference the join var, the other the row.
+			leftIsJoin := strings.HasPrefix(left, jv+".")
+			if !leftIsJoin && !strings.HasPrefix(right, jv+".") {
+				return nil, fmt.Errorf("uql: JOIN ON must reference %s.<path> on one side", jv)
+			}
+			st := JoinStage{Var: jv, Source: src}
+			if leftIsJoin {
+				st.LeftPath, st.RightPath = lp, rp
+			} else {
+				st.LeftPath, st.RightPath = rp, lp
+			}
+			p.joinVars[jv] = true
+			q.Stages = append(q.Stages, st)
+		case p.atKeyword("LIMIT"):
+			p.advance()
+			if !p.at(tokNumber) {
+				return nil, fmt.Errorf("uql: LIMIT needs a number")
+			}
+			n, err := strconv.Atoi(p.advance().text)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("uql: bad LIMIT %v", err)
+			}
+			q.Stages = append(q.Stages, LimitStage{N: n})
+		case p.atKeyword("SORT"):
+			p.advance()
+			pathTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st := SortStage{Path: p.resolvePath(pathTok)}
+			if p.atKeyword("DESC") {
+				p.advance()
+				st.Desc = true
+			} else if p.atKeyword("ASC") {
+				p.advance()
+			}
+			q.Stages = append(q.Stages, st)
+		case p.atKeyword("RETURN"):
+			p.advance()
+			for {
+				item, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ri := RetItem{Path: p.resolvePath(item)}
+				ri.Alias = defaultAlias(ri.Path)
+				if p.atKeyword("AS") {
+					p.advance()
+					alias, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					ri.Alias = alias
+				}
+				q.Return = append(q.Return, ri)
+				if !p.at(tokComma) {
+					break
+				}
+				p.advance()
+			}
+			return q, nil
+		case p.at(tokEOF):
+			return q, nil
+		default:
+			return nil, fmt.Errorf("uql: unexpected %q at %d", p.cur().text, p.cur().pos)
+		}
+	}
+}
+
+// resolvePath strips the FOR variable prefix ("c.city" → "city") and
+// keeps join-variable prefixes ("o.total" stays "o.total" after the
+// join lands matches under "o"; bare "o" refers to the whole array).
+func (p *parser) resolvePath(ident string) string {
+	if ident == p.forVar {
+		return ""
+	}
+	if strings.HasPrefix(ident, p.forVar+".") {
+		return ident[len(p.forVar)+1:]
+	}
+	return ident
+}
+
+// joinSidePath resolves a path in a JOIN condition: join-var side paths
+// are relative to the joined record, row side paths relative to the row.
+func (p *parser) joinSidePath(ident, joinVar string) (string, error) {
+	if strings.HasPrefix(ident, joinVar+".") {
+		return ident[len(joinVar)+1:], nil
+	}
+	if ident == p.forVar || strings.HasPrefix(ident, p.forVar+".") {
+		return p.resolvePath(ident), nil
+	}
+	return "", fmt.Errorf("uql: path %q references neither %s nor %s", ident, joinVar, p.forVar)
+}
+
+func defaultAlias(path string) string {
+	if path == "" {
+		return "row"
+	}
+	parts := strings.Split(path, ".")
+	return parts[len(parts)-1]
+}
+
+// parseExpr parses OR-precedence boolean expressions.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = boolExpr{"OR", left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = boolExpr{"AND", left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokOp) {
+		op := p.advance().text
+		switch op {
+		case "==", "!=", "<", "<=", ">", ">=":
+		default:
+			return nil, fmt.Errorf("uql: unknown operator %q", op)
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return cmpExpr{op, left, right}, nil
+	}
+	if p.atKeyword("LIKE") {
+		p.advance()
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return cmpExpr{"LIKE", left, right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	switch {
+	case p.at(tokLParen):
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokRParen) {
+			return nil, fmt.Errorf("uql: missing ) at %d", p.cur().pos)
+		}
+		p.advance()
+		return e, nil
+	case p.at(tokString):
+		return litExpr{mmvalue.String(p.advance().text)}, nil
+	case p.at(tokNumber):
+		text := p.advance().text
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("uql: bad number %q", text)
+			}
+			return litExpr{mmvalue.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uql: bad number %q", text)
+		}
+		return litExpr{mmvalue.Int(i)}, nil
+	case p.atKeyword("TRUE"):
+		p.advance()
+		return litExpr{mmvalue.Bool(true)}, nil
+	case p.atKeyword("FALSE"):
+		p.advance()
+		return litExpr{mmvalue.Bool(false)}, nil
+	case p.atKeyword("NULL"):
+		p.advance()
+		return litExpr{mmvalue.Null}, nil
+	case p.at(tokIdent):
+		return pathExpr{p.resolvePath(p.advance().text)}, nil
+	default:
+		return nil, fmt.Errorf("uql: expected operand, got %q at %d", p.cur().text, p.cur().pos)
+	}
+}

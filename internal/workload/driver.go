@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"udbench/internal/federation"
+	"udbench/internal/metrics"
+	"udbench/internal/txn"
+)
+
+// MixItem is one operation class in a workload mix.
+type MixItem struct {
+	// Name labels the operation in reports ("Q1", "T1", ...).
+	Name string
+	// Weight is the relative frequency (any positive integer).
+	Weight int
+	// Run executes one operation instance.
+	Run func(p Params) error
+}
+
+// StandardMix returns the benchmark's default OLTP mix over an engine:
+// 50% point/short queries (Q1), 20% order updates (T1), 15% new orders
+// (T2), 10% feedback writes (T3), 5% snapshot reads (T4).
+func StandardMix(e Engine) []MixItem {
+	return []MixItem{
+		{Name: "Q1", Weight: 50, Run: func(p Params) error { _, err := e.RunQuery(Q1, p); return err }},
+		{Name: "T1", Weight: 20, Run: e.OrderUpdate},
+		{Name: "T2", Weight: 15, Run: e.NewOrder},
+		{Name: "T3", Weight: 10, Run: e.WriteFeedback},
+		{Name: "T4", Weight: 5, Run: func(p Params) error { _, err := e.SnapshotRead(p); return err }},
+	}
+}
+
+// Result summarizes one driver run.
+type Result struct {
+	Engine     string
+	Clients    int
+	Ops        int64
+	Errors     int64
+	Aborts     int64 // deadlock or 2PC failures (subset of Errors)
+	Elapsed    time.Duration
+	Latency    *metrics.Histogram
+	PerOp      map[string]*metrics.Histogram
+	Throughput float64
+}
+
+// DriverConfig tunes a run.
+type DriverConfig struct {
+	// Clients is the number of concurrent closed-loop workers.
+	Clients int
+	// OpsPerClient is how many operations each worker issues.
+	OpsPerClient int
+	// Theta is the Zipf skew of parameter selection (0 = uniform).
+	Theta float64
+	// Seed drives parameter selection.
+	Seed uint64
+}
+
+// RunMix drives the weighted mix against an engine and returns
+// aggregate metrics. Abort-class errors (deadlock, 2PC crash) are
+// counted but do not stop the run; other errors are counted as Errors.
+func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 100
+	}
+	totalWeight := 0
+	for _, m := range mix {
+		totalWeight += m.Weight
+	}
+	res := Result{
+		Engine:  e.Name(),
+		Clients: cfg.Clients,
+		Latency: &metrics.Histogram{},
+		PerOp:   make(map[string]*metrics.Histogram, len(mix)),
+	}
+	for _, m := range mix {
+		res.PerOp[m.Name] = &metrics.Histogram{}
+	}
+	var ops, errs, aborts atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			gen := NewParamGen(info, cfg.Seed+uint64(client)*7919, cfg.Theta)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				p := gen.Next()
+				p.FreshID = gen.NewOrderID(client, i)
+				pick := gen.rng.Intn(totalWeight)
+				var item MixItem
+				for _, m := range mix {
+					if pick < m.Weight {
+						item = m
+						break
+					}
+					pick -= m.Weight
+				}
+				t0 := time.Now()
+				err := item.Run(p)
+				d := time.Since(t0)
+				ops.Add(1)
+				res.Latency.Observe(d)
+				res.PerOp[item.Name].Observe(d)
+				if err != nil {
+					errs.Add(1)
+					if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, federation.ErrCoordinatorCrash) {
+						aborts.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Ops = ops.Load()
+	res.Errors = errs.Load()
+	res.Aborts = aborts.Load()
+	res.Throughput = metrics.Throughput(res.Ops, res.Elapsed)
+	return res
+}
+
+// TornReadResult reports a torn-read probe (cross-model atomicity as
+// observed by concurrent readers).
+type TornReadResult struct {
+	Engine string
+	Reads  int64
+	Torn   int64
+}
+
+// RunTornReadProbe runs writer clients hammering T1 on a skewed order
+// set while reader clients repeatedly perform T4 snapshot reads on the
+// same orders, and counts how many reads observed a torn state (order
+// document and XML invoice disagreeing). The unified engine must
+// report zero; the federation's independent per-store reads may not.
+func RunTornReadProbe(e Engine, info Info, cfg DriverConfig) TornReadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 100
+	}
+	var reads, torn atomic.Int64
+	var wg sync.WaitGroup
+	writers := cfg.Clients / 2
+	if writers == 0 {
+		writers = 1
+	}
+	readers := cfg.Clients - writers
+	if readers == 0 {
+		readers = 1
+	}
+	for c := 0; c < writers; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			gen := NewParamGen(info, cfg.Seed+uint64(client)*31, cfg.Theta)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				_ = e.OrderUpdate(gen.Next())
+			}
+		}(c)
+	}
+	for c := 0; c < readers; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			gen := NewParamGen(info, cfg.Seed+uint64(client)*37, cfg.Theta)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				isTorn, err := e.SnapshotRead(gen.Next())
+				if err != nil {
+					continue
+				}
+				reads.Add(1)
+				if isTorn {
+					torn.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return TornReadResult{Engine: e.Name(), Reads: reads.Load(), Torn: torn.Load()}
+}
+
+// RunQueriesOnce executes every benchmark query once with fixed
+// parameters and returns per-query latencies and result counts —
+// the basis of the T2 (query latency) experiment.
+func RunQueriesOnce(e Engine, info Info, seed uint64) (map[QueryID]time.Duration, map[QueryID]int, error) {
+	gen := NewParamGen(info, seed, 0)
+	p := gen.Next()
+	lat := make(map[QueryID]time.Duration, len(AllQueries))
+	counts := make(map[QueryID]int, len(AllQueries))
+	for _, q := range AllQueries {
+		t0 := time.Now()
+		n, err := e.RunQuery(q, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		lat[q] = time.Since(t0)
+		counts[q] = n
+	}
+	return lat, counts, nil
+}
+
+// ContentionResult summarizes a write-contention run (experiment F3).
+type ContentionResult struct {
+	Engine     string
+	Theta      float64
+	Committed  int64
+	Attempts   int64
+	AbortRate  float64 // first-try aborts / attempts
+	Throughput float64
+	Elapsed    time.Duration
+}
+
+// RunContention drives single-attempt stock-transfer transactions
+// (StockTransferOnce) with the given Zipf skew and measures the
+// deadlock/abort rate. Higher skew concentrates transfers on a hot
+// product pair locked in either order, so aborts rise with theta.
+func RunContention(e Engine, info Info, cfg DriverConfig) ContentionResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 100
+	}
+	var attempts, committed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			gen := NewParamGen(info, cfg.Seed+uint64(client)*104729, cfg.Theta)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				p := gen.Next()
+				attempts.Add(1)
+				if err := e.StockTransferOnce(p); err == nil {
+					committed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	att, com := attempts.Load(), committed.Load()
+	rate := 0.0
+	if att > 0 {
+		rate = float64(att-com) / float64(att)
+	}
+	return ContentionResult{
+		Engine:     e.Name(),
+		Theta:      cfg.Theta,
+		Committed:  com,
+		Attempts:   att,
+		AbortRate:  rate,
+		Throughput: metrics.Throughput(com, elapsed),
+		Elapsed:    elapsed,
+	}
+}

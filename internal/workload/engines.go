@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"udbench/internal/federation"
+	"udbench/internal/txn"
+	"udbench/internal/udbms"
+)
+
+// UDBMSEngine adapts the unified multi-model engine to the workload
+// Engine interface. Reads run under one snapshot transaction spanning
+// all five models; writes run under one ACID transaction.
+type UDBMSEngine struct {
+	DB *udbms.DB
+}
+
+// NewUDBMSEngine wraps db.
+func NewUDBMSEngine(db *udbms.DB) *UDBMSEngine { return &UDBMSEngine{DB: db} }
+
+// Name implements Engine.
+func (e *UDBMSEngine) Name() string { return "udbms" }
+
+func (e *UDBMSEngine) stores() stores {
+	return stores{rel: e.DB.Relational, docs: e.DB.Docs, gr: e.DB.Graph, kv: e.DB.KV, xml: e.DB.XML}
+}
+
+// unifiedSession serves every model from the same transaction; store
+// requests are in-process calls, so hop() is free.
+type unifiedSession struct{ tx *txn.Tx }
+
+func (s unifiedSession) relTx() *txn.Tx   { return s.tx }
+func (s unifiedSession) docTx() *txn.Tx   { return s.tx }
+func (s unifiedSession) graphTx() *txn.Tx { return s.tx }
+func (s unifiedSession) kvTx() *txn.Tx    { return s.tx }
+func (s unifiedSession) xmlTx() *txn.Tx   { return s.tx }
+func (s unifiedSession) hop()             {}
+
+// RunQuery implements Engine: the whole query sees one snapshot.
+func (e *UDBMSEngine) RunQuery(q QueryID, p Params) (int, error) {
+	tx := e.DB.Begin()
+	defer tx.Abort() // read-only: abort releases the snapshot
+	return runQuery(e.stores(), unifiedSession{tx}, q, p)
+}
+
+// OrderUpdate implements Engine (T1) as a single ACID transaction.
+func (e *UDBMSEngine) OrderUpdate(p Params) error {
+	return e.DB.RunTx(func(tx *txn.Tx) error {
+		return orderUpdateBody(e.stores(), unifiedSession{tx}, p)
+	})
+}
+
+// OrderUpdateOnce implements Engine: a single T1 attempt without the
+// deadlock retry loop.
+func (e *UDBMSEngine) OrderUpdateOnce(p Params) error {
+	tx := e.DB.Begin()
+	if err := orderUpdateBody(e.stores(), unifiedSession{tx}, p); err != nil {
+		tx.Abort()
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// StockTransferOnce implements Engine: a single two-product stock
+// transfer attempt without retry.
+func (e *UDBMSEngine) StockTransferOnce(p Params) error {
+	tx := e.DB.Begin()
+	if err := stockTransferBody(e.stores(), unifiedSession{tx}, p); err != nil {
+		tx.Abort()
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// NewOrder implements Engine (T2).
+func (e *UDBMSEngine) NewOrder(p Params) error {
+	return e.DB.RunTx(func(tx *txn.Tx) error {
+		return newOrderBody(e.stores(), unifiedSession{tx}, p)
+	})
+}
+
+// WriteFeedback implements Engine (T3).
+func (e *UDBMSEngine) WriteFeedback(p Params) error {
+	return e.DB.RunTx(func(tx *txn.Tx) error {
+		return writeFeedbackBody(e.stores(), unifiedSession{tx}, p)
+	})
+}
+
+// SnapshotRead implements Engine (T4). Under the unified engine the
+// snapshot spans both models, so the view can never be torn.
+func (e *UDBMSEngine) SnapshotRead(p Params) (bool, error) {
+	tx := e.DB.Begin()
+	defer tx.Abort()
+	return snapshotReadBody(e.stores(), unifiedSession{tx}, p)
+}
+
+// FederationEngine adapts the polyglot federation. Reads hit each
+// store's latest state independently (no cross-store snapshot exists)
+// and every store request pays the federation's hop latency; writes
+// run 2PC over per-store transactions.
+type FederationEngine struct {
+	F *federation.Federation
+}
+
+// NewFederationEngine wraps f.
+func NewFederationEngine(f *federation.Federation) *FederationEngine {
+	return &FederationEngine{F: f}
+}
+
+// Name implements Engine.
+func (e *FederationEngine) Name() string { return "federation" }
+
+func (e *FederationEngine) stores() stores {
+	return stores{rel: e.F.Relational, docs: e.F.Docs, gr: e.F.Graph, kv: e.F.KV, xml: e.F.XML}
+}
+
+// fedReadSession reads each store's latest committed state (nil tx)
+// and charges one hop per request.
+type fedReadSession struct{ f *federation.Federation }
+
+func (s fedReadSession) relTx() *txn.Tx   { return nil }
+func (s fedReadSession) docTx() *txn.Tx   { return nil }
+func (s fedReadSession) graphTx() *txn.Tx { return nil }
+func (s fedReadSession) kvTx() *txn.Tx    { return nil }
+func (s fedReadSession) xmlTx() *txn.Tx   { return nil }
+func (s fedReadSession) hop()             { s.f.Hop() }
+
+// fedWriteSession maps each model to its local transaction inside a
+// federated 2PC transaction.
+type fedWriteSession struct {
+	f   *federation.Federation
+	ftx *federation.FTx
+}
+
+func (s fedWriteSession) relTx() *txn.Tx   { return s.ftx.Relational() }
+func (s fedWriteSession) docTx() *txn.Tx   { return s.ftx.Docs() }
+func (s fedWriteSession) graphTx() *txn.Tx { return s.ftx.Graph() }
+func (s fedWriteSession) kvTx() *txn.Tx    { return s.ftx.KV() }
+func (s fedWriteSession) xmlTx() *txn.Tx   { return s.ftx.XML() }
+func (s fedWriteSession) hop()             { s.f.Hop() }
+
+// RunQuery implements Engine.
+func (e *FederationEngine) RunQuery(q QueryID, p Params) (int, error) {
+	return runQuery(e.stores(), fedReadSession{e.F}, q, p)
+}
+
+// OrderUpdate implements Engine (T1) via 2PC.
+func (e *FederationEngine) OrderUpdate(p Params) error {
+	return e.F.RunTx(func(ftx *federation.FTx) error {
+		return orderUpdateBody(e.stores(), fedWriteSession{e.F, ftx}, p)
+	})
+}
+
+// OrderUpdateOnce implements Engine: a single federated T1 attempt
+// without retry; deadlock and 2PC failures surface to the caller.
+func (e *FederationEngine) OrderUpdateOnce(p Params) error {
+	ftx := e.F.Begin()
+	if err := orderUpdateBody(e.stores(), fedWriteSession{e.F, ftx}, p); err != nil {
+		ftx.Abort()
+		return err
+	}
+	return ftx.Commit()
+}
+
+// StockTransferOnce implements Engine: a single federated stock
+// transfer attempt without retry.
+func (e *FederationEngine) StockTransferOnce(p Params) error {
+	ftx := e.F.Begin()
+	if err := stockTransferBody(e.stores(), fedWriteSession{e.F, ftx}, p); err != nil {
+		ftx.Abort()
+		return err
+	}
+	return ftx.Commit()
+}
+
+// NewOrder implements Engine (T2) via 2PC.
+func (e *FederationEngine) NewOrder(p Params) error {
+	return e.F.RunTx(func(ftx *federation.FTx) error {
+		return newOrderBody(e.stores(), fedWriteSession{e.F, ftx}, p)
+	})
+}
+
+// WriteFeedback implements Engine (T3) via 2PC.
+func (e *FederationEngine) WriteFeedback(p Params) error {
+	return e.F.RunTx(func(ftx *federation.FTx) error {
+		return writeFeedbackBody(e.stores(), fedWriteSession{e.F, ftx}, p)
+	})
+}
+
+// SnapshotRead implements Engine (T4). Each store is read at its own
+// latest state, so a concurrent T1 can make the view torn — exactly
+// the anomaly the consistency experiment measures.
+func (e *FederationEngine) SnapshotRead(p Params) (bool, error) {
+	return snapshotReadBody(e.stores(), fedReadSession{e.F}, p)
+}

@@ -1,0 +1,561 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"udbench/internal/datagen"
+	"udbench/internal/document"
+	"udbench/internal/graph"
+	"udbench/internal/kv"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+	"udbench/internal/txn"
+	"udbench/internal/xmlstore"
+)
+
+// stores bundles the five model stores of either engine.
+type stores struct {
+	rel  *relational.DB
+	docs *document.Store
+	gr   *graph.Store
+	kv   *kv.Store
+	xml  *xmlstore.Store
+}
+
+// session supplies per-store transaction handles and charges the
+// engine-specific cost of one store request. For the unified engine
+// every handle is the same snapshot transaction and hop() is free; for
+// the federation the handles are independent (or nil for auto-commit
+// reads) and hop() sleeps for the simulated network round trip.
+type session interface {
+	relTx() *txn.Tx
+	docTx() *txn.Tx
+	graphTx() *txn.Tx
+	kvTx() *txn.Tx
+	xmlTx() *txn.Tx
+	hop()
+}
+
+// runQuery executes one read query against the stores through the
+// session. This single implementation serves both engines, so result
+// equivalence is structural.
+func runQuery(st stores, s session, q QueryID, p Params) (int, error) {
+	switch q {
+	case Q1:
+		return q1CustomerProfile(st, s, p)
+	case Q2:
+		return q2FriendsPurchases(st, s, p)
+	case Q3:
+		return q3TopRatedProducts(st, s, p)
+	case Q4:
+		return q4CityBigSpenders(st, s, p)
+	case Q5:
+		return q5InvoiceTotalsByCurrency(st, s)
+	case Q6:
+		return q6TwoHopBuyers(st, s, p)
+	case Q7:
+		return q7OrdersWithProduct(st, s, p)
+	case Q8:
+		return q8RevenueByCity(st, s)
+	case Q9:
+		return q9InfluencerFeedback(st, s, p)
+	case Q10:
+		return q10FullChain(st, s, p)
+	}
+	return 0, fmt.Errorf("workload: unknown query %d", int(q))
+}
+
+func customerTable(st stores) (*relational.Table, error) {
+	t, ok := st.rel.Table("customer")
+	if !ok {
+		return nil, fmt.Errorf("workload: customer table missing (dataset not loaded?)")
+	}
+	return t, nil
+}
+
+func feedbackPrefix(cid int) string { return fmt.Sprintf("feedback/%06d/", cid) }
+
+func q1CustomerProfile(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	row, ok := cust.Get(s.relTx(), p.CustomerID)
+	if !ok {
+		return 0, nil
+	}
+	_ = row
+	s.hop()
+	orders := st.docs.Collection("orders").Find(s.docTx(), document.Eq("customer_id", p.CustomerID), nil)
+	s.hop()
+	feedback := 0
+	st.kv.ScanPrefix(s.kvTx(), feedbackPrefix(p.CustomerID), func(string, mmvalue.Value) bool {
+		feedback++
+		return true
+	})
+	return 1 + len(orders) + feedback, nil
+}
+
+func q2FriendsPurchases(st stores, s session, p Params) (int, error) {
+	s.hop()
+	friends := st.gr.KHop(s.graphTx(), graph.VID(customerVIDOf(p.CustomerID)), 1, graph.Both, "knows")
+	products := map[string]bool{}
+	orders := st.docs.Collection("orders")
+	for _, f := range friends {
+		fid, ok := customerIDOf(string(f))
+		if !ok {
+			continue
+		}
+		s.hop()
+		for _, o := range orders.Find(s.docTx(), document.Eq("customer_id", fid), nil) {
+			items, _ := o.MustObject().GetOr("items", mmvalue.Null).AsArray()
+			for _, it := range items {
+				pid, _ := it.MustObject().Get("product_id")
+				products[pid.MustString()] = true
+			}
+		}
+	}
+	return len(products), nil
+}
+
+func q3TopRatedProducts(st stores, s session, p Params) (int, error) {
+	type acc struct {
+		sum, n float64
+	}
+	ratings := map[string]*acc{} // product -> rating accumulator
+	orders := st.docs.Collection("orders")
+	s.hop()
+	var entries []struct {
+		oid    string
+		rating float64
+	}
+	st.kv.Scan(s.kvTx(), "feedback/", "feedback0", func(key string, v mmvalue.Value) bool {
+		parts := strings.Split(key, "/")
+		if len(parts) != 3 {
+			return true
+		}
+		r, _ := v.MustObject().GetOr("rating", mmvalue.Int(0)).AsFloat()
+		entries = append(entries, struct {
+			oid    string
+			rating float64
+		}{parts[2], r})
+		return true
+	})
+	for _, e := range entries {
+		s.hop()
+		o, ok := orders.Get(s.docTx(), e.oid)
+		if !ok {
+			continue
+		}
+		items, _ := o.MustObject().GetOr("items", mmvalue.Null).AsArray()
+		for _, it := range items {
+			pid, _ := it.MustObject().Get("product_id")
+			a := ratings[pid.MustString()]
+			if a == nil {
+				a = &acc{}
+				ratings[pid.MustString()] = a
+			}
+			a.sum += e.rating
+			a.n++
+		}
+	}
+	type ranked struct {
+		pid string
+		avg float64
+	}
+	var rs []ranked
+	for pid, a := range ratings {
+		rs = append(rs, ranked{pid, a.sum / a.n})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].avg != rs[j].avg {
+			return rs[i].avg > rs[j].avg
+		}
+		return rs[i].pid < rs[j].pid
+	})
+	if len(rs) > p.TopN {
+		rs = rs[:p.TopN]
+	}
+	return len(rs), nil
+}
+
+func q4CityBigSpenders(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	rows := cust.Query(s.relTx()).Where(relational.Col("city").Eq(p.City)).Rows()
+	orders := st.docs.Collection("orders")
+	count := 0
+	for _, r := range rows {
+		id, _ := r.MustObject().Get("id")
+		s.hop()
+		sum := 0.0
+		for _, o := range orders.Find(s.docTx(), document.Eq("customer_id", id), nil) {
+			t, _ := o.MustObject().GetOr("total", mmvalue.Float(0)).AsFloat()
+			sum += t
+		}
+		if sum > p.Threshold {
+			count++
+		}
+	}
+	return count, nil
+}
+
+func q5InvoiceTotalsByCurrency(st stores, s session) (int, error) {
+	s.hop()
+	sums := map[string]float64{}
+	st.xml.Scan(s.xmlTx(), func(_ string, doc *xmlstore.Node) bool {
+		cur, _ := doc.Attr("currency")
+		if totalEl, ok := doc.FirstChild("total"); ok {
+			if f, err := strconv.ParseFloat(totalEl.InnerText(), 64); err == nil {
+				sums[cur] += f
+			}
+		}
+		return true
+	})
+	return len(sums), nil
+}
+
+func q6TwoHopBuyers(st stores, s session, p Params) (int, error) {
+	s.hop()
+	buyers := st.gr.KHop(s.graphTx(), graph.VID("p"+p.ProductID[1:]), 1, graph.In, "purchased")
+	reach := map[graph.VID]bool{}
+	for _, b := range buyers {
+		reach[b] = true
+		s.hop()
+		for _, v := range st.gr.KHop(s.graphTx(), b, 2, graph.Both, "knows") {
+			reach[v] = true
+		}
+	}
+	return len(reach), nil
+}
+
+func q7OrdersWithProduct(st stores, s session, p Params) (int, error) {
+	s.hop()
+	matched := st.docs.Collection("orders").Find(s.docTx(), document.Func(
+		"items contains "+p.ProductID,
+		func(doc mmvalue.Value) bool {
+			items, _ := mmvalue.ParsePath("items").LookupOr(doc, mmvalue.Null).AsArray()
+			for _, it := range items {
+				if pid, _ := it.MustObject().Get("product_id"); mmvalue.Equal(pid, mmvalue.String(p.ProductID)) {
+					return true
+				}
+			}
+			return false
+		}), nil)
+	count := 0
+	for _, o := range matched {
+		id, _ := o.MustObject().Get("_id")
+		s.hop()
+		if inv, ok := st.xml.Get(s.xmlTx(), id.MustString()); ok {
+			if _, ok := inv.FirstChild("total"); ok {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+func q8RevenueByCity(st stores, s session) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	cityOf := map[int64]string{}
+	for _, r := range cust.Query(s.relTx()).Project("id", "city").Rows() {
+		o := r.MustObject()
+		id, _ := o.Get("id")
+		city, _ := o.Get("city")
+		cityOf[id.MustInt()] = city.MustString()
+	}
+	s.hop()
+	revenue := map[string]float64{}
+	for _, o := range st.docs.Collection("orders").Find(s.docTx(), nil, nil) {
+		obj := o.MustObject()
+		cid, _ := obj.Get("customer_id")
+		total, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
+		revenue[cityOf[cid.MustInt()]] += total
+	}
+	delete(revenue, "")
+	return len(revenue), nil
+}
+
+func q9InfluencerFeedback(st stores, s session, p Params) (int, error) {
+	s.hop()
+	degree := map[graph.VID]int{}
+	st.gr.Edges(s.graphTx(), func(e graph.Edge) bool {
+		if e.Label == "knows" {
+			degree[e.From]++
+			degree[e.To]++
+		}
+		return true
+	})
+	type dv struct {
+		v graph.VID
+		d int
+	}
+	var top []dv
+	for v, d := range degree {
+		top = append(top, dv{v, d})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].d != top[j].d {
+			return top[i].d > top[j].d
+		}
+		return top[i].v < top[j].v
+	})
+	if len(top) > p.TopN {
+		top = top[:p.TopN]
+	}
+	total := 0
+	for _, t := range top {
+		cid, ok := customerIDOf(string(t.v))
+		if !ok {
+			continue
+		}
+		s.hop()
+		st.kv.ScanPrefix(s.kvTx(), feedbackPrefix(cid), func(string, mmvalue.Value) bool {
+			total++
+			return true
+		})
+	}
+	return total, nil
+}
+
+func q10FullChain(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	if _, ok := cust.Get(s.relTx(), p.CustomerID); !ok {
+		return 0, nil
+	}
+	touched := 1
+	s.hop()
+	orders := st.docs.Collection("orders").Find(s.docTx(), document.Eq("customer_id", p.CustomerID), nil)
+	products := st.docs.Collection("products")
+	for _, o := range orders {
+		touched++
+		obj := o.MustObject()
+		items, _ := obj.GetOr("items", mmvalue.Null).AsArray()
+		for _, it := range items {
+			pid, _ := it.MustObject().Get("product_id")
+			s.hop()
+			if _, ok := products.Get(s.docTx(), pid.MustString()); ok {
+				touched++
+			}
+		}
+		id, _ := obj.Get("_id")
+		s.hop()
+		if _, ok := st.xml.Get(s.xmlTx(), id.MustString()); ok {
+			touched++
+		}
+	}
+	s.hop()
+	st.kv.ScanPrefix(s.kvTx(), feedbackPrefix(p.CustomerID), func(string, mmvalue.Value) bool {
+		touched++
+		return true
+	})
+	return touched, nil
+}
+
+// --- write transaction bodies (shared by both engines) ---
+
+// orderUpdateBody is T1, the paper's example: update the order's total
+// and status (JSON), decrement product stock (JSON), write feedback
+// (key-value) and rewrite the invoice total (XML) — atomically when the
+// session's handles belong to one transaction.
+func orderUpdateBody(st stores, s session, p Params) error {
+	orders := st.docs.Collection("orders")
+	var lineProducts []string
+	var newTotal float64
+	var cid int
+	s.hop()
+	err := orders.Update(s.docTx(), p.OrderID, func(doc mmvalue.Value) (mmvalue.Value, error) {
+		obj := doc.MustObject()
+		total, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
+		newTotal = float64(int((total+1)*100)) / 100
+		obj.Set("total", mmvalue.Float(newTotal))
+		obj.Set("status", mmvalue.String("updated"))
+		cidV, _ := obj.Get("customer_id")
+		cid = int(cidV.MustInt())
+		items, _ := obj.GetOr("items", mmvalue.Null).AsArray()
+		for _, it := range items {
+			pid, _ := it.MustObject().Get("product_id")
+			lineProducts = append(lineProducts, pid.MustString())
+		}
+		return doc, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Decrement stock of every line's product, in document order. Two
+	// concurrent T1s touching overlapping product sets can acquire
+	// these locks in opposite orders — the genuine deadlock source the
+	// contention experiment (F3) sweeps with Zipf skew.
+	seen := map[string]bool{}
+	for _, pid := range lineProducts {
+		if seen[pid] {
+			continue
+		}
+		seen[pid] = true
+		s.hop()
+		err = st.docs.Collection("products").Update(s.docTx(), pid, func(doc mmvalue.Value) (mmvalue.Value, error) {
+			obj := doc.MustObject()
+			stock, _ := obj.GetOr("stock", mmvalue.Int(0)).AsFloat()
+			obj.Set("stock", mmvalue.Int(int64(stock)-1))
+			return doc, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	s.hop()
+	if err := st.kv.Put(s.kvTx(), datagen.FeedbackKey(cid, p.OrderID), mmvalue.ObjectOf("rating", p.Rating, "text", "updated")); err != nil {
+		return err
+	}
+	s.hop()
+	return st.xml.Update(s.xmlTx(), p.OrderID, func(n *xmlstore.Node) (*xmlstore.Node, error) {
+		totalEl, ok := n.FirstChild("total")
+		if !ok {
+			totalEl = xmlstore.NewElement("total")
+			n.Append(totalEl)
+		}
+		totalEl.Children = []*xmlstore.Node{xmlstore.NewText(fmt.Sprintf("%.2f", newTotal))}
+		n.SetAttr("status", "updated")
+		return n, nil
+	})
+}
+
+// newOrderBody is T2: insert a small order with one line, its XML
+// invoice, and a purchased graph edge.
+func newOrderBody(st stores, s session, p Params) error {
+	total := 19.99
+	order := mmvalue.ObjectOf(
+		"_id", p.FreshID,
+		"customer_id", p.CustomerID,
+		"status", "open",
+		"date", "2016-06-01",
+		"total", total,
+		"items", []any{map[string]any{"product_id": p.ProductID, "qty": 1, "price": total}},
+	)
+	s.hop()
+	if err := st.docs.Collection("orders").Insert(s.docTx(), order); err != nil {
+		return err
+	}
+	inv := xmlstore.NewElement("invoice",
+		xmlstore.Attr{Name: "id", Value: p.FreshID},
+		xmlstore.Attr{Name: "currency", Value: "EUR"},
+	).Append(
+		xmlstore.NewElement("customer", xmlstore.Attr{Name: "cid", Value: fmt.Sprint(p.CustomerID)}),
+		xmlstore.NewElement("lines").Append(xmlstore.NewElement("line",
+			xmlstore.Attr{Name: "sku", Value: p.ProductID},
+			xmlstore.Attr{Name: "qty", Value: "1"},
+			xmlstore.Attr{Name: "price", Value: fmt.Sprintf("%.2f", total)},
+		)),
+		xmlstore.NewElement("total").Append(xmlstore.NewText(fmt.Sprintf("%.2f", total))),
+	)
+	s.hop()
+	if err := st.xml.Put(s.xmlTx(), p.FreshID, inv); err != nil {
+		return err
+	}
+	s.hop()
+	return st.gr.AddEdge(s.graphTx(), graph.EID("buy-"+p.FreshID), "purchased",
+		graph.VID(customerVIDOf(p.CustomerID)), graph.VID("p"+p.ProductID[1:]),
+		mmvalue.ObjectOf("order", p.FreshID, "qty", 1))
+}
+
+// writeFeedbackBody is T3: put key-value feedback and mark the order
+// reviewed in the document store.
+func writeFeedbackBody(st stores, s session, p Params) error {
+	s.hop()
+	var cid int
+	err := st.docs.Collection("orders").Update(s.docTx(), p.OrderID, func(doc mmvalue.Value) (mmvalue.Value, error) {
+		obj := doc.MustObject()
+		obj.Set("status", mmvalue.String("reviewed"))
+		cidV, _ := obj.Get("customer_id")
+		cid = int(cidV.MustInt())
+		return doc, nil
+	})
+	if err != nil {
+		return err
+	}
+	s.hop()
+	return st.kv.Put(s.kvTx(), datagen.FeedbackKey(cid, p.OrderID),
+		mmvalue.ObjectOf("rating", p.Rating, "text", "review"))
+}
+
+// stockTransferBody is T5: move one unit of stock from ProductID to
+// ProductID2, locking the two product documents in parameter order —
+// deliberately NOT canonical order, modelling naive application code.
+// This is the deadlock generator of the contention experiment.
+func stockTransferBody(st stores, s session, p Params) error {
+	prods := st.docs.Collection("products")
+	adjust := func(id string, delta int64) error {
+		s.hop()
+		return prods.Update(s.docTx(), id, func(doc mmvalue.Value) (mmvalue.Value, error) {
+			obj := doc.MustObject()
+			stock, _ := obj.GetOr("stock", mmvalue.Int(0)).AsFloat()
+			obj.Set("stock", mmvalue.Int(int64(stock)+delta))
+			return doc, nil
+		})
+	}
+	if err := adjust(p.ProductID, -1); err != nil {
+		return err
+	}
+	if p.ProductID2 == p.ProductID {
+		return nil
+	}
+	return adjust(p.ProductID2, +1)
+}
+
+// snapshotReadBody is T4: read the order total from the document model
+// and the XML invoice; report whether the two disagreed (torn read).
+func snapshotReadBody(st stores, s session, p Params) (bool, error) {
+	s.hop()
+	doc, ok := st.docs.Collection("orders").Get(s.docTx(), p.OrderID)
+	if !ok {
+		return false, nil
+	}
+	docTotal, _ := doc.MustObject().GetOr("total", mmvalue.Float(0)).AsFloat()
+	s.hop()
+	inv, ok := st.xml.Get(s.xmlTx(), p.OrderID)
+	if !ok {
+		return false, nil
+	}
+	totalEl, ok := inv.FirstChild("total")
+	if !ok {
+		return true, nil
+	}
+	xmlTotal, err := strconv.ParseFloat(totalEl.InnerText(), 64)
+	if err != nil {
+		return true, nil
+	}
+	diff := docTotal - xmlTotal
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff > 0.005, nil
+}
+
+func customerVIDOf(id int) string { return datagen.CustomerVID(id) }
+
+// customerIDOf parses a customer vertex id back to its number.
+func customerIDOf(vid string) (int, bool) {
+	if !strings.HasPrefix(vid, "c") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(vid[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

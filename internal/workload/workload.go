@@ -1,0 +1,199 @@
+// Package workload defines the UDBMS benchmark's operation suite: ten
+// multi-model read queries (Q1–Q10), four cross-model transactions
+// (T1–T4, T1 being the paper's order-update example), and a concurrent
+// closed-loop driver with Zipf-skewed parameter selection.
+//
+// Every operation has two implementations behind the Engine interface:
+// the unified engine runs all models under one snapshot/commit, while
+// the federation pays a network hop per store request and coordinates
+// writes with 2PC. The benchmark's T2/F2/F3 experiments are exactly
+// the comparison of these two implementations.
+package workload
+
+import (
+	"fmt"
+
+	"udbench/internal/datagen"
+)
+
+// QueryID names one of the ten benchmark queries.
+type QueryID int
+
+// The ten multi-model queries. Comments give the models each touches:
+// R = relational, D = document, G = graph, K = key-value, X = XML.
+const (
+	// Q1 CustomerProfile (R+D+K): one customer with orders and feedback.
+	Q1 QueryID = iota + 1
+	// Q2 FriendsPurchases (G+D): products bought by a customer's friends.
+	Q2
+	// Q3 TopRatedProducts (K+D): top-N products by average feedback rating.
+	Q3
+	// Q4 CityBigSpenders (R+D): customers in a city whose order total
+	// exceeds a threshold.
+	Q4
+	// Q5 InvoiceTotalsByCurrency (X): revenue grouped by invoice currency.
+	Q5
+	// Q6 TwoHopBuyers (G+D): customers within two knows-hops of anyone
+	// who bought a product.
+	Q6
+	// Q7 OrdersWithProduct (D+X): orders containing a product, with
+	// their invoice totals.
+	Q7
+	// Q8 RevenueByCity (R+D): order revenue grouped by customer city.
+	Q8
+	// Q9 InfluencerFeedback (G+K): feedback volume of the most
+	// connected customers.
+	Q9
+	// Q10 FullChain (R+D+G+K+X): the five-model join — customer,
+	// orders, products, feedback, invoices.
+	Q10
+)
+
+// AllQueries lists the query ids in order.
+var AllQueries = []QueryID{Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10}
+
+// String returns "Q1".."Q10".
+func (q QueryID) String() string { return fmt.Sprintf("Q%d", int(q)) }
+
+// Models returns the data models the query touches (for reporting).
+func (q QueryID) Models() string {
+	switch q {
+	case Q1:
+		return "R+D+K"
+	case Q2:
+		return "G+D"
+	case Q3:
+		return "K+D"
+	case Q4:
+		return "R+D"
+	case Q5:
+		return "X"
+	case Q6:
+		return "G+D"
+	case Q7:
+		return "D+X"
+	case Q8:
+		return "R+D"
+	case Q9:
+		return "G+K"
+	case Q10:
+		return "R+D+G+K+X"
+	}
+	return "?"
+}
+
+// Params carries the inputs of one operation instance.
+type Params struct {
+	CustomerID int
+	OrderID    string
+	ProductID  string
+	// ProductID2 is a second, distinct product (stock transfers).
+	ProductID2 string
+	City       string
+	TopN       int
+	Threshold  float64
+	Rating     int
+	// FreshID is a never-used order id for NewOrder inserts (set by
+	// the driver, unused by read queries).
+	FreshID string
+}
+
+// Engine abstracts the system under test. Both implementations must
+// return identical results for identical dataset + params, which the
+// equivalence tests assert.
+type Engine interface {
+	// Name identifies the engine in reports ("udbms" / "federation").
+	Name() string
+	// RunQuery executes a read query and returns its result
+	// cardinality (used both for verification and to keep the
+	// optimizer honest).
+	RunQuery(q QueryID, p Params) (int, error)
+	// OrderUpdate is transaction T1 — the paper's example: one order
+	// update touching JSON Orders/Product, key-value Feedback and XML
+	// Invoice atomically. Deadlock victims are retried internally.
+	OrderUpdate(p Params) error
+	// OrderUpdateOnce is T1 without retry: a single attempt that
+	// surfaces deadlock/2PC aborts to the caller.
+	OrderUpdateOnce(p Params) error
+	// StockTransferOnce is transaction T5: move one unit of stock from
+	// ProductID to ProductID2, locking the two product documents in
+	// parameter order. Two concurrent transfers over a hot product
+	// pair in opposite orders deadlock, which is what the contention
+	// experiment (F3) sweeps. Single attempt, no retry.
+	StockTransferOnce(p Params) error
+	// NewOrder is transaction T2: insert an order document, its XML
+	// invoice and a purchased graph edge.
+	NewOrder(p Params) error
+	// WriteFeedback is transaction T3: put key-value feedback and mark
+	// the order reviewed in the document store.
+	WriteFeedback(p Params) error
+	// SnapshotRead is transaction T4: read the same logical entity
+	// from three models and report whether the view was torn
+	// (total mismatch between order document and XML invoice).
+	SnapshotRead(p Params) (torn bool, err error)
+}
+
+// Info describes dataset cardinalities the parameter generator needs.
+type Info struct {
+	Customers int
+	Products  int
+	Orders    int
+}
+
+// InfoOf derives Info from a generated dataset.
+func InfoOf(ds *datagen.Dataset) Info {
+	return Info{Customers: len(ds.Customers), Products: len(ds.Products), Orders: len(ds.Orders)}
+}
+
+// ParamGen draws operation parameters; customer and order choices are
+// Zipf-skewed with the given theta (0 = uniform) to model contention.
+type ParamGen struct {
+	info  Info
+	rng   *datagen.RNG
+	custZ *datagen.Zipf
+	ordZ  *datagen.Zipf
+	prodZ *datagen.Zipf
+}
+
+// NewParamGen builds a generator over the dataset with skew theta.
+func NewParamGen(info Info, seed uint64, theta float64) *ParamGen {
+	rng := datagen.NewRNG(seed)
+	return &ParamGen{
+		info:  info,
+		rng:   rng,
+		custZ: datagen.NewZipf(rng, info.Customers, theta),
+		ordZ:  datagen.NewZipf(rng, info.Orders, theta),
+		prodZ: datagen.NewZipf(rng, info.Products, theta),
+	}
+}
+
+// Next draws a parameter set. ProductID2 is always distinct from
+// ProductID (wrapping to the next product when the skewed draw
+// collides).
+func (g *ParamGen) Next() Params {
+	cities := []string{"Helsinki", "Turku", "Tampere", "Oulu", "Espoo", "Vantaa", "Lahti", "Kuopio"}
+	p1 := g.prodZ.Next() + 1
+	p2 := g.prodZ.Next() + 1
+	if p2 == p1 {
+		p2 = p1%g.info.Products + 1
+	}
+	if p2 == p1 { // single-product dataset
+		p2 = p1
+	}
+	return Params{
+		CustomerID: g.custZ.Next() + 1,
+		OrderID:    datagen.OrderID(g.ordZ.Next() + 1),
+		ProductID:  datagen.ProductID(p1),
+		ProductID2: datagen.ProductID(p2),
+		City:       datagen.Pick(g.rng, cities),
+		TopN:       10,
+		Threshold:  200,
+		Rating:     1 + g.rng.Intn(5),
+	}
+}
+
+// NewOrderID draws a fresh, never-generated order id for T2 inserts.
+// Ids are unique per generator.
+func (g *ParamGen) NewOrderID(client int, seq int) string {
+	return fmt.Sprintf("o-new-%03d-%08d", client, seq)
+}

@@ -1,0 +1,174 @@
+package xmlstore
+
+import (
+	"fmt"
+
+	"udbench/internal/ordmap"
+	"udbench/internal/txn"
+)
+
+// Store is a transactional registry of XML documents keyed by id.
+// Stored trees are multi-versioned; readers get shared snapshots and
+// must not mutate them (Update hands out clones).
+type Store struct {
+	name string
+	mgr  *txn.Manager
+	docs *ordmap.Map[*txn.Chain[*Node]]
+}
+
+// NewStore creates an empty XML store named name on mgr.
+func NewStore(name string, mgr *txn.Manager) *Store {
+	return &Store{name: name, mgr: mgr, docs: ordmap.New[*txn.Chain[*Node]](0x3a11)}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Manager returns the transaction manager.
+func (s *Store) Manager() *txn.Manager { return s.mgr }
+
+func (s *Store) resource(id string) string { return s.name + "/" + id }
+
+func (s *Store) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
+	if tx != nil {
+		return fn(tx)
+	}
+	return s.mgr.RunWith(3, fn)
+}
+
+// Put stores (or replaces) the document under id.
+func (s *Store) Put(tx *txn.Tx, id string, doc *Node) error {
+	if id == "" {
+		return fmt.Errorf("xmlstore %s: empty document id", s.name)
+	}
+	if doc == nil || doc.IsText() {
+		return fmt.Errorf("xmlstore %s: document root must be an element", s.name)
+	}
+	return s.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(s.resource(id)); err != nil {
+			return err
+		}
+		chain, _ := s.docs.GetOrInsert(id, func() *txn.Chain[*Node] {
+			return &txn.Chain[*Node]{}
+		})
+		chain.Write(tx.ID(), doc.Clone(), false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		return nil
+	})
+}
+
+// Get returns the document visible to tx. The returned tree is shared;
+// Clone before mutating.
+func (s *Store) Get(tx *txn.Tx, id string) (*Node, bool) {
+	chain, ok := s.docs.Get(id)
+	if !ok {
+		return nil, false
+	}
+	if tx == nil {
+		return chain.ReadLatest()
+	}
+	return chain.Read(tx.BeginTS(), tx.ID())
+}
+
+// Update applies fn to a clone of the current document and stores the
+// result.
+func (s *Store) Update(tx *txn.Tx, id string, fn func(doc *Node) (*Node, error)) error {
+	return s.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(s.resource(id)); err != nil {
+			return err
+		}
+		chain, ok := s.docs.Get(id)
+		if !ok {
+			return fmt.Errorf("xmlstore %s: no document %q", s.name, id)
+		}
+		cur, live := chain.Read(s.mgr.Oracle().Current(), tx.ID())
+		if !live {
+			return fmt.Errorf("xmlstore %s: no document %q", s.name, id)
+		}
+		next, err := fn(cur.Clone())
+		if err != nil {
+			return err
+		}
+		if next == nil || next.IsText() {
+			return fmt.Errorf("xmlstore %s: updated root must be an element", s.name)
+		}
+		chain.Write(tx.ID(), next, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		return nil
+	})
+}
+
+// Delete tombstones the document; deleting a missing id is a no-op.
+func (s *Store) Delete(tx *txn.Tx, id string) error {
+	return s.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusive(s.resource(id)); err != nil {
+			return err
+		}
+		chain, ok := s.docs.Get(id)
+		if !ok {
+			return nil
+		}
+		chain.Write(tx.ID(), nil, true)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		return nil
+	})
+}
+
+// Scan calls fn for every live document visible to tx in id order.
+func (s *Store) Scan(tx *txn.Tx, fn func(id string, doc *Node) bool) {
+	s.docs.Ascend("", "", func(id string, chain *txn.Chain[*Node]) bool {
+		var doc *Node
+		var ok bool
+		if tx == nil {
+			doc, ok = chain.ReadLatest()
+		} else {
+			doc, ok = chain.Read(tx.BeginTS(), tx.ID())
+		}
+		if !ok {
+			return true
+		}
+		return fn(id, doc)
+	})
+}
+
+// Query evaluates a compiled XPath over every live document and calls
+// fn with each document id and its matching values. Documents with no
+// matches are skipped.
+func (s *Store) Query(tx *txn.Tx, xp *XPath, fn func(id string, values []string) bool) {
+	s.Scan(tx, func(id string, doc *Node) bool {
+		vals := xp.SelectValues(doc)
+		if len(vals) == 0 {
+			return true
+		}
+		return fn(id, vals)
+	})
+}
+
+// Count returns the number of live documents at latest-committed state.
+func (s *Store) Count() int {
+	n := 0
+	s.Scan(nil, func(string, *Node) bool { n++; return true })
+	return n
+}
+
+// Compact garbage-collects old versions and unlinks dead documents.
+func (s *Store) Compact(horizon txn.TS) int {
+	dropped := 0
+	var dead []string
+	s.docs.Ascend("", "", func(id string, chain *txn.Chain[*Node]) bool {
+		dropped += chain.GC(horizon)
+		if _, live := chain.ReadLatest(); !live {
+			if ts := chain.LatestCommitTS(); ts != 0 && ts < horizon {
+				dead = append(dead, id)
+			}
+		}
+		return true
+	})
+	for _, id := range dead {
+		s.docs.Remove(id)
+	}
+	return dropped
+}

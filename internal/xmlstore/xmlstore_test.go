@@ -1,0 +1,401 @@
+package xmlstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"udbench/internal/txn"
+)
+
+const invoiceXML = `<invoice id="inv-1" currency="EUR">
+  <customer cid="7">Alice</customer>
+  <lines>
+    <line sku="a1" qty="2" price="9.50"/>
+    <line sku="b2" qty="1" price="3.00"/>
+    <line sku="c3" qty="4" price="1.25"/>
+  </lines>
+  <total>27.00</total>
+</invoice>`
+
+func TestParseAndStructure(t *testing.T) {
+	n := MustParse(invoiceXML)
+	if n.Name != "invoice" {
+		t.Fatalf("root = %s", n.Name)
+	}
+	if v, _ := n.Attr("id"); v != "inv-1" {
+		t.Error("attr id wrong")
+	}
+	if _, ok := n.Attr("missing"); ok {
+		t.Error("phantom attr")
+	}
+	lines, ok := n.FirstChild("lines")
+	if !ok || len(lines.ChildElements("line")) != 3 {
+		t.Fatal("lines structure wrong")
+	}
+	if total, _ := n.FirstChild("total"); total.InnerText() != "27.00" {
+		t.Error("total text wrong")
+	}
+	cust, _ := n.FirstChild("customer")
+	if cust.InnerText() != "Alice" {
+		t.Error("customer text wrong")
+	}
+	if _, ok := n.FirstChild("bogus"); ok {
+		t.Error("phantom child")
+	}
+	if len(n.ChildElements("")) != 3 {
+		t.Errorf("root has %d element children", len(n.ChildElements("")))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"just text",
+		"<a><b></a></b>",
+		"<a/><b/>",
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic")
+		}
+	}()
+	MustParse("<")
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	n := MustParse(invoiceXML)
+	data := Marshal(n)
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	if !Equal(n, back) {
+		t.Errorf("round-trip mismatch:\n%s\nvs\n%s", Marshal(n), Marshal(back))
+	}
+	// Escaping.
+	e := NewElement("x", Attr{Name: "a", Value: `q"<&>`}).Append(NewText("<body&>"))
+	back, err = Parse(Marshal(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, back) {
+		t.Error("escaped round-trip mismatch")
+	}
+}
+
+func TestNodeMutationHelpers(t *testing.T) {
+	n := NewElement("a")
+	n.SetAttr("k", "1")
+	n.SetAttr("k", "2")
+	if v, _ := n.Attr("k"); v != "2" {
+		t.Error("SetAttr replace failed")
+	}
+	if !n.RemoveAttr("k") || n.RemoveAttr("k") {
+		t.Error("RemoveAttr semantics wrong")
+	}
+	c := MustParse(invoiceXML).Clone()
+	orig := MustParse(invoiceXML)
+	lines, _ := c.FirstChild("lines")
+	lines.Children[0].SetAttr("sku", "MUTATED")
+	if Equal(c, orig) {
+		t.Error("clone mutation should diverge")
+	}
+	ol, _ := orig.FirstChild("lines")
+	if v, _ := ol.Children[0].Attr("sku"); v != "a1" {
+		t.Error("clone mutation leaked to source structure")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a := MustParse(`<a x="1" y="2"><b/>t</a>`)
+	b := MustParse(`<a y="2" x="1"><b/>t</a>`)
+	if !Equal(a, b) {
+		t.Error("attribute order must not matter")
+	}
+	c := MustParse(`<a x="1" y="2">t<b/></a>`)
+	if Equal(a, c) {
+		t.Error("child order must matter")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestXPathBasics(t *testing.T) {
+	doc := MustParse(invoiceXML)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"/invoice/@id", []string{"inv-1"}},
+		{"/invoice/customer/@cid", []string{"7"}},
+		{"/invoice/customer/text()", []string{"Alice"}},
+		{"/invoice/total", []string{"27.00"}},
+		{"/invoice/lines/line/@sku", []string{"a1", "b2", "c3"}},
+		{"//line/@sku", []string{"a1", "b2", "c3"}},
+		{"/invoice/lines/line[2]/@sku", []string{"b2"}},
+		{"/invoice/lines/line[@sku='c3']/@price", []string{"1.25"}},
+		{"/invoice/lines/line[@qty]/@sku", []string{"a1", "b2", "c3"}},
+		{"/invoice/lines/line[9]/@sku", nil},
+		{"/invoice/*", []string{"Alice", "", "27.00"}},
+		{"//total", []string{"27.00"}},
+		{"/bogus/@id", nil},
+		{"//line[@sku='zz']", nil},
+	}
+	for _, c := range cases {
+		xp, err := CompileXPath(c.expr)
+		if err != nil {
+			t.Errorf("compile %q: %v", c.expr, err)
+			continue
+		}
+		got := xp.SelectValues(doc)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	// Element predicate on child text.
+	root := MustParse(`<r><p><name>x</name><v>1</v></p><p><name>y</name><v>2</v></p></r>`)
+	xp, _ := CompileXPath(`/r/p[name='y']/v`)
+	if got := xp.SelectValues(root); fmt.Sprint(got) != "[2]" {
+		t.Errorf("child text predicate = %v", got)
+	}
+	xp, _ = CompileXPath(`/r/p[name]/v`)
+	if got := xp.SelectValues(root); len(got) != 2 {
+		t.Errorf("child existence predicate = %v", got)
+	}
+	// First helper.
+	xp, _ = CompileXPath("/invoice/@currency")
+	if v, ok := xp.First(doc); !ok || v != "EUR" {
+		t.Errorf("First = %q, %v", v, ok)
+	}
+	xp, _ = CompileXPath("/invoice/@missing")
+	if _, ok := xp.First(doc); ok {
+		t.Error("First on empty result should report false")
+	}
+}
+
+func TestXPathSelectNodes(t *testing.T) {
+	doc := MustParse(invoiceXML)
+	xp, _ := CompileXPath("//line")
+	nodes := xp.SelectNodes(doc)
+	if len(nodes) != 3 {
+		t.Fatalf("SelectNodes = %d", len(nodes))
+	}
+	if v, _ := nodes[1].Attr("sku"); v != "b2" {
+		t.Error("node order wrong")
+	}
+	if xp.String() != "//line" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestXPathCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"invoice",
+		"/invoice/",
+		"/invoice/@",
+		"/@a/b",
+		"/invoice//",
+		"/invoice/line[",
+		"/invoice/line[0]",
+		"/a/text()/b",
+		"/a/@id/b",
+		"/a/@id[1]",
+		"/a/[]",
+	}
+	for _, expr := range bad {
+		if _, err := CompileXPath(expr); err == nil {
+			t.Errorf("CompileXPath(%q) should fail", expr)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	doc := MustParse(invoiceXML)
+	rules := map[string]ElementRule{
+		"invoice": {
+			RequiredAttrs:    []string{"id", "currency"},
+			AllowedChildren:  []string{"customer", "lines", "total"},
+			RequiredChildren: []string{"customer", "total"},
+		},
+		"line": {RequiredAttrs: []string{"sku", "qty", "price"}},
+	}
+	if errs := Validate(doc, rules); len(errs) != 0 {
+		t.Fatalf("valid doc produced %v", errs)
+	}
+	bad := MustParse(`<invoice id="x"><lines><line qty="1"/></lines><extra/></invoice>`)
+	errs := Validate(bad, rules)
+	// missing currency; extra child; missing customer, total; line missing sku, price
+	if len(errs) != 6 {
+		t.Errorf("violations = %d: %v", len(errs), errs)
+	}
+}
+
+func TestElementNames(t *testing.T) {
+	doc := MustParse(invoiceXML)
+	names := ElementNames(doc)
+	if strings.Join(names, ",") != "customer,invoice,line,lines,total" {
+		t.Errorf("ElementNames = %v", names)
+	}
+}
+
+func TestStoreCRUDAndTransactions(t *testing.T) {
+	s := NewStore("xml", txn.NewManager())
+	doc := MustParse(invoiceXML)
+	if err := s.Put(nil, "inv-1", doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(nil, "", doc); err == nil {
+		t.Error("empty id should fail")
+	}
+	if err := s.Put(nil, "x", NewText("t")); err == nil {
+		t.Error("text root should fail")
+	}
+	got, ok := s.Get(nil, "inv-1")
+	if !ok || !Equal(got, doc) {
+		t.Fatal("Get mismatch")
+	}
+	// Put stores a clone: mutating the original must not affect it.
+	doc.SetAttr("id", "EVIL")
+	got, _ = s.Get(nil, "inv-1")
+	if v, _ := got.Attr("id"); v != "inv-1" {
+		t.Error("store shares caller's tree")
+	}
+	// Update.
+	err := s.Update(nil, "inv-1", func(d *Node) (*Node, error) {
+		d.SetAttr("status", "paid")
+		return d, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get(nil, "inv-1")
+	if v, _ := got.Attr("status"); v != "paid" {
+		t.Error("update lost")
+	}
+	if err := s.Update(nil, "zz", func(d *Node) (*Node, error) { return d, nil }); err == nil {
+		t.Error("update missing doc should fail")
+	}
+	// Transaction rollback.
+	mgr := s.Manager()
+	tx := mgr.Begin()
+	s.Update(tx, "inv-1", func(d *Node) (*Node, error) {
+		d.SetAttr("status", "void")
+		return d, nil
+	})
+	s.Put(tx, "inv-2", MustParse(`<invoice id="inv-2"/>`))
+	tx.Abort()
+	got, _ = s.Get(nil, "inv-1")
+	if v, _ := got.Attr("status"); v != "paid" {
+		t.Error("aborted update leaked")
+	}
+	if _, ok := s.Get(nil, "inv-2"); ok {
+		t.Error("aborted put leaked")
+	}
+	// Delete.
+	s.Delete(nil, "inv-1")
+	if _, ok := s.Get(nil, "inv-1"); ok {
+		t.Error("deleted doc visible")
+	}
+	if err := s.Delete(nil, "never"); err != nil {
+		t.Errorf("delete missing: %v", err)
+	}
+}
+
+func TestStoreQueryAndScan(t *testing.T) {
+	s := NewStore("xml", txn.NewManager())
+	for i := 1; i <= 5; i++ {
+		cur := "EUR"
+		if i%2 == 0 {
+			cur = "USD"
+		}
+		src := fmt.Sprintf(`<invoice id="inv-%d" currency="%s"><total>%d</total></invoice>`, i, cur, i*10)
+		s.Put(nil, fmt.Sprintf("inv-%d", i), MustParse(src))
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	xp, _ := CompileXPath(`/invoice[@currency='USD']/total`)
+	var ids []string
+	s.Query(nil, xp, func(id string, vals []string) bool {
+		ids = append(ids, id+"="+vals[0])
+		return true
+	})
+	if fmt.Sprint(ids) != "[inv-2=20 inv-4=40]" {
+		t.Errorf("query = %v", ids)
+	}
+	// Early stop.
+	n := 0
+	s.Scan(nil, func(string, *Node) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("scan early stop visited %d", n)
+	}
+}
+
+func TestStoreSnapshot(t *testing.T) {
+	s := NewStore("xml", txn.NewManager())
+	s.Put(nil, "d", MustParse(`<doc v="1"/>`))
+	reader := s.Manager().Begin()
+	s.Update(nil, "d", func(n *Node) (*Node, error) {
+		n.SetAttr("v", "2")
+		return n, nil
+	})
+	got, _ := s.Get(reader, "d")
+	if v, _ := got.Attr("v"); v != "1" {
+		t.Errorf("snapshot sees v=%s", v)
+	}
+	got, _ = s.Get(nil, "d")
+	if v, _ := got.Attr("v"); v != "2" {
+		t.Errorf("latest sees v=%s", v)
+	}
+	reader.Abort()
+}
+
+func TestStoreCompact(t *testing.T) {
+	s := NewStore("xml", txn.NewManager())
+	s.Put(nil, "d", MustParse(`<doc/>`))
+	for i := 0; i < 5; i++ {
+		s.Update(nil, "d", func(n *Node) (*Node, error) {
+			n.SetAttr("i", fmt.Sprint(i))
+			return n, nil
+		})
+	}
+	s.Put(nil, "dead", MustParse(`<doc/>`))
+	s.Delete(nil, "dead")
+	horizon := s.Manager().Oracle().Current() + 1
+	if dropped := s.Compact(horizon); dropped < 5 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if _, ok := s.Get(nil, "d"); !ok {
+		t.Error("live doc lost")
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count after compact = %d", s.Count())
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	data := []byte(invoiceXML)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXPath(b *testing.B) {
+	doc := MustParse(invoiceXML)
+	xp, _ := CompileXPath("//line[@sku='b2']/@price")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		xp.SelectValues(doc)
+	}
+}

@@ -1,0 +1,343 @@
+package xmlstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// XPath is a compiled XPath-subset expression. Supported grammar:
+//
+//	path      := ('/' | '//') step ( ('/' | '//') step )*
+//	step      := name | '*' | '@name' | 'text()'
+//	step      += predicate*
+//	predicate := '[' int ']'                  positional (1-based)
+//	           | '[@name="value"]'            attribute equality
+//	           | '[name="value"]'             child element text equality
+//	           | '[name]'                     child element existence
+//
+// '//' selects descendants-or-self before matching the step; '/'
+// selects children. '@name' and 'text()' are terminal steps producing
+// string values.
+type XPath struct {
+	src   string
+	steps []step
+}
+
+type step struct {
+	descend bool // true when preceded by //
+	name    string
+	attr    string // non-empty for @attr steps
+	textFn  bool   // text() step
+	wild    bool   // *
+	preds   []predicate
+}
+
+type predicate struct {
+	pos      int    // >0 for positional predicate
+	attrName string // attribute predicate
+	child    string // child element predicate
+	value    string
+	hasValue bool
+}
+
+// CompileXPath parses an XPath-subset expression.
+func CompileXPath(expr string) (*XPath, error) {
+	if expr == "" {
+		return nil, fmt.Errorf("xmlstore: empty xpath")
+	}
+	xp := &XPath{src: expr}
+	rest := expr
+	if !strings.HasPrefix(rest, "/") {
+		return nil, fmt.Errorf("xmlstore: xpath %q must start with / or //", expr)
+	}
+	for len(rest) > 0 {
+		descend := false
+		if strings.HasPrefix(rest, "//") {
+			descend = true
+			rest = rest[2:]
+		} else if strings.HasPrefix(rest, "/") {
+			rest = rest[1:]
+		} else {
+			return nil, fmt.Errorf("xmlstore: xpath %q: expected / at %q", expr, rest)
+		}
+		if rest == "" {
+			return nil, fmt.Errorf("xmlstore: xpath %q: trailing slash", expr)
+		}
+		// Slice up to the next step separator outside brackets.
+		end := len(rest)
+		depth := 0
+		for i, r := range rest {
+			if r == '[' {
+				depth++
+			}
+			if r == ']' {
+				depth--
+			}
+			if r == '/' && depth == 0 {
+				end = i
+				break
+			}
+		}
+		tok := rest[:end]
+		rest = rest[end:]
+		st, err := parseStep(tok)
+		if err != nil {
+			return nil, fmt.Errorf("xmlstore: xpath %q: %w", expr, err)
+		}
+		st.descend = descend
+		xp.steps = append(xp.steps, st)
+	}
+	// Terminal-only steps must be last.
+	for i, st := range xp.steps {
+		if (st.attr != "" || st.textFn) && i != len(xp.steps)-1 {
+			return nil, fmt.Errorf("xmlstore: xpath %q: @attr/text() must be the final step", expr)
+		}
+	}
+	return xp, nil
+}
+
+func parseStep(tok string) (step, error) {
+	var st step
+	// Split off predicates.
+	base := tok
+	var predSrc []string
+	if i := strings.IndexByte(tok, '['); i >= 0 {
+		base = tok[:i]
+		rest := tok[i:]
+		for len(rest) > 0 {
+			if rest[0] != '[' {
+				return st, fmt.Errorf("bad predicate syntax at %q", rest)
+			}
+			j := strings.IndexByte(rest, ']')
+			if j < 0 {
+				return st, fmt.Errorf("unclosed predicate in %q", tok)
+			}
+			predSrc = append(predSrc, rest[1:j])
+			rest = rest[j+1:]
+		}
+	}
+	switch {
+	case base == "*":
+		st.wild = true
+	case base == "text()":
+		st.textFn = true
+	case strings.HasPrefix(base, "@"):
+		if len(base) == 1 {
+			return st, fmt.Errorf("empty attribute name")
+		}
+		st.attr = base[1:]
+	case base == "":
+		return st, fmt.Errorf("empty step")
+	default:
+		st.name = base
+	}
+	for _, ps := range predSrc {
+		p, err := parsePredicate(ps)
+		if err != nil {
+			return st, err
+		}
+		st.preds = append(st.preds, p)
+	}
+	if (st.attr != "" || st.textFn) && len(st.preds) > 0 {
+		return st, fmt.Errorf("predicates not allowed on @attr/text() steps")
+	}
+	return st, nil
+}
+
+func parsePredicate(src string) (predicate, error) {
+	src = strings.TrimSpace(src)
+	if n, err := strconv.Atoi(src); err == nil {
+		if n <= 0 {
+			return predicate{}, fmt.Errorf("positional predicate must be >= 1, got %d", n)
+		}
+		return predicate{pos: n}, nil
+	}
+	name := src
+	value := ""
+	hasValue := false
+	if i := strings.IndexByte(src, '='); i >= 0 {
+		name = strings.TrimSpace(src[:i])
+		raw := strings.TrimSpace(src[i+1:])
+		if len(raw) >= 2 && (raw[0] == '\'' || raw[0] == '"') && raw[len(raw)-1] == raw[0] {
+			value = raw[1 : len(raw)-1]
+		} else {
+			value = raw
+		}
+		hasValue = true
+	}
+	if strings.HasPrefix(name, "@") {
+		if len(name) == 1 {
+			return predicate{}, fmt.Errorf("empty attribute predicate")
+		}
+		return predicate{attrName: name[1:], value: value, hasValue: hasValue}, nil
+	}
+	if name == "" {
+		return predicate{}, fmt.Errorf("empty predicate")
+	}
+	return predicate{child: name, value: value, hasValue: hasValue}, nil
+}
+
+// String returns the source expression.
+func (xp *XPath) String() string { return xp.src }
+
+// SelectNodes evaluates the path against root and returns matching
+// element nodes. Terminal @attr / text() steps yield no nodes (use
+// SelectValues).
+func (xp *XPath) SelectNodes(root *Node) []*Node {
+	nodes, _ := xp.eval(root)
+	return nodes
+}
+
+// SelectValues evaluates the path and returns string results: attribute
+// values for @attr paths, concatenated text for text() paths, and
+// InnerText for element paths.
+func (xp *XPath) SelectValues(root *Node) []string {
+	nodes, vals := xp.eval(root)
+	if vals != nil {
+		return vals
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.InnerText()
+	}
+	return out
+}
+
+// First returns the first string result, if any.
+func (xp *XPath) First(root *Node) (string, bool) {
+	vals := xp.SelectValues(root)
+	if len(vals) == 0 {
+		return "", false
+	}
+	return vals[0], true
+}
+
+func (xp *XPath) eval(root *Node) ([]*Node, []string) {
+	// The context starts as a virtual parent of root so that the first
+	// step can match the root element itself.
+	ctx := []*Node{{Children: []*Node{root}}}
+	for i, st := range xp.steps {
+		last := i == len(xp.steps)-1
+		if st.attr != "" || st.textFn {
+			// Terminal value step: gather from the current context.
+			var vals []string
+			for _, n := range ctx {
+				cands := []*Node{n}
+				if st.descend {
+					cands = descendants(n)
+				}
+				for _, c := range cands {
+					if st.attr != "" {
+						if v, ok := c.Attr(st.attr); ok {
+							vals = append(vals, v)
+						}
+					} else {
+						for _, ch := range c.Children {
+							if ch.IsText() {
+								vals = append(vals, ch.Text)
+							}
+						}
+					}
+				}
+			}
+			return nil, vals
+		}
+		var next []*Node
+		for _, n := range ctx {
+			var pool []*Node
+			if st.descend {
+				for _, d := range descendants(n) {
+					pool = append(pool, d.ChildElements("")...)
+				}
+				// descendant-or-self on children: include n's own
+				// children via descendants(n) above (which includes n).
+			} else {
+				pool = n.ChildElements("")
+			}
+			var matched []*Node
+			for _, c := range pool {
+				if st.wild || c.Name == st.name {
+					matched = append(matched, c)
+				}
+			}
+			matched = applyPredicates(matched, st.preds)
+			next = append(next, matched...)
+		}
+		ctx = dedupeNodes(next)
+		if len(ctx) == 0 {
+			if last {
+				return nil, nil
+			}
+			return nil, nil
+		}
+	}
+	return ctx, nil
+}
+
+// descendants returns n and every element beneath it, document order.
+func descendants(n *Node) []*Node {
+	out := []*Node{n}
+	for _, c := range n.Children {
+		if !c.IsText() {
+			out = append(out, descendants(c)...)
+		}
+	}
+	return out
+}
+
+func applyPredicates(nodes []*Node, preds []predicate) []*Node {
+	for _, p := range preds {
+		if p.pos > 0 {
+			if p.pos <= len(nodes) {
+				nodes = []*Node{nodes[p.pos-1]}
+			} else {
+				nodes = nil
+			}
+			continue
+		}
+		var keep []*Node
+		for _, n := range nodes {
+			if matchPredicate(n, p) {
+				keep = append(keep, n)
+			}
+		}
+		nodes = keep
+	}
+	return nodes
+}
+
+func matchPredicate(n *Node, p predicate) bool {
+	if p.attrName != "" {
+		v, ok := n.Attr(p.attrName)
+		if !ok {
+			return false
+		}
+		return !p.hasValue || v == p.value
+	}
+	children := n.ChildElements(p.child)
+	if len(children) == 0 {
+		return false
+	}
+	if !p.hasValue {
+		return true
+	}
+	for _, c := range children {
+		if c.InnerText() == p.value {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeNodes(nodes []*Node) []*Node {
+	seen := make(map[*Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
