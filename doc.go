@@ -34,4 +34,28 @@
 // The benchmarks in bench_test.go regenerate every experiment table;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for
 // reference results.
+//
+// # Query execution model
+//
+// Cross-model queries execute through udbms.Pipeline, a streaming
+// (volcano-style, push-based) operator chain built lazily and pulled
+// only by a terminal (Rows, Count, Each):
+//
+//   - Source operators stream shared store memory — no row is cloned
+//     during execution; Rows copies on collect, Count/Each never copy.
+//   - Filter/Map fuse into the stream; Limit short-circuits upstream
+//     operators, including the store scans themselves.
+//   - JoinDocuments/JoinRelational are build-once hash joins keyed by
+//     mmvalue hashes with exact Equal verification. When the probe set
+//     turns out small and the build side has a path/column index (or
+//     the join column is the primary key), the executor falls back to
+//     per-row index probes instead of scanning the build side.
+//   - Parallel(n) partitions full-scan seeds into contiguous key
+//     ranges scanned concurrently and merged in order.
+//
+// The UQL layer (internal/uql) compiles leading FILTER clauses into
+// native store predicates (document.Filter / relational.Expr) pushed
+// into the seed scan — exactly preserving UQL's missing-path and null
+// comparison semantics — so secondary indexes engage; untranslatable
+// conjuncts remain as residual row filters.
 package udbench

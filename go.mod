@@ -1,0 +1,3 @@
+module udbench
+
+go 1.24

@@ -90,6 +90,7 @@ type Collection struct {
 // Like relational indexes it is advisory: entries accumulate at commit
 // time and queries re-verify against the visible document.
 type pathIndex struct {
+	pp      mmvalue.Path // parsed once at CreateIndex
 	mu      sync.RWMutex
 	buckets map[string]map[string]struct{}
 }
@@ -142,12 +143,7 @@ func (c *Collection) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
 
 // valKey normalizes a leaf value for indexing, consistent with
 // mmvalue.Equal for scalars.
-func valKey(v mmvalue.Value) string {
-	if f, ok := v.AsFloat(); ok {
-		return fmt.Sprintf("num:%g", f)
-	}
-	return v.Kind().String() + ":" + v.String()
-}
+func valKey(v mmvalue.Value) string { return v.Key() }
 
 // CreateIndex adds an advisory equality index on the dotted path and
 // backfills it from latest committed documents.
@@ -157,19 +153,28 @@ func (c *Collection) CreateIndex(path string) error {
 		c.idxMu.Unlock()
 		return fmt.Errorf("document %s: index on %q already exists", c.name, path)
 	}
-	ix := &pathIndex{buckets: make(map[string]map[string]struct{})}
+	ix := &pathIndex{pp: mmvalue.ParsePath(path), buckets: make(map[string]map[string]struct{})}
 	c.indexes[path] = ix
 	c.idxMu.Unlock()
-	p := mmvalue.ParsePath(path)
 	c.docs.Ascend("", "", func(id string, chain *txn.Chain[mmvalue.Value]) bool {
 		if doc, live := chain.ReadLatest(); live {
-			if v, ok := p.Lookup(doc); ok {
+			if v, ok := ix.pp.Lookup(doc); ok {
 				ix.add(valKey(v), id)
 			}
 		}
 		return true
 	})
 	return nil
+}
+
+// UsesIndex reports whether Find/Stream would serve the filter from a
+// path index rather than a collection scan.
+func (c *Collection) UsesIndex(f Filter) bool {
+	if f == nil {
+		return false
+	}
+	path, _, ok := f.equalityOn()
+	return ok && c.HasIndex(path)
 }
 
 // HasIndex reports whether an index exists on the dotted path.
@@ -189,8 +194,8 @@ func (c *Collection) index(path string) *pathIndex {
 func (c *Collection) indexDoc(id string, doc mmvalue.Value) {
 	c.idxMu.RLock()
 	defer c.idxMu.RUnlock()
-	for path, ix := range c.indexes {
-		if v, ok := mmvalue.ParsePath(path).Lookup(doc); ok {
+	for _, ix := range c.indexes {
+		if v, ok := ix.pp.Lookup(doc); ok {
 			ix.add(valKey(v), id)
 		}
 	}
@@ -316,7 +321,13 @@ func (c *Collection) Delete(tx *txn.Tx, id string) error {
 
 // scan iterates live documents visible to tx in id order.
 func (c *Collection) scan(tx *txn.Tx, fn func(id string, doc mmvalue.Value) bool) {
-	c.docs.Ascend("", "", func(id string, chain *txn.Chain[mmvalue.Value]) bool {
+	c.scanRange(tx, "", "", fn)
+}
+
+// scanRange iterates live documents with from <= id < to (empty to =
+// unbounded) visible to tx, in id order.
+func (c *Collection) scanRange(tx *txn.Tx, from, to string, fn func(id string, doc mmvalue.Value) bool) {
+	c.docs.Ascend(from, to, func(id string, chain *txn.Chain[mmvalue.Value]) bool {
 		var doc mmvalue.Value
 		var ok bool
 		if tx == nil {
@@ -341,6 +352,72 @@ func (c *Collection) readVisible(tx *txn.Tx, id string) (mmvalue.Value, bool) {
 	}
 	return chain.Read(tx.BeginTS(), tx.ID())
 }
+
+// HasCollection reports whether a collection of that name already
+// exists, without creating it.
+func (s *Store) HasCollection(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.colls[name]
+	return ok
+}
+
+// Len returns the number of document slots in the collection, including
+// tombstoned documents not yet compacted. It is a cheap upper bound on
+// the live document count, intended for executor sizing decisions.
+func (c *Collection) Len() int { return c.docs.Len() }
+
+// Stream calls fn for every live document visible to tx that matches
+// filter (nil = all), in id order, stopping early when fn returns
+// false. Unlike Find, the documents are NOT cloned: they are shared
+// with the store and must not be mutated. When the filter pins an
+// indexed path the index is used instead of a full scan.
+func (c *Collection) Stream(tx *txn.Tx, filter Filter, fn func(doc mmvalue.Value) bool) {
+	if filter == nil {
+		filter = Everything()
+	}
+	if path, lit, ok := filter.equalityOn(); ok && c.HasIndex(path) {
+		ix := c.index(path)
+		ids := ix.candidates(valKey(lit))
+		sort.Strings(ids)
+		for _, id := range ids {
+			doc, live := c.readVisible(tx, id)
+			if !live || !filter.Match(doc) {
+				continue
+			}
+			if !fn(doc) {
+				return
+			}
+		}
+		return
+	}
+	c.scan(tx, func(_ string, doc mmvalue.Value) bool {
+		if !filter.Match(doc) {
+			return true
+		}
+		return fn(doc)
+	})
+}
+
+// StreamRange is Stream restricted to ids in [from, to) (empty to =
+// unbounded) and always scans: it is the partition primitive for
+// parallel executors, so it ignores indexes. Documents are shared, not
+// cloned.
+func (c *Collection) StreamRange(tx *txn.Tx, from, to string, filter Filter, fn func(doc mmvalue.Value) bool) {
+	if filter == nil {
+		filter = Everything()
+	}
+	c.scanRange(tx, from, to, func(_ string, doc mmvalue.Value) bool {
+		if !filter.Match(doc) {
+			return true
+		}
+		return fn(doc)
+	})
+}
+
+// SplitPoints returns boundary ids that cut the collection into up to n
+// contiguous ranges of near-equal size for StreamRange.
+func (c *Collection) SplitPoints(n int) []string { return c.docs.SplitPoints(n) }
 
 // Count returns the number of live documents at latest-committed state.
 func (c *Collection) Count() int {

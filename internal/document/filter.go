@@ -22,12 +22,17 @@ type Filter interface {
 
 type cmpFilter struct {
 	path string
-	op   string // "eq","ne","lt","le","gt","ge"
+	pp   mmvalue.Path // precompiled once at construction, reused per Match
+	op   string       // "eq","ne","lt","le","gt","ge"
 	lit  mmvalue.Value
 }
 
+func newCmpFilter(path, op string, value any) cmpFilter {
+	return cmpFilter{path: path, pp: mmvalue.ParsePath(path), op: op, lit: mmvalue.From(value)}
+}
+
 func (f cmpFilter) Match(doc mmvalue.Value) bool {
-	v, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	v, ok := f.pp.Lookup(doc)
 	if !ok {
 		// Missing path: only $ne and eq-null match.
 		switch f.op {
@@ -69,33 +74,36 @@ func (f cmpFilter) equalityOn() (string, mmvalue.Value, bool) {
 }
 
 // Eq matches path == value.
-func Eq(path string, value any) Filter { return cmpFilter{path, "eq", mmvalue.From(value)} }
+func Eq(path string, value any) Filter { return newCmpFilter(path, "eq", value) }
 
 // Ne matches path != value (missing paths match unless value is null).
-func Ne(path string, value any) Filter { return cmpFilter{path, "ne", mmvalue.From(value)} }
+func Ne(path string, value any) Filter { return newCmpFilter(path, "ne", value) }
 
 // Lt matches path < value.
-func Lt(path string, value any) Filter { return cmpFilter{path, "lt", mmvalue.From(value)} }
+func Lt(path string, value any) Filter { return newCmpFilter(path, "lt", value) }
 
 // Le matches path <= value.
-func Le(path string, value any) Filter { return cmpFilter{path, "le", mmvalue.From(value)} }
+func Le(path string, value any) Filter { return newCmpFilter(path, "le", value) }
 
 // Gt matches path > value.
-func Gt(path string, value any) Filter { return cmpFilter{path, "gt", mmvalue.From(value)} }
+func Gt(path string, value any) Filter { return newCmpFilter(path, "gt", value) }
 
 // Ge matches path >= value.
-func Ge(path string, value any) Filter { return cmpFilter{path, "ge", mmvalue.From(value)} }
+func Ge(path string, value any) Filter { return newCmpFilter(path, "ge", value) }
 
 type existsFilter struct {
 	path string
+	pp   mmvalue.Path
 	want bool
 }
 
 // Exists matches documents where the path is (or is not) present.
-func Exists(path string, want bool) Filter { return existsFilter{path, want} }
+func Exists(path string, want bool) Filter {
+	return existsFilter{path: path, pp: mmvalue.ParsePath(path), want: want}
+}
 
 func (f existsFilter) Match(doc mmvalue.Value) bool {
-	_, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	_, ok := f.pp.Lookup(doc)
 	return ok == f.want
 }
 
@@ -107,17 +115,18 @@ func (f existsFilter) equalityOn() (string, mmvalue.Value, bool) { return "", mm
 
 type containsFilter struct {
 	path string
+	pp   mmvalue.Path
 	elem mmvalue.Value
 }
 
 // Contains matches documents whose array at path contains an element
 // equal to value.
 func Contains(path string, value any) Filter {
-	return containsFilter{path, mmvalue.From(value)}
+	return containsFilter{path: path, pp: mmvalue.ParsePath(path), elem: mmvalue.From(value)}
 }
 
 func (f containsFilter) Match(doc mmvalue.Value) bool {
-	v, ok := mmvalue.ParsePath(f.path).Lookup(doc)
+	v, ok := f.pp.Lookup(doc)
 	if !ok {
 		return false
 	}
@@ -249,31 +258,12 @@ func (c *Collection) Find(tx *txn.Tx, filter Filter, opts *FindOptions) []mmvalu
 	}
 	var out []mmvalue.Value
 	noSort := opts == nil || opts.SortPath == ""
-	collect := func(doc mmvalue.Value) bool {
-		if !filter.Match(doc) {
-			return true
-		}
+	// Stream owns the access-path choice (index route vs scan).
+	c.Stream(tx, filter, func(doc mmvalue.Value) bool {
 		out = append(out, doc)
 		// Early stop only when no post-sort is requested.
 		return !(noSort && limit >= 0 && len(out) >= limit)
-	}
-	// Index route when the filter pins an indexed path.
-	if path, lit, ok := filter.equalityOn(); ok && c.HasIndex(path) {
-		ix := c.index(path)
-		ids := ix.candidates(valKey(lit))
-		sort.Strings(ids)
-		for _, id := range ids {
-			doc, live := c.readVisible(tx, id)
-			if !live {
-				continue
-			}
-			if !collect(doc) {
-				break
-			}
-		}
-	} else {
-		c.scan(tx, func(_ string, doc mmvalue.Value) bool { return collect(doc) })
-	}
+	})
 	if opts != nil && opts.SortPath != "" {
 		p := mmvalue.ParsePath(opts.SortPath)
 		sort.SliceStable(out, func(i, j int) bool {
@@ -289,9 +279,16 @@ func (c *Collection) Find(tx *txn.Tx, filter Filter, opts *FindOptions) []mmvalu
 		out = out[:limit]
 	}
 	res := make([]mmvalue.Value, len(out))
+	var projPaths []mmvalue.Path
+	if opts != nil && len(opts.Projection) > 0 {
+		projPaths = make([]mmvalue.Path, len(opts.Projection))
+		for i, p := range opts.Projection {
+			projPaths[i] = mmvalue.ParsePath(p)
+		}
+	}
 	for i, doc := range out {
-		if opts != nil && len(opts.Projection) > 0 {
-			res[i] = project(doc, opts.Projection)
+		if projPaths != nil {
+			res[i] = project(doc, projPaths)
 		} else {
 			res[i] = doc.Clone()
 		}
@@ -310,36 +307,23 @@ func (c *Collection) FindOne(tx *txn.Tx, filter Filter) (mmvalue.Value, bool) {
 
 // CountWhere returns the number of documents matching filter.
 func (c *Collection) CountWhere(tx *txn.Tx, filter Filter) int {
-	if filter == nil {
-		filter = Everything()
-	}
 	n := 0
-	if path, lit, ok := filter.equalityOn(); ok && c.HasIndex(path) {
-		ix := c.index(path)
-		for _, id := range ix.candidates(valKey(lit)) {
-			if doc, live := c.readVisible(tx, id); live && filter.Match(doc) {
-				n++
-			}
-		}
-		return n
-	}
-	c.scan(tx, func(_ string, doc mmvalue.Value) bool {
-		if filter.Match(doc) {
-			n++
-		}
+	c.Stream(tx, filter, func(mmvalue.Value) bool {
+		n++
 		return true
 	})
 	return n
 }
 
-func project(doc mmvalue.Value, paths []string) mmvalue.Value {
+var idPath = mmvalue.ParsePath(IDField)
+
+func project(doc mmvalue.Value, paths []mmvalue.Path) mmvalue.Value {
 	o := mmvalue.NewObject()
-	if id, ok := mmvalue.ParsePath(IDField).Lookup(doc); ok {
+	if id, ok := idPath.Lookup(doc); ok {
 		o.Set(IDField, id)
 	}
 	root := mmvalue.FromObject(o)
-	for _, p := range paths {
-		pp := mmvalue.ParsePath(p)
+	for _, pp := range paths {
 		if v, ok := pp.Lookup(doc); ok {
 			root, _ = pp.Set(root, v.Clone())
 		}

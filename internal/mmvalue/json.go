@@ -70,7 +70,7 @@ func encodeJSON(buf *bytes.Buffer, v Value) error {
 			}
 			buf.Write(kb)
 			buf.WriteByte(':')
-			if err := encodeJSON(buf, v.obj.m[k]); err != nil {
+			if err := encodeJSON(buf, v.obj.at(i)); err != nil {
 				return err
 			}
 		}

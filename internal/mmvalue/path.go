@@ -144,8 +144,8 @@ func walk(v Value, prefix Path, fn func(Path, Value) bool) bool {
 		if v.obj.Len() == 0 {
 			return fn(append(Path{}, prefix...), v)
 		}
-		for _, k := range v.obj.keys {
-			if !walk(v.obj.m[k], append(prefix, k), fn) {
+		for i, k := range v.obj.keys {
+			if !walk(v.obj.at(i), append(prefix, k), fn) {
 				return false
 			}
 		}

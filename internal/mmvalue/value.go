@@ -69,9 +69,46 @@ type Value struct {
 }
 
 // Object is an insertion-ordered string-keyed map of Values.
+//
+// Representation: small objects (up to smallObjectMax fields, the
+// overwhelmingly common case for rows and documents) store their
+// values in a slice parallel to keys and resolve lookups by linear
+// key comparison — no hash map is allocated at all. Objects that grow
+// beyond the threshold promote to a map once and stay there.
 type Object struct {
 	keys []string
-	m    map[string]Value
+	vals []Value          // parallel to keys while m == nil
+	m    map[string]Value // nil in small mode
+}
+
+// smallObjectMax is the field count up to which an Object stays in the
+// linear (map-free) representation.
+const smallObjectMax = 16
+
+// at returns the value at field position i (0 <= i < Len).
+func (o *Object) at(i int) Value {
+	if o.m == nil {
+		return o.vals[i]
+	}
+	return o.m[o.keys[i]]
+}
+
+func (o *Object) smallIndex(key string) int {
+	for i, k := range o.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// promote switches a small object to the map representation.
+func (o *Object) promote() {
+	o.m = make(map[string]Value, len(o.keys)*2)
+	for i, k := range o.keys {
+		o.m[k] = o.vals[i]
+	}
+	o.vals = nil
 }
 
 // Null is the null Value.
@@ -440,14 +477,32 @@ func (v Value) Hash() uint64 {
 		// XOR of key/value hashes keeps the hash independent of
 		// insertion order, matching order-insensitive Equal.
 		var acc uint64
-		for _, k := range v.obj.keys {
+		for i, k := range v.obj.keys {
 			kh := String(k).Hash()
-			vh := v.obj.m[k].Hash()
+			vh := v.obj.at(i).Hash()
 			acc ^= kh*31 + vh
 		}
 		mix64(acc)
 	}
 	return h
+}
+
+// Key renders v as a stable grouping key: two Equal values always
+// share the same key, so it can bucket hash tables and equality
+// indexes. Numerics are normalized so Int(1) and Float(1) share a
+// bucket, in line with Equal. Callers that must be collision-exact
+// (Key equality does not imply Equal for pathological values, e.g.
+// huge ints colliding with floats or objects differing only in field
+// order) should re-verify candidates with Equal.
+func (v Value) Key() string {
+	if f, ok := v.AsFloat(); ok {
+		return "num:" + strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	var sb strings.Builder
+	sb.WriteString(v.kind.String())
+	sb.WriteByte(':')
+	sb.WriteString(v.String())
+	return sb.String()
 }
 
 // Clone returns a deep copy of v. Scalars are returned as-is.
@@ -502,7 +557,7 @@ func (v Value) render(sb *strings.Builder) {
 			}
 			sb.WriteString(strconv.Quote(k))
 			sb.WriteByte(':')
-			v.obj.m[k].render(sb)
+			v.obj.at(i).render(sb)
 		}
 		sb.WriteByte('}')
 	}
@@ -510,7 +565,7 @@ func (v Value) render(sb *strings.Builder) {
 
 // NewObject returns an empty insertion-ordered object.
 func NewObject() *Object {
-	return &Object{m: make(map[string]Value)}
+	return &Object{}
 }
 
 // Len returns the number of fields.
@@ -518,13 +573,19 @@ func (o *Object) Len() int { return len(o.keys) }
 
 // Get returns the value stored under key.
 func (o *Object) Get(key string) (Value, bool) {
+	if o.m == nil {
+		if i := o.smallIndex(key); i >= 0 {
+			return o.vals[i], true
+		}
+		return Value{}, false
+	}
 	v, ok := o.m[key]
 	return v, ok
 }
 
 // GetOr returns the value stored under key, or def if absent.
 func (o *Object) GetOr(key string, def Value) Value {
-	if v, ok := o.m[key]; ok {
+	if v, ok := o.Get(key); ok {
 		return v
 	}
 	return def
@@ -532,6 +593,18 @@ func (o *Object) GetOr(key string, def Value) Value {
 
 // Set stores v under key, preserving the position of an existing key.
 func (o *Object) Set(key string, v Value) {
+	if o.m == nil {
+		if i := o.smallIndex(key); i >= 0 {
+			o.vals[i] = v
+			return
+		}
+		if len(o.keys) < smallObjectMax {
+			o.keys = append(o.keys, key)
+			o.vals = append(o.vals, v)
+			return
+		}
+		o.promote()
+	}
 	if _, ok := o.m[key]; !ok {
 		o.keys = append(o.keys, key)
 	}
@@ -540,6 +613,15 @@ func (o *Object) Set(key string, v Value) {
 
 // Delete removes key; it reports whether the key was present.
 func (o *Object) Delete(key string) bool {
+	if o.m == nil {
+		i := o.smallIndex(key)
+		if i < 0 {
+			return false
+		}
+		o.keys = append(o.keys[:i], o.keys[i+1:]...)
+		o.vals = append(o.vals[:i], o.vals[i+1:]...)
+		return true
+	}
 	if _, ok := o.m[key]; !ok {
 		return false
 	}
@@ -556,12 +638,18 @@ func (o *Object) Delete(key string) bool {
 // Rename moves the value under from to key to, keeping its position.
 // It reports whether from existed. If to already exists it is replaced.
 func (o *Object) Rename(from, to string) bool {
-	v, ok := o.m[from]
+	v, ok := o.Get(from)
 	if !ok || from == to {
 		return ok
 	}
-	if _, exists := o.m[to]; exists {
+	if _, exists := o.Get(to); exists {
 		o.Delete(to)
+	}
+	if o.m == nil {
+		i := o.smallIndex(from)
+		o.keys[i] = to
+		o.vals[i] = v
+		return true
 	}
 	delete(o.m, from)
 	o.m[to] = v
@@ -586,10 +674,59 @@ func (o *Object) SortedKeys() []string {
 	return ks
 }
 
+// ShallowClone returns a copy of the object whose field values are
+// shared with the original: the key set is owned by the copy, so new
+// fields can be added safely, but stored values must still be treated
+// as immutable.
+func (o *Object) ShallowClone() *Object {
+	c := &Object{keys: make([]string, len(o.keys), len(o.keys)+2)}
+	copy(c.keys, o.keys)
+	if o.m == nil {
+		c.vals = make([]Value, len(o.vals), len(o.vals)+2)
+		copy(c.vals, o.vals)
+		return c
+	}
+	c.m = make(map[string]Value, len(o.m)+2)
+	for k, v := range o.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// CopyFrom resets o to a shallow copy of src, reusing o's backing
+// storage where possible. Field values are shared with src and must be
+// treated as immutable. It is the zero-allocation (steady-state)
+// variant of ShallowClone for callers that recycle a scratch object.
+func (o *Object) CopyFrom(src *Object) {
+	o.keys = append(o.keys[:0], src.keys...)
+	if src.m == nil {
+		o.m = nil
+		o.vals = append(o.vals[:0], src.vals...)
+		return
+	}
+	o.vals = o.vals[:0]
+	if o.m == nil {
+		o.m = make(map[string]Value, len(src.m))
+	} else {
+		clear(o.m)
+	}
+	for k, v := range src.m {
+		o.m[k] = v
+	}
+}
+
 // Clone returns a deep copy of the object.
 func (o *Object) Clone() *Object {
-	c := &Object{keys: make([]string, len(o.keys)), m: make(map[string]Value, len(o.m))}
+	c := &Object{keys: make([]string, len(o.keys))}
 	copy(c.keys, o.keys)
+	if o.m == nil {
+		c.vals = make([]Value, len(o.vals))
+		for i, v := range o.vals {
+			c.vals[i] = v.Clone()
+		}
+		return c
+	}
+	c.m = make(map[string]Value, len(o.m))
 	for k, v := range o.m {
 		c.m[k] = v.Clone()
 	}

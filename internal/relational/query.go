@@ -62,9 +62,12 @@ type Plan struct {
 	Column   string
 }
 
-// Plan returns the access path the executor will choose.
+// Plan returns the access path the executor will choose. A primary-key
+// equality reports as an index access on the key column (it resolves
+// to a point lookup).
 func (q *Query) Plan() Plan {
-	if col, _, ok := q.where.equalityOn(); ok && q.table.HasIndex(col) {
+	if col, _, ok := q.where.equalityOn(); ok &&
+		(col == q.table.schema.PrimaryKey || q.table.HasIndex(col)) {
 		return Plan{UseIndex: true, Column: col}
 	}
 	return Plan{}
@@ -74,33 +77,13 @@ func (q *Query) Plan() Plan {
 // callers may mutate them freely.
 func (q *Query) Rows() []mmvalue.Value {
 	var out []mmvalue.Value
-	collect := func(row mmvalue.Value) bool {
-		if !q.where.Eval(row) {
-			return true
-		}
+	// Stream owns the access-path choice (primary-key point lookup,
+	// index route, or scan).
+	q.table.Stream(q.tx, q.where, func(row mmvalue.Value) bool {
 		out = append(out, row)
 		// Early stop only when no post-ordering is required.
 		return !(q.orderBy == "" && q.limit >= 0 && len(out) >= q.limit)
-	}
-	if p := q.Plan(); p.UseIndex {
-		_, lit, _ := q.where.equalityOn()
-		ix := q.table.index(p.Column)
-		pks := ix.candidates(indexKey(lit))
-		sort.Strings(pks) // deterministic order
-		for _, pk := range pks {
-			row, ok := q.table.readVisible(q.tx, pk)
-			if !ok {
-				continue
-			}
-			if !collect(row) {
-				break
-			}
-		}
-	} else {
-		q.table.scan(q.tx, func(_ string, row mmvalue.Value) bool {
-			return collect(row)
-		})
-	}
+	})
 	if q.orderBy != "" {
 		col := q.orderBy
 		sort.SliceStable(out, func(i, j int) bool {

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"strconv"
-	"strings"
 
 	"udbench/internal/mmvalue"
 )
@@ -189,6 +188,24 @@ func floatSortableBits(f float64) uint64 {
 	return bits | (1 << 63) // positive: flip sign
 }
 
+// pkEncodings returns every encoded key a value Compare-equal to v may
+// be stored under. Int and Float encode differently but compare
+// numerically equal, so a numeric lookup must probe both spellings.
+func pkEncodings(v mmvalue.Value) []string {
+	keys := []string{EncodeKey(v)}
+	switch v.Kind() {
+	case mmvalue.KindInt:
+		i, _ := v.AsInt()
+		keys = append(keys, EncodeKey(mmvalue.Float(float64(i))))
+	case mmvalue.KindFloat:
+		f, _ := v.AsFloat()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			keys = append(keys, EncodeKey(mmvalue.Int(int64(f))))
+		}
+	}
+	return keys
+}
+
 // DecodeIntKey recovers the int64 from an EncodeKey-produced int key.
 func DecodeIntKey(key string) (int64, bool) {
 	if len(key) != 17 || key[0] != 'i' {
@@ -204,15 +221,6 @@ func DecodeIntKey(key string) (int64, bool) {
 // indexKey renders any column value for equality indexing: a stable
 // string that two Equal values share. Numerics are normalized so
 // Int(1) and Float(1) share a bucket, in line with mmvalue.Equal.
-func indexKey(v mmvalue.Value) string {
-	if f, ok := v.AsFloat(); ok {
-		return fmt.Sprintf("num:%g", f)
-	}
-	var sb strings.Builder
-	sb.WriteString(v.Kind().String())
-	sb.WriteByte(':')
-	sb.WriteString(v.String())
-	return sb.String()
-}
+func indexKey(v mmvalue.Value) string { return v.Key() }
 
 func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -2,6 +2,7 @@ package relational
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"udbench/internal/mmvalue"
@@ -113,6 +114,16 @@ func (t *Table) CreateIndex(column string) error {
 		return true
 	})
 	return nil
+}
+
+// UsesIndex reports whether Stream would serve the predicate from the
+// primary key or a secondary index rather than a table scan.
+func (t *Table) UsesIndex(e Expr) bool {
+	if e == nil {
+		return false
+	}
+	col, _, ok := e.equalityOn()
+	return ok && (col == t.schema.PrimaryKey || t.HasIndex(col))
 }
 
 // HasIndex reports whether a secondary index exists on column.
@@ -275,7 +286,13 @@ func (t *Table) Delete(tx *txn.Tx, pkValue any) error {
 
 // scan iterates live rows visible to tx in primary-key order.
 func (t *Table) scan(tx *txn.Tx, fn func(pk string, row mmvalue.Value) bool) {
-	t.rows.Ascend("", "", func(pk string, chain *txn.Chain[mmvalue.Value]) bool {
+	t.scanRange(tx, "", "", fn)
+}
+
+// scanRange iterates live rows with from <= pk < to (empty to =
+// unbounded) visible to tx, in primary-key order.
+func (t *Table) scanRange(tx *txn.Tx, from, to string, fn func(pk string, row mmvalue.Value) bool) {
+	t.rows.Ascend(from, to, func(pk string, chain *txn.Chain[mmvalue.Value]) bool {
 		var row mmvalue.Value
 		var ok bool
 		if tx == nil {
@@ -301,6 +318,78 @@ func (t *Table) readVisible(tx *txn.Tx, pk string) (mmvalue.Value, bool) {
 	}
 	return chain.Read(tx.BeginTS(), tx.ID())
 }
+
+// Len returns the number of row slots in the table, including
+// tombstoned rows not yet compacted. It is a cheap upper bound on the
+// live row count, intended for executor sizing decisions.
+func (t *Table) Len() int { return t.rows.Len() }
+
+// Stream calls fn for every live row visible to tx matching where
+// (nil = all), in primary-key order, stopping early when fn returns
+// false. Unlike Query.Rows, the rows are NOT cloned: they are shared
+// with the store and must not be mutated. An equality predicate on the
+// primary key resolves to a direct lookup; one on an indexed column
+// uses the index; anything else scans.
+func (t *Table) Stream(tx *txn.Tx, where Expr, fn func(row mmvalue.Value) bool) {
+	if where == nil {
+		where = TrueExpr{}
+	}
+	if col, lit, ok := where.equalityOn(); ok {
+		if col == t.schema.PrimaryKey {
+			// Probe every encoding a Compare-equal key may use (Int
+			// and Float spell the same number differently).
+			for _, pk := range pkEncodings(lit) {
+				if row, live := t.readVisible(tx, pk); live && where.Eval(row) {
+					if !fn(row) {
+						return
+					}
+				}
+			}
+			return
+		}
+		if t.HasIndex(col) {
+			ix := t.index(col)
+			pks := ix.candidates(indexKey(lit))
+			sort.Strings(pks)
+			for _, pk := range pks {
+				row, live := t.readVisible(tx, pk)
+				if !live || !where.Eval(row) {
+					continue
+				}
+				if !fn(row) {
+					return
+				}
+			}
+			return
+		}
+	}
+	t.scan(tx, func(_ string, row mmvalue.Value) bool {
+		if !where.Eval(row) {
+			return true
+		}
+		return fn(row)
+	})
+}
+
+// StreamRange is Stream restricted to encoded primary keys in
+// [from, to) (empty to = unbounded) and always scans: it is the
+// partition primitive for parallel executors, so it ignores indexes.
+// Rows are shared, not cloned.
+func (t *Table) StreamRange(tx *txn.Tx, from, to string, where Expr, fn func(row mmvalue.Value) bool) {
+	if where == nil {
+		where = TrueExpr{}
+	}
+	t.scanRange(tx, from, to, func(_ string, row mmvalue.Value) bool {
+		if !where.Eval(row) {
+			return true
+		}
+		return fn(row)
+	})
+}
+
+// SplitPoints returns boundary keys that cut the table into up to n
+// contiguous primary-key ranges of near-equal size for StreamRange.
+func (t *Table) SplitPoints(n int) []string { return t.rows.SplitPoints(n) }
 
 // Count returns the number of live rows at latest-committed state.
 func (t *Table) Count() int {

@@ -1,0 +1,578 @@
+package udbms
+
+import (
+	"sort"
+	"sync"
+
+	"udbench/internal/document"
+	"udbench/internal/graph"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+	"udbench/internal/txn"
+)
+
+// This file is the streaming execution engine behind Pipeline: a
+// push-based operator chain that is only evaluated when a terminal
+// (Rows, Count, Each) pulls it.
+//
+// Ownership model. Source operators emit rows that are *shared* with
+// the underlying stores — no clone is taken during execution. Each
+// stage declares how it changes ownership:
+//
+//   - rowShared:  the row aliases store memory entirely; read-only.
+//   - rowShallow: the top-level object is owned (fields can be added)
+//     but nested values may still alias the store.
+//   - rowOwned:   deep-cloned, fully owned by the pipeline.
+//
+// Join stages shallow-clone on demand before attaching match arrays;
+// Map deep-clones before handing the row to user code. Rows() deep-
+// clones anything not already rowOwned on the way out, so the public
+// contract ("returned rows are yours to mutate") is unchanged while
+// Count/Each and dropped rows (Limit) never pay for a clone.
+
+type rowState uint8
+
+const (
+	rowShared rowState = iota
+	rowShallow
+	rowOwned
+)
+
+// sink consumes a row stream. push reports false to stop the upstream
+// producer early (limit short-circuit); flush signals end-of-input so
+// buffering stages (sorts, adaptive joins) can drain downstream.
+type sink interface {
+	push(row mmvalue.Value) bool
+	flush()
+}
+
+type funcSink struct {
+	fn func(mmvalue.Value) bool
+	fl func()
+}
+
+func (s *funcSink) push(row mmvalue.Value) bool { return s.fn(row) }
+func (s *funcSink) flush() {
+	if s.fl != nil {
+		s.fl()
+	}
+}
+
+// stage is one compiled pipeline operator.
+type stage interface {
+	// outState reports the ownership of rows this stage emits, given
+	// the ownership of rows it receives.
+	outState(in rowState) rowState
+	// retains reports whether the stage may hold on to pushed rows
+	// beyond the push call (buffering sorts and adaptive joins do).
+	// When nothing downstream retains, upstream attach stages recycle
+	// a scratch row object instead of shallow-cloning per row.
+	retains() bool
+	// wire builds this stage's sink in front of down. transient is
+	// true when no downstream consumer retains pushed rows.
+	wire(in rowState, transient bool, down sink) sink
+}
+
+// source produces the seed row stream.
+type source interface {
+	state() rowState
+	run(emit func(mmvalue.Value) bool)
+	// partitions splits the scan into independent ranges for parallel
+	// execution; nil means the source does not support partitioning
+	// (index routes and graph scans).
+	partitions(n int) []func(emit func(mmvalue.Value) bool)
+}
+
+// ---- sources ----
+
+type relSource struct {
+	t     *relational.Table
+	tx    *txn.Tx
+	where relational.Expr
+}
+
+func (s *relSource) state() rowState { return rowShared }
+
+func (s *relSource) run(emit func(mmvalue.Value) bool) {
+	s.t.Stream(s.tx, s.where, emit)
+}
+
+func (s *relSource) partitions(n int) []func(emit func(mmvalue.Value) bool) {
+	if s.where != nil && s.t.UsesIndex(s.where) {
+		return nil // index route: already sub-linear, not worth splitting
+	}
+	return rangeParts(s.t.SplitPoints(n), func(from, to string, emit func(mmvalue.Value) bool) {
+		s.t.StreamRange(s.tx, from, to, s.where, emit)
+	})
+}
+
+type docSource struct {
+	c      *document.Collection
+	tx     *txn.Tx
+	filter document.Filter
+}
+
+func (s *docSource) state() rowState { return rowShared }
+
+func (s *docSource) run(emit func(mmvalue.Value) bool) {
+	s.c.Stream(s.tx, s.filter, emit)
+}
+
+func (s *docSource) partitions(n int) []func(emit func(mmvalue.Value) bool) {
+	if s.filter != nil && s.c.UsesIndex(s.filter) {
+		return nil
+	}
+	return rangeParts(s.c.SplitPoints(n), func(from, to string, emit func(mmvalue.Value) bool) {
+		s.c.StreamRange(s.tx, from, to, s.filter, emit)
+	})
+}
+
+// rangeParts turns split boundaries into per-range scan closures.
+func rangeParts(bounds []string, scan func(from, to string, emit func(mmvalue.Value) bool)) []func(emit func(mmvalue.Value) bool) {
+	if len(bounds) == 0 {
+		return nil
+	}
+	edges := append(append([]string{""}, bounds...), "")
+	parts := make([]func(emit func(mmvalue.Value) bool), len(edges)-1)
+	for i := 0; i < len(edges)-1; i++ {
+		from, to := edges[i], edges[i+1]
+		parts[i] = func(emit func(mmvalue.Value) bool) { scan(from, to, emit) }
+	}
+	return parts
+}
+
+type graphSource struct {
+	g     *graph.Store
+	tx    *txn.Tx
+	label string
+	ok    func(graph.Vertex) bool
+}
+
+// Graph vertex rows are built fresh (cloned props + _vid/_label), so
+// they are owned from the start.
+func (s *graphSource) state() rowState { return rowOwned }
+
+func (s *graphSource) run(emit func(mmvalue.Value) bool) {
+	s.g.Vertices(s.tx, func(v graph.Vertex) bool {
+		if s.label != "" && v.Label != s.label {
+			return true
+		}
+		if s.ok != nil && !s.ok(v) {
+			return true
+		}
+		row := v.Props.Clone().MustObject()
+		row.Set("_vid", mmvalue.String(string(v.ID)))
+		row.Set("_label", mmvalue.String(v.Label))
+		return emit(mmvalue.FromObject(row))
+	})
+}
+
+func (s *graphSource) partitions(int) []func(emit func(mmvalue.Value) bool) { return nil }
+
+// ---- simple stages ----
+
+type filterStage struct {
+	keep func(mmvalue.Value) bool
+}
+
+func (st *filterStage) outState(in rowState) rowState { return in }
+func (st *filterStage) retains() bool                 { return false }
+
+func (st *filterStage) wire(_ rowState, _ bool, down sink) sink {
+	return &funcSink{
+		fn: func(r mmvalue.Value) bool {
+			if !st.keep(r) {
+				return true
+			}
+			return down.push(r)
+		},
+		fl: down.flush,
+	}
+}
+
+type mapStage struct {
+	fn func(mmvalue.Value) mmvalue.Value
+}
+
+func (st *mapStage) outState(rowState) rowState { return rowOwned }
+func (st *mapStage) retains() bool              { return false }
+
+func (st *mapStage) wire(in rowState, _ bool, down sink) sink {
+	return &funcSink{
+		fn: func(r mmvalue.Value) bool {
+			if in != rowOwned {
+				r = r.Clone()
+			}
+			return down.push(st.fn(r))
+		},
+		fl: down.flush,
+	}
+}
+
+type limitStage struct {
+	n int
+}
+
+func (st *limitStage) outState(in rowState) rowState { return in }
+func (st *limitStage) retains() bool                 { return false }
+
+func (st *limitStage) wire(_ rowState, _ bool, down sink) sink {
+	if st.n < 0 {
+		return down
+	}
+	remaining := st.n
+	return &funcSink{
+		fn: func(r mmvalue.Value) bool {
+			if remaining <= 0 {
+				return false
+			}
+			remaining--
+			return down.push(r) && remaining > 0
+		},
+		fl: down.flush,
+	}
+}
+
+// sortStage is a blocking operator: it buffers the whole input, sorts
+// it, and re-streams on flush. Rows stay shared — sorting reorders
+// references only.
+type sortStage struct {
+	path mmvalue.Path
+	desc bool
+}
+
+func (st *sortStage) outState(in rowState) rowState { return in }
+func (st *sortStage) retains() bool                 { return true }
+
+func (st *sortStage) wire(_ rowState, _ bool, down sink) sink {
+	var buf []mmvalue.Value
+	return &funcSink{
+		fn: func(r mmvalue.Value) bool {
+			buf = append(buf, r)
+			return true
+		},
+		fl: func() {
+			sort.SliceStable(buf, func(i, j int) bool {
+				a := st.path.LookupOr(buf[i], mmvalue.Null)
+				b := st.path.LookupOr(buf[j], mmvalue.Null)
+				if st.desc {
+					return mmvalue.Compare(a, b) > 0
+				}
+				return mmvalue.Compare(a, b) < 0
+			})
+			for _, r := range buf {
+				if !down.push(r) {
+					break
+				}
+			}
+			down.flush()
+		},
+	}
+}
+
+// ---- hash join machinery ----
+
+// hashTable buckets build-side records by mmvalue.Hash of their join
+// key — an allocation-free hash consistent with mmvalue.Equal. Probes
+// re-verify with mmvalue.Equal, so hash collisions cannot produce
+// wrong matches: the join is exactly equality in the mmvalue.Compare
+// sense, like the nested-loop predicates it replaces.
+type hashTable struct {
+	buckets map[uint64][]*hashGroup
+}
+
+type hashGroup struct {
+	key  mmvalue.Value
+	vals []mmvalue.Value
+}
+
+func newHashTable(sizeHint int) *hashTable {
+	return &hashTable{buckets: make(map[uint64][]*hashGroup, sizeHint)}
+}
+
+func (h *hashTable) add(key, val mmvalue.Value) {
+	k := key.Hash()
+	for _, g := range h.buckets[k] {
+		if mmvalue.Equal(g.key, key) {
+			g.vals = append(g.vals, val)
+			return
+		}
+	}
+	h.buckets[k] = append(h.buckets[k], &hashGroup{key: key, vals: []mmvalue.Value{val}})
+}
+
+func (h *hashTable) get(key mmvalue.Value) []mmvalue.Value {
+	for _, g := range h.buckets[key.Hash()] {
+		if mmvalue.Equal(g.key, key) {
+			return g.vals
+		}
+	}
+	return nil
+}
+
+// joinSpec abstracts the build side of an equality join (document
+// collection or relational table).
+type joinSpec struct {
+	// rowField is the flat field of the pipeline row holding the key.
+	rowField string
+	// asField receives the match array.
+	asField string
+	// buildLen approximates the build-side size (for strategy choice).
+	buildLen int
+	// build scans the build side once into a hash table.
+	build func() *hashTable
+	// indexProbe fetches matches for one key through a store index;
+	// nil when the build side has no usable index.
+	indexProbe func(key mmvalue.Value) []mmvalue.Value
+}
+
+// hashJoinStage joins the row stream against a build side. It is a
+// blocking operator: probe rows are buffered (shared references, no
+// copies) until the input ends, then the strategy is picked from the
+// exact probe count — a small probe set against an indexed build side
+// uses per-row index lookups, anything else scans the build side once
+// into a hash table. Deferring the build-side scan to flush also
+// guarantees it never nests inside the still-open seed scan, so
+// self-joins cannot deadlock on the store's scan lock.
+type hashJoinStage struct {
+	spec joinSpec
+}
+
+func (st *hashJoinStage) outState(rowState) rowState {
+	// Matches are attached as shared store values, so the row is at
+	// most shallow-owned afterwards.
+	return rowShallow
+}
+
+// The adaptive strategy buffers probe rows before deciding.
+func (st *hashJoinStage) retains() bool { return true }
+
+func (st *hashJoinStage) wire(in rowState, transient bool, down sink) sink {
+	threshold := 0
+	if st.spec.indexProbe != nil {
+		threshold = st.spec.buildLen / 8
+		if threshold < 4 {
+			threshold = 4
+		}
+		if threshold > 1024 {
+			threshold = 1024
+		}
+	}
+	j := &joinSink{spec: st.spec, in: in, down: down, threshold: threshold}
+	if transient {
+		j.scratch = mmvalue.NewObject()
+	}
+	return j
+}
+
+type joinSink struct {
+	spec      joinSpec
+	in        rowState
+	down      sink
+	threshold int
+	buf       []mmvalue.Value
+	ht        *hashTable
+	stopped   bool
+	// scratch, when non-nil, is the recycled output row: downstream
+	// consumes rows transiently, so every emitted row may reuse the
+	// same object (zero allocations in steady state).
+	scratch *mmvalue.Object
+}
+
+// attach lands matches under asField without ever mutating a shared
+// store row: shared inputs are copied into the scratch object (when
+// downstream is transient) or shallow-cloned (when rows are retained).
+func (j *joinSink) attach(r mmvalue.Value, matches []mmvalue.Value) bool {
+	obj := r.MustObject()
+	if j.in == rowShared {
+		if j.scratch != nil {
+			j.scratch.CopyFrom(obj)
+			obj = j.scratch
+		} else {
+			obj = obj.ShallowClone()
+		}
+		r = mmvalue.FromObject(obj)
+	}
+	obj.Set(j.spec.asField, mmvalue.Array(matches...))
+	ok := j.down.push(r)
+	if !ok {
+		j.stopped = true
+	}
+	return ok
+}
+
+func (j *joinSink) emitHashed(r mmvalue.Value) bool {
+	key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
+	var matches []mmvalue.Value
+	if !key.IsNull() {
+		matches = j.ht.get(key)
+	}
+	return j.attach(r, matches)
+}
+
+func (j *joinSink) emitIndexed(r mmvalue.Value) bool {
+	key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
+	var matches []mmvalue.Value
+	if !key.IsNull() {
+		matches = j.spec.indexProbe(key)
+	}
+	return j.attach(r, matches)
+}
+
+func (j *joinSink) push(r mmvalue.Value) bool {
+	if j.stopped {
+		return false
+	}
+	j.buf = append(j.buf, r)
+	return true
+}
+
+func (j *joinSink) flush() {
+	if !j.stopped {
+		if j.spec.indexProbe != nil && len(j.buf) < j.threshold {
+			// Small probe set: index probes beat a full build-side
+			// scan.
+			for _, b := range j.buf {
+				if !j.emitIndexed(b) {
+					break
+				}
+			}
+		} else if len(j.buf) > 0 {
+			j.ht = j.spec.build()
+			for _, b := range j.buf {
+				if !j.emitHashed(b) {
+					break
+				}
+			}
+		}
+		j.buf = nil
+	}
+	j.down.flush()
+}
+
+// perRowStage covers the probe-only joins (KV prefix, XML, graph
+// expansion): each row triggers one bounded store lookup, and the
+// fetched values are attached under asField.
+type perRowStage struct {
+	// fetch returns the values to attach for the row. attached values
+	// may alias store memory (ownedVals=false) or be freshly built
+	// (ownedVals=true).
+	fetch     func(row mmvalue.Value) []mmvalue.Value
+	asField   string
+	ownedVals bool
+}
+
+func (st *perRowStage) outState(in rowState) rowState {
+	if !st.ownedVals {
+		return rowShallow
+	}
+	if in == rowShared {
+		return rowShallow
+	}
+	return in
+}
+
+func (st *perRowStage) retains() bool { return false }
+
+func (st *perRowStage) wire(in rowState, transient bool, down sink) sink {
+	var scratch *mmvalue.Object
+	if transient {
+		scratch = mmvalue.NewObject()
+	}
+	return &funcSink{
+		fn: func(r mmvalue.Value) bool {
+			vals := st.fetch(r)
+			obj := r.MustObject()
+			if in == rowShared {
+				if scratch != nil {
+					scratch.CopyFrom(obj)
+					obj = scratch
+				} else {
+					obj = obj.ShallowClone()
+				}
+				r = mmvalue.FromObject(obj)
+			}
+			obj.Set(st.asField, mmvalue.Array(vals...))
+			return down.push(r)
+		},
+		fl: down.flush,
+	}
+}
+
+// ---- plan compilation and execution ----
+
+// finalState computes the ownership of rows leaving the last stage.
+func (p *Pipeline) finalState() rowState {
+	if p.src == nil {
+		return rowOwned
+	}
+	st := p.src.state()
+	for _, s := range p.stages {
+		st = s.outState(st)
+	}
+	return st
+}
+
+// execute compiles the operator chain and streams the final rows into
+// onRow. Rows passed to onRow follow the pipeline's final ownership
+// state — Rows() clones them as needed, Count/Each never do.
+func (p *Pipeline) execute(onRow func(mmvalue.Value) bool) error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.src == nil {
+		return nil
+	}
+	var head sink = &funcSink{fn: onRow}
+	st := p.src.state()
+	states := make([]rowState, len(p.stages))
+	for i, s := range p.stages {
+		states[i] = st
+		st = s.outState(st)
+	}
+	// transient[i]: no stage after i retains pushed rows. Terminals
+	// never retain (Rows clones on collect), so the last stage always
+	// sees a transient downstream.
+	transient := true
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		head = p.stages[i].wire(states[i], transient, head)
+		transient = transient && !p.stages[i].retains()
+	}
+	if p.par > 1 {
+		if parts := p.src.partitions(p.par); len(parts) > 1 {
+			p.runParallel(parts, head)
+			head.flush()
+			return nil
+		}
+	}
+	p.src.run(head.push)
+	head.flush()
+	return nil
+}
+
+// runParallel scans source partitions concurrently, buffering each
+// partition's (shared) rows, then streams the buffers through the
+// operator chain in partition order — an ordered merge, so results are
+// identical to the sequential scan.
+func (p *Pipeline) runParallel(parts []func(emit func(mmvalue.Value) bool), head sink) {
+	bufs := make([][]mmvalue.Value, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part func(emit func(mmvalue.Value) bool)) {
+			defer wg.Done()
+			part(func(r mmvalue.Value) bool {
+				bufs[i] = append(bufs[i], r)
+				return true
+			})
+		}(i, part)
+	}
+	wg.Wait()
+	for _, buf := range bufs {
+		for _, r := range buf {
+			if !head.push(r) {
+				return
+			}
+		}
+	}
+}

@@ -12,16 +12,30 @@ import (
 )
 
 // Pipeline is a fluent multi-model query: it starts from one model and
-// hops across the others, carrying a working set of row objects. All
-// stages read under the same transaction snapshot, which is the core
-// capability a unified engine offers over a federation.
+// hops across the others. All stages read under the same transaction
+// snapshot, which is the core capability a unified engine offers over a
+// federation.
 //
-// Each stage transforms the working set; errors are deferred to Rows.
+// Execution is lazy and streaming: stages build an operator tree that
+// is only evaluated when a terminal — Rows, Count or Each — pulls it.
+// Limit short-circuits upstream operators, filters run against shared
+// store memory without copying, and the cross-model joins build a hash
+// table over the smaller side (falling back to store indexes when the
+// probe set is small). Rows returned by Rows are deep copies and may be
+// mutated freely; Filter predicates and Each callbacks observe shared
+// rows and must not mutate them.
+//
+// Build errors (unknown table, bad XPath) are deferred to the
+// terminals and visible early via Err.
 type Pipeline struct {
-	db   *DB
-	tx   *txn.Tx
-	rows []mmvalue.Value
-	err  error
+	db  *DB
+	tx  *txn.Tx
+	err error
+	src source
+	// stages apply in order between the source and the terminal.
+	stages []stage
+	// par is the seed-scan parallelism degree (<=1 = sequential).
+	par int
 }
 
 // Pipeline starts an empty pipeline under tx (nil = latest committed).
@@ -29,17 +43,67 @@ func (db *DB) Pipeline(tx *txn.Tx) *Pipeline {
 	return &Pipeline{db: db, tx: tx}
 }
 
-// Err returns the first error the pipeline encountered.
+// Err returns the first error the pipeline encountered while building.
 func (p *Pipeline) Err() error { return p.err }
 
-// Rows returns the current working set.
-func (p *Pipeline) Rows() ([]mmvalue.Value, error) { return p.rows, p.err }
+// Rows executes the pipeline and returns the result rows. The rows are
+// fully owned by the caller and may be mutated freely. Calling Rows
+// (or Count/Each) again re-executes the pipeline.
+func (p *Pipeline) Rows() ([]mmvalue.Value, error) {
+	owned := p.finalState() == rowOwned
+	var out []mmvalue.Value
+	if err := p.execute(func(r mmvalue.Value) bool {
+		if !owned {
+			// Copy on collect: upstream operators may recycle row
+			// storage, and shared rows must not leak store memory.
+			r = r.Clone()
+		}
+		out = append(out, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
-// Count returns the size of the working set.
-func (p *Pipeline) Count() (int, error) { return len(p.rows), p.err }
+// Count executes the pipeline and returns the number of result rows
+// without materializing (or copying) any of them.
+func (p *Pipeline) Count() (int, error) {
+	n := 0
+	err := p.execute(func(mmvalue.Value) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Each streams the result rows to fn, stopping early when fn returns
+// false. The rows may alias store memory: they are valid for reading
+// during the callback and must not be mutated or retained. This is the
+// zero-copy terminal for aggregations.
+func (p *Pipeline) Each(fn func(row mmvalue.Value) bool) error {
+	return p.execute(fn)
+}
+
+// Parallel asks the terminal to partition the seed scan across n
+// goroutines with an ordered merge, so results are identical to the
+// sequential order. It applies to full-scan relational/document seeds;
+// index-served seeds and graph scans ignore it. Limit short-circuiting
+// does not cross partition boundaries: each partition is scanned fully.
+// The seed predicate (the relational.Expr or document.Filter passed to
+// From*) is evaluated concurrently from the partition goroutines, so
+// it must be safe for concurrent use — stateless predicates (all the
+// Eq/Lt/All/... constructors and the uql pushdown output) are; a
+// stateful Func closure is not. Later stages (Filter, Map, joins) run
+// sequentially after the merge and are unaffected.
+func (p *Pipeline) Parallel(n int) *Pipeline {
+	p.par = n
+	return p
+}
 
 // FromRelational seeds the pipeline with rows of the named table
-// matching the predicate (nil = all rows).
+// matching the predicate (nil = all rows). Equality predicates on the
+// primary key or an indexed column are served from the index.
 func (p *Pipeline) FromRelational(table string, where relational.Expr) *Pipeline {
 	if p.err != nil {
 		return p
@@ -49,21 +113,18 @@ func (p *Pipeline) FromRelational(table string, where relational.Expr) *Pipeline
 		p.err = fmt.Errorf("udbms: no table %q", table)
 		return p
 	}
-	q := t.Query(p.tx)
-	if where != nil {
-		q = q.Where(where)
-	}
-	p.rows = q.Rows()
+	p.src = &relSource{t: t, tx: p.tx, where: where}
 	return p
 }
 
 // FromDocuments seeds the pipeline with documents of the named
-// collection matching the filter (nil = all documents).
+// collection matching the filter (nil = all documents). Filters that
+// pin an indexed path are served from the index.
 func (p *Pipeline) FromDocuments(collection string, filter document.Filter) *Pipeline {
 	if p.err != nil {
 		return p
 	}
-	p.rows = p.db.Docs.Collection(collection).Find(p.tx, filter, nil)
+	p.src = &docSource{c: p.db.Docs.Collection(collection), tx: p.tx, filter: filter}
 	return p
 }
 
@@ -74,83 +135,100 @@ func (p *Pipeline) FromGraphVertices(label string, ok func(graph.Vertex) bool) *
 	if p.err != nil {
 		return p
 	}
-	p.rows = p.rows[:0]
-	p.db.Graph.Vertices(p.tx, func(v graph.Vertex) bool {
-		if label != "" && v.Label != label {
-			return true
-		}
-		if ok != nil && !ok(v) {
-			return true
-		}
-		row := v.Props.Clone().MustObject()
-		row.Set("_vid", mmvalue.String(string(v.ID)))
-		row.Set("_label", mmvalue.String(v.Label))
-		p.rows = append(p.rows, mmvalue.FromObject(row))
-		return true
-	})
+	p.src = &graphSource{g: p.db.Graph, tx: p.tx, label: label, ok: ok}
 	return p
 }
 
-// Filter keeps rows for which keep returns true.
+// Filter keeps rows for which keep returns true. The predicate runs
+// against shared rows and must not mutate them.
 func (p *Pipeline) Filter(keep func(row mmvalue.Value) bool) *Pipeline {
 	if p.err != nil {
 		return p
 	}
-	kept := p.rows[:0]
-	for _, r := range p.rows {
-		if keep(r) {
-			kept = append(kept, r)
-		}
-	}
-	p.rows = kept
+	p.stages = append(p.stages, &filterStage{keep: keep})
 	return p
 }
 
-// Map replaces each row with fn(row).
+// Map replaces each row with fn(row). fn receives a private copy and
+// may mutate it freely.
 func (p *Pipeline) Map(fn func(row mmvalue.Value) mmvalue.Value) *Pipeline {
 	if p.err != nil {
 		return p
 	}
-	for i, r := range p.rows {
-		p.rows[i] = fn(r)
-	}
+	p.stages = append(p.stages, &mapStage{fn: fn})
 	return p
 }
 
-// Limit truncates the working set.
+// Limit truncates the result to the first n rows; upstream operators
+// stop as soon as the limit is satisfied (blocking stages — SortBy and
+// the hash joins — buffer their input first and only stop emitting).
+// Negative n means unlimited.
 func (p *Pipeline) Limit(n int) *Pipeline {
 	if p.err != nil {
 		return p
 	}
-	if n >= 0 && len(p.rows) > n {
-		p.rows = p.rows[:n]
+	p.stages = append(p.stages, &limitStage{n: n})
+	return p
+}
+
+// SortBy orders rows by the value at the dotted path (stable). Sort is
+// a blocking stage: it buffers its input before downstream stages see
+// any row, so a following Limit implements top-N.
+func (p *Pipeline) SortBy(path string, descending bool) *Pipeline {
+	if p.err != nil {
+		return p
 	}
+	p.stages = append(p.stages, &sortStage{path: mmvalue.ParsePath(path), desc: descending})
 	return p
 }
 
 // JoinDocuments extends each row with the documents of collection
 // whose docPath value equals the row's rowField value; matches land as
-// an array under asField. Rows without matches keep an empty array.
-// When the collection has an index on docPath it is used per row.
+// an array under asField. Rows without matches keep an empty array;
+// null row keys match nothing. The join is executed as a build-once
+// hash join over the collection unless the probe set is small and the
+// collection has an index on docPath, in which case it falls back to
+// per-row index lookups. The build side is only scanned after the
+// seed scan completes, so joining a collection with itself is safe.
 func (p *Pipeline) JoinDocuments(collection, rowField, docPath, asField string) *Pipeline {
 	if p.err != nil {
 		return p
 	}
 	coll := p.db.Docs.Collection(collection)
-	for _, r := range p.rows {
-		obj := r.MustObject()
-		key := obj.GetOr(rowField, mmvalue.Null)
-		var matches []mmvalue.Value
-		if !key.IsNull() {
-			matches = coll.Find(p.tx, document.Eq(docPath, key), nil)
-		}
-		obj.Set(asField, mmvalue.Array(matches...))
+	pp := mmvalue.ParsePath(docPath)
+	spec := joinSpec{
+		rowField: rowField,
+		asField:  asField,
+		buildLen: coll.Len(),
+		build: func() *hashTable {
+			ht := newHashTable(coll.Len())
+			coll.Stream(p.tx, nil, func(doc mmvalue.Value) bool {
+				if v, ok := pp.Lookup(doc); ok && !v.IsNull() {
+					ht.add(v, doc)
+				}
+				return true
+			})
+			return ht
+		},
 	}
+	if coll.HasIndex(docPath) {
+		spec.indexProbe = func(key mmvalue.Value) []mmvalue.Value {
+			var matches []mmvalue.Value
+			coll.Stream(p.tx, document.Eq(docPath, key), func(doc mmvalue.Value) bool {
+				matches = append(matches, doc)
+				return true
+			})
+			return matches
+		}
+	}
+	p.stages = append(p.stages, &hashJoinStage{spec: spec})
 	return p
 }
 
 // JoinRelational extends each row with the rows of table whose column
 // equals the row's rowField value, landing under asField as an array.
+// Like JoinDocuments it is a build-once hash join with a fallback to
+// primary-key or secondary-index lookups for small probe sets.
 func (p *Pipeline) JoinRelational(table, rowField, column, asField string) *Pipeline {
 	if p.err != nil {
 		return p
@@ -160,34 +238,54 @@ func (p *Pipeline) JoinRelational(table, rowField, column, asField string) *Pipe
 		p.err = fmt.Errorf("udbms: no table %q", table)
 		return p
 	}
-	for _, r := range p.rows {
-		obj := r.MustObject()
-		key := obj.GetOr(rowField, mmvalue.Null)
-		var matches []mmvalue.Value
-		if !key.IsNull() {
-			matches = t.Query(p.tx).Where(relational.Col(column).Eq(key)).Rows()
-		}
-		obj.Set(asField, mmvalue.Array(matches...))
+	spec := joinSpec{
+		rowField: rowField,
+		asField:  asField,
+		buildLen: t.Len(),
+		build: func() *hashTable {
+			ht := newHashTable(t.Len())
+			t.Stream(p.tx, nil, func(row mmvalue.Value) bool {
+				if v, ok := row.MustObject().Get(column); ok && !v.IsNull() {
+					ht.add(v, row)
+				}
+				return true
+			})
+			return ht
+		},
 	}
+	if t.UsesIndex(relational.Col(column).Eq(0)) {
+		spec.indexProbe = func(key mmvalue.Value) []mmvalue.Value {
+			var matches []mmvalue.Value
+			t.Stream(p.tx, relational.Col(column).Eq(key), func(row mmvalue.Value) bool {
+				matches = append(matches, row)
+				return true
+			})
+			return matches
+		}
+	}
+	p.stages = append(p.stages, &hashJoinStage{spec: spec})
 	return p
 }
 
 // JoinKVPrefix extends each row with all key-value pairs whose key has
 // prefix prefixFn(row), landing under asField as an array of
-// {key, value} objects.
+// {key, value} objects. Each row costs one bounded skip-list seek —
+// the key-value store's native prefix index.
 func (p *Pipeline) JoinKVPrefix(prefixFn func(row mmvalue.Value) string, asField string) *Pipeline {
 	if p.err != nil {
 		return p
 	}
-	for _, r := range p.rows {
-		obj := r.MustObject()
-		var matches []mmvalue.Value
-		p.db.KV.ScanPrefix(p.tx, prefixFn(r), func(k string, v mmvalue.Value) bool {
-			matches = append(matches, mmvalue.ObjectOf("key", k, "value", v.Clone()))
-			return true
-		})
-		obj.Set(asField, mmvalue.Array(matches...))
-	}
+	p.stages = append(p.stages, &perRowStage{
+		asField: asField,
+		fetch: func(r mmvalue.Value) []mmvalue.Value {
+			var matches []mmvalue.Value
+			p.db.KV.ScanPrefix(p.tx, prefixFn(r), func(k string, v mmvalue.Value) bool {
+				matches = append(matches, mmvalue.ObjectOf("key", k, "value", v))
+				return true
+			})
+			return matches
+		},
+	})
 	return p
 }
 
@@ -202,16 +300,19 @@ func (p *Pipeline) JoinXML(idFn func(row mmvalue.Value) string, xpath string, as
 		p.err = err
 		return p
 	}
-	for _, r := range p.rows {
-		obj := r.MustObject()
-		var vals []mmvalue.Value
-		if doc, ok := p.db.XML.Get(p.tx, idFn(r)); ok {
-			for _, s := range xp.SelectValues(doc) {
-				vals = append(vals, mmvalue.String(s))
+	p.stages = append(p.stages, &perRowStage{
+		asField:   asField,
+		ownedVals: true,
+		fetch: func(r mmvalue.Value) []mmvalue.Value {
+			var vals []mmvalue.Value
+			if doc, ok := p.db.XML.Get(p.tx, idFn(r)); ok {
+				for _, s := range xp.SelectValues(doc) {
+					vals = append(vals, mmvalue.String(s))
+				}
 			}
-		}
-		obj.Set(asField, mmvalue.Array(vals...))
-	}
+			return vals
+		},
+	})
 	return p
 }
 
@@ -222,14 +323,17 @@ func (p *Pipeline) ExpandGraph(vidFn func(row mmvalue.Value) string, k int, dir 
 	if p.err != nil {
 		return p
 	}
-	for _, r := range p.rows {
-		obj := r.MustObject()
-		hops := p.db.Graph.KHop(p.tx, graph.VID(vidFn(r)), k, dir, label)
-		vals := make([]mmvalue.Value, len(hops))
-		for i, h := range hops {
-			vals[i] = mmvalue.String(string(h))
-		}
-		obj.Set(asField, mmvalue.Array(vals...))
-	}
+	p.stages = append(p.stages, &perRowStage{
+		asField:   asField,
+		ownedVals: true,
+		fetch: func(r mmvalue.Value) []mmvalue.Value {
+			hops := p.db.Graph.KHop(p.tx, graph.VID(vidFn(r)), k, dir, label)
+			vals := make([]mmvalue.Value, len(hops))
+			for i, h := range hops {
+				vals[i] = mmvalue.String(string(h))
+			}
+			return vals
+		},
+	})
 	return p
 }

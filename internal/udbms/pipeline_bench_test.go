@@ -1,0 +1,124 @@
+package udbms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"udbench/internal/mmvalue"
+)
+
+// benchJoinDB builds nProbe probe docs and nBuild build docs with
+// int keys in [0, nBuild/4), so every probe row matches ~4 documents.
+func benchJoinDB(b *testing.B, nProbe, nBuild int, indexed bool) *DB {
+	b.Helper()
+	db := Open()
+	rng := rand.New(rand.NewSource(1))
+	keyDomain := nBuild / 4
+	if keyDomain == 0 {
+		keyDomain = 1
+	}
+	probe := db.Docs.Collection("probe")
+	for i := 0; i < nProbe; i++ {
+		if err := probe.Insert(nil, mmvalue.ObjectOf(
+			"_id", fmt.Sprintf("p%05d", i),
+			"cid", int64(rng.Intn(keyDomain)),
+		)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	build := db.Docs.Collection("build")
+	for i := 0; i < nBuild; i++ {
+		if err := build.Insert(nil, mmvalue.ObjectOf(
+			"_id", fmt.Sprintf("b%05d", i),
+			"cid", int64(rng.Intn(keyDomain)),
+			"payload", fmt.Sprintf("v%06d", i),
+		)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if indexed {
+		if err := build.CreateIndex("cid"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkPipelineJoin isolates the cross-model join: streaming
+// hash/index join (Count terminal, zero-copy) at several shapes, plus
+// the old nested-loop-with-clones strategy as the baseline.
+func BenchmarkPipelineJoin(b *testing.B) {
+	shapes := []struct {
+		name           string
+		nProbe, nBuild int
+		indexed        bool
+	}{
+		{"probe10/build1000/indexed", 10, 1000, true},   // index-probe strategy
+		{"probe500/build1000/indexed", 500, 1000, true}, // hash despite index
+		{"probe500/build1000/scan", 500, 1000, false},   // hash, no index
+	}
+	for _, sh := range shapes {
+		db := benchJoinDB(b, sh.nProbe, sh.nBuild, sh.indexed)
+		b.Run(sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matched := 0
+				err := db.Pipeline(nil).
+					FromDocuments("probe", nil).
+					JoinDocuments("build", "cid", "cid", "m").
+					Each(func(r mmvalue.Value) bool {
+						arr, _ := r.MustObject().GetOr("m", mmvalue.Null).AsArray()
+						matched += len(arr)
+						return true
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if matched == 0 {
+					b.Fatal("join matched nothing")
+				}
+			}
+		})
+		b.Run(sh.name+"/nestedloop-ref", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := db.Docs.Collection("probe").Find(nil, nil, nil)
+				rows = refJoinDocuments(db, rows, "build", "cid", "cid", "m")
+				matched := 0
+				for _, r := range rows {
+					arr, _ := r.MustObject().GetOr("m", mmvalue.Null).AsArray()
+					matched += len(arr)
+				}
+				if matched == 0 {
+					b.Fatal("join matched nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineParallelScan measures the partitioned seed scan
+// against the sequential one over a filtered collection scan.
+func BenchmarkPipelineParallelScan(b *testing.B) {
+	db := benchJoinDB(b, 20000, 8, false)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := db.Pipeline(nil).
+					FromDocuments("probe", nil).
+					Filter(func(r mmvalue.Value) bool {
+						id, _ := r.MustObject().GetOr("cid", mmvalue.Int(0)).AsInt()
+						return id%2 == 0
+					})
+				if par > 1 {
+					p = p.Parallel(par)
+				}
+				if n, err := p.Count(); err != nil || n == 0 {
+					b.Fatalf("count=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}

@@ -2,9 +2,10 @@ package uql
 
 import (
 	"fmt"
-	"sort"
 
+	"udbench/internal/document"
 	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
 	"udbench/internal/txn"
 	"udbench/internal/udbms"
 )
@@ -13,21 +14,83 @@ import (
 // latest committed; pass a transaction for a stable snapshot). Sources
 // are resolved against the catalog: relational table first, then
 // document collection (graph sources are explicit via GRAPH(label)).
+//
+// Execution is lazy and streaming (see udbms.Pipeline): the stage list
+// compiles to an operator tree that is pulled once at the end. FILTER
+// stages that precede every other stage touch only the seed source and
+// are compiled to native store predicates pushed into the seed scan,
+// so path/column indexes engage; conjuncts without an exact store
+// translation stay behind as residual row filters. JOIN stages execute
+// as build-once hash joins with an index fallback for small inputs,
+// SORT becomes a blocking operator stage, and LIMIT short-circuits the
+// upstream operators.
 func (q *Query) Execute(db *udbms.DB, tx *txn.Tx) ([]mmvalue.Value, error) {
 	p := db.Pipeline(tx)
+	stages := q.Stages
+
+	// Leading FILTER stages are pushdown candidates.
+	var pushable []Expr
+	var residual []Expr
+	firstOther := 0
+	for _, st := range stages {
+		fs, ok := st.(FilterStage)
+		if !ok {
+			break
+		}
+		firstOther++
+		pushable = append(pushable, splitConjuncts(fs.Cond, nil)...)
+	}
+	stages = stages[firstOther:]
+
 	switch {
 	case q.IsGraph:
+		residual = pushable
 		p = p.FromGraphVertices(q.Source, nil)
 	default:
 		if _, isTable := db.Relational.Table(q.Source); isTable {
-			p = p.FromRelational(q.Source, nil)
-		} else if contains(db.Docs.CollectionNames(), q.Source) {
-			p = p.FromDocuments(q.Source, nil)
+			var where relational.Expr
+			for _, e := range pushable {
+				if c, ok := compileRelExpr(e); ok {
+					if where == nil {
+						where = c
+					} else {
+						where = relational.And(where, c)
+					}
+				} else {
+					residual = append(residual, e)
+				}
+			}
+			p = p.FromRelational(q.Source, where)
+		} else if db.Docs.HasCollection(q.Source) {
+			var filters []document.Filter
+			for _, e := range pushable {
+				if f, ok := compileDocFilter(e); ok {
+					filters = append(filters, f)
+				} else {
+					residual = append(residual, e)
+				}
+			}
+			var filter document.Filter
+			switch len(filters) {
+			case 0:
+			case 1:
+				filter = filters[0]
+			default:
+				filter = document.All(filters...)
+			}
+			p = p.FromDocuments(q.Source, filter)
 		} else {
 			return nil, fmt.Errorf("uql: unknown source %q (no such table or collection)", q.Source)
 		}
 	}
-	for _, st := range q.Stages {
+	for _, e := range residual {
+		cond := e
+		p = p.Filter(func(row mmvalue.Value) bool {
+			return cond.Eval(row).Truthy()
+		})
+	}
+
+	for _, st := range stages {
 		switch s := st.(type) {
 		case FilterStage:
 			cond := s.Cond
@@ -37,7 +100,7 @@ func (q *Query) Execute(db *udbms.DB, tx *txn.Tx) ([]mmvalue.Value, error) {
 		case JoinStage:
 			if _, isTable := db.Relational.Table(s.Source); isTable {
 				p = p.JoinRelational(s.Source, s.RightPath, s.LeftPath, s.Var)
-			} else if contains(db.Docs.CollectionNames(), s.Source) {
+			} else if db.Docs.HasCollection(s.Source) {
 				p = p.JoinDocuments(s.Source, s.RightPath, s.LeftPath, s.Var)
 			} else {
 				return nil, fmt.Errorf("uql: unknown join source %q", s.Source)
@@ -45,41 +108,36 @@ func (q *Query) Execute(db *udbms.DB, tx *txn.Tx) ([]mmvalue.Value, error) {
 		case LimitStage:
 			p = p.Limit(s.N)
 		case SortStage:
-			rows, err := p.Rows()
-			if err != nil {
-				return nil, err
-			}
-			path := mmvalue.ParsePath(s.Path)
-			sort.SliceStable(rows, func(i, j int) bool {
-				a := path.LookupOr(rows[i], mmvalue.Null)
-				b := path.LookupOr(rows[j], mmvalue.Null)
-				if s.Desc {
-					return mmvalue.Compare(a, b) > 0
-				}
-				return mmvalue.Compare(a, b) < 0
-			})
+			p = p.SortBy(s.Path, s.Desc)
 		default:
 			return nil, fmt.Errorf("uql: unhandled stage %s", st.stageName())
 		}
 	}
-	rows, err := p.Rows()
-	if err != nil {
-		return nil, err
-	}
+
 	if len(q.Return) == 0 {
-		return rows, nil
+		return p.Rows()
 	}
-	out := make([]mmvalue.Value, len(rows))
-	for i, row := range rows {
+	// Projection streams over shared rows and clones only the
+	// projected values, not the whole row.
+	paths := make([]mmvalue.Path, len(q.Return))
+	for i, ri := range q.Return {
+		paths[i] = mmvalue.ParsePath(ri.Path)
+	}
+	var out []mmvalue.Value
+	err := p.Each(func(row mmvalue.Value) bool {
 		o := mmvalue.NewObject()
-		for _, ri := range q.Return {
+		for i, ri := range q.Return {
 			if ri.Path == "" {
-				o.Set(ri.Alias, row)
+				o.Set(ri.Alias, row.Clone())
 				continue
 			}
-			o.Set(ri.Alias, mmvalue.ParsePath(ri.Path).LookupOr(row, mmvalue.Null))
+			o.Set(ri.Alias, paths[i].LookupOr(row, mmvalue.Null).Clone())
 		}
-		out[i] = mmvalue.FromObject(o)
+		out = append(out, mmvalue.FromObject(o))
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -91,13 +149,4 @@ func Run(db *udbms.DB, tx *txn.Tx, src string) ([]mmvalue.Value, error) {
 		return nil, err
 	}
 	return q.Execute(db, tx)
-}
-
-func contains(ss []string, s string) bool {
-	for _, x := range ss {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }

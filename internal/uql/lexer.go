@@ -14,6 +14,26 @@
 // Sources resolve against the engine catalog: a relational table, a
 // document collection, or GRAPH(label) for vertices. Queries compile
 // to the engine's Pipeline, so every stage reads one snapshot.
+//
+// # Execution
+//
+// Queries compile to the engine's streaming Pipeline operators rather
+// than interpreting stages over materialized row sets:
+//
+//   - FILTER clauses that precede every other stage touch only the
+//     seed source; each conjunct with an exact store translation is
+//     pushed into the seed scan as a document.Filter or
+//     relational.Expr (engaging path/column indexes), and the rest
+//     stay behind as residual row filters. The translation preserves
+//     UQL semantics exactly: a missing path reads as Null and
+//     comparisons follow mmvalue.Compare, so e.g. `c.age < 30` still
+//     matches documents without an age and `c.name != "x"` matches
+//     null names, even when served by a store predicate.
+//   - JOIN stages run as build-once hash joins (with an index-probe
+//     fallback for small inputs) instead of one probe query per row.
+//   - SORT is a blocking operator; LIMIT short-circuits the upstream
+//     operators including the store scans; RETURN projections stream
+//     and clone only the projected values.
 package uql
 
 import (

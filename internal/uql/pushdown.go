@@ -1,0 +1,204 @@
+package uql
+
+import (
+	"strings"
+
+	"udbench/internal/document"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+)
+
+// Predicate pushdown: FILTER stages that precede every other stage
+// kind touch only the seed source, so they can be compiled from UQL
+// expressions into the stores' native predicate languages
+// (document.Filter / relational.Expr) and handed to the pipeline
+// sources, where they run against shared store memory and can engage
+// path/column indexes.
+//
+// The translations are exact: UQL comparison semantics are
+// mmvalue.Compare over the looked-up value, with a missing path
+// reading as Null. The store predicate languages differ on
+// missing/null handling (document filters fail non-eq comparisons on
+// missing paths; relational expressions use SQL-ish null rules), so
+// the compiler augments the base predicate where the semantics
+// diverge. Expressions that cannot be translated exactly stay behind
+// as residual closure filters — pushdown never changes results.
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(boolExpr); ok && b.op == "AND" {
+		return splitConjuncts(b.r, splitConjuncts(b.l, out))
+	}
+	return append(out, e)
+}
+
+// cmpOnCompare evaluates a UQL comparison operator against a Compare
+// result.
+func cmpOnCompare(op string, c int) bool {
+	switch op {
+	case "==":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// pathLit normalizes a comparison to (path, op, literal) with the path
+// on the left, flipping the operator when the literal is on the left.
+func pathLit(e cmpExpr) (string, string, mmvalue.Value, bool) {
+	if p, ok := e.l.(pathExpr); ok {
+		if l, ok := e.r.(litExpr); ok {
+			return p.path, e.op, l.v, true
+		}
+		return "", "", mmvalue.Null, false
+	}
+	l, lok := e.l.(litExpr)
+	p, pok := e.r.(pathExpr)
+	if !lok || !pok {
+		return "", "", mmvalue.Null, false
+	}
+	flip := map[string]string{"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	op, ok := flip[e.op]
+	if !ok {
+		return "", "", mmvalue.Null, false
+	}
+	return p.path, op, l.v, true
+}
+
+// compileDocFilter translates a UQL expression into an exactly
+// equivalent document.Filter; ok is false when no exact translation
+// exists.
+func compileDocFilter(e Expr) (document.Filter, bool) {
+	switch x := e.(type) {
+	case boolExpr:
+		l, lok := compileDocFilter(x.l)
+		r, rok := compileDocFilter(x.r)
+		if !lok || !rok {
+			return nil, false
+		}
+		if x.op == "AND" {
+			return document.All(l, r), true
+		}
+		return document.Any(l, r), true
+	case cmpExpr:
+		path, op, lit, ok := pathLit(x)
+		if !ok || x.op == "LIKE" {
+			return nil, false
+		}
+		var base document.Filter
+		var docMissing bool // cmpFilter.Match result on a missing path
+		switch op {
+		case "==":
+			base, docMissing = document.Eq(path, lit), lit.IsNull()
+		case "!=":
+			base, docMissing = document.Ne(path, lit), !lit.IsNull()
+		case "<":
+			base, docMissing = document.Lt(path, lit), false
+		case "<=":
+			base, docMissing = document.Le(path, lit), false
+		case ">":
+			base, docMissing = document.Gt(path, lit), false
+		case ">=":
+			base, docMissing = document.Ge(path, lit), false
+		default:
+			return nil, false
+		}
+		// UQL reads a missing path as Null and compares; add the
+		// missing-path case back when the store filter would drop it.
+		if uqlMissing := cmpOnCompare(op, mmvalue.Compare(mmvalue.Null, lit)); uqlMissing && !docMissing {
+			base = document.Any(base, document.Exists(path, false))
+		}
+		return base, true
+	}
+	return nil, false
+}
+
+// compileRelExpr translates a UQL expression into an exactly
+// equivalent relational.Expr; ok is false when no exact translation
+// exists. Only single-segment paths are pushable: relational rows are
+// flat, and a dotted UQL path would address a nested value the column
+// namespace cannot see.
+func compileRelExpr(e Expr) (relational.Expr, bool) {
+	switch x := e.(type) {
+	case boolExpr:
+		l, lok := compileRelExpr(x.l)
+		r, rok := compileRelExpr(x.r)
+		if !lok || !rok {
+			return nil, false
+		}
+		if x.op == "AND" {
+			return relational.And(l, r), true
+		}
+		return relational.Or(l, r), true
+	case notExpr:
+		inner, ok := compileRelExpr(x.e)
+		if !ok {
+			return nil, false
+		}
+		return relational.Not(inner), true
+	case cmpExpr:
+		path, op, lit, ok := pathLit(x)
+		if !ok || strings.Contains(path, ".") {
+			return nil, false
+		}
+		col := relational.Col(path)
+		if x.op == "LIKE" {
+			pat, ok := lit.AsString()
+			if !ok {
+				return nil, false
+			}
+			return col.Like(pat), true
+		}
+		if lit.IsNull() {
+			// Null literals get exact case-by-case translations: in
+			// UQL's total order Null sorts before everything, while
+			// relational cmpExpr.Eval short-circuits null literals.
+			switch op {
+			case "==", "<=": // only null compares ==/<= null
+				return col.Eq(nil), true
+			case "!=", ">": // any non-null sorts after null
+				return col.Ne(nil), true
+			case "<": // nothing sorts before null
+				return relational.Not(relational.TrueExpr{}), true
+			case ">=": // everything sorts >= null
+				return relational.TrueExpr{}, true
+			}
+			return nil, false
+		}
+		var base relational.Expr
+		switch op {
+		case "==":
+			base = col.Eq(lit)
+		case "!=":
+			base = col.Ne(lit)
+		case "<":
+			base = col.Lt(lit)
+		case "<=":
+			base = col.Le(lit)
+		case ">":
+			base = col.Gt(lit)
+		case ">=":
+			base = col.Ge(lit)
+		default:
+			return nil, false
+		}
+		// Relational comparisons use SQL-ish null rules: a null (or
+		// absent) column satisfies only `= NULL`. UQL compares Null
+		// with mmvalue.Compare, so e.g. `col != 5` and `col < 5` are
+		// true on null columns; add that case back via IS NULL.
+		if cmpOnCompare(op, mmvalue.Compare(mmvalue.Null, lit)) {
+			base = relational.Or(base, col.Eq(nil))
+		}
+		return base, true
+	}
+	return nil, false
+}

@@ -1,0 +1,179 @@
+package uql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+	"udbench/internal/udbms"
+)
+
+// filterCondOf parses "FOR c IN src FILTER <expr>" and returns the
+// FILTER expression.
+func filterCondOf(t *testing.T, expr string) Expr {
+	t.Helper()
+	q, err := Parse("FOR c IN src FILTER " + expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	if len(q.Stages) != 1 {
+		t.Fatalf("expected 1 stage, got %d", len(q.Stages))
+	}
+	return q.Stages[0].(FilterStage).Cond
+}
+
+// randDoc builds an object whose fields are randomly missing, null, or
+// of assorted kinds — the cases where UQL and store predicate
+// semantics could diverge.
+func randDoc(rng *rand.Rand) mmvalue.Value {
+	o := mmvalue.NewObject()
+	switch rng.Intn(5) {
+	case 0: // missing
+	case 1:
+		o.Set("age", mmvalue.Null)
+	case 2:
+		o.Set("age", mmvalue.Int(int64(rng.Intn(60))))
+	case 3:
+		o.Set("age", mmvalue.Float(float64(rng.Intn(60))))
+	case 4:
+		o.Set("age", mmvalue.String("old"))
+	}
+	switch rng.Intn(4) {
+	case 0:
+	case 1:
+		o.Set("name", mmvalue.Null)
+	default:
+		o.Set("name", mmvalue.String([]string{"ada", "bob", "eve"}[rng.Intn(3)]))
+	}
+	if rng.Intn(2) == 0 {
+		nested := mmvalue.NewObject()
+		nested.Set("city", mmvalue.String([]string{"hki", "oulu"}[rng.Intn(2)]))
+		o.Set("addr", mmvalue.FromObject(nested))
+	}
+	return mmvalue.FromObject(o)
+}
+
+// TestPushdownCompilerEquivalence asserts the compiled store
+// predicates match UQL truthiness row-for-row, including the
+// missing-path and null edge cases.
+func TestPushdownCompilerEquivalence(t *testing.T) {
+	exprs := []string{
+		`c.age == 30`, `c.age != 30`, `c.age < 30`, `c.age <= 30`,
+		`c.age > 30`, `c.age >= 30`, `30 > c.age`, `30 == c.age`,
+		`c.age == null`, `c.age != null`, `c.age < null`,
+		`c.age <= null`, `c.age > null`, `c.age >= null`,
+		`c.name == "bob"`, `c.name != "bob"`, `c.name LIKE "%a%"`,
+		`c.addr.city == "hki"`, `c.addr.city != "hki"`,
+		`c.age < 30 AND c.name != "bob"`,
+		`c.age < 30 OR c.name == "eve"`,
+		`NOT c.age > 30`,
+		`c.age > 10 AND (c.name == "ada" OR c.age < 50)`,
+	}
+	rng := rand.New(rand.NewSource(99))
+	docs := make([]mmvalue.Value, 400)
+	for i := range docs {
+		docs[i] = randDoc(rng)
+	}
+	docPushed, relPushed := 0, 0
+	for _, src := range exprs {
+		cond := filterCondOf(t, src)
+		if f, ok := compileDocFilter(cond); ok {
+			docPushed++
+			for _, d := range docs {
+				if f.Match(d) != cond.Eval(d).Truthy() {
+					t.Errorf("doc filter %q diverges on %s: filter=%v uql=%v",
+						src, d, f.Match(d), cond.Eval(d).Truthy())
+				}
+			}
+		}
+		if e, ok := compileRelExpr(cond); ok {
+			relPushed++
+			for _, d := range docs {
+				if e.Eval(d) != cond.Eval(d).Truthy() {
+					t.Errorf("rel expr %q diverges on %s: expr=%v uql=%v",
+						src, d, e.Eval(d), cond.Eval(d).Truthy())
+				}
+			}
+		}
+	}
+	// Most of the expression list must actually be pushable, or the
+	// test is vacuous.
+	if docPushed < 14 {
+		t.Errorf("only %d/%d expressions compiled to document filters", docPushed, len(exprs))
+	}
+	if relPushed < 14 {
+		t.Errorf("only %d/%d expressions compiled to relational exprs", relPushed, len(exprs))
+	}
+	// Dotted paths must not push to the flat relational namespace.
+	if _, ok := compileRelExpr(filterCondOf(t, `c.addr.city == "hki"`)); ok {
+		t.Error("dotted path wrongly pushed to relational")
+	}
+	// LIKE has no document translation.
+	if _, ok := compileDocFilter(filterCondOf(t, `c.name LIKE "%a%"`)); ok {
+		t.Error("LIKE wrongly pushed to document filter")
+	}
+}
+
+// TestPushdownEndToEnd runs queries whose FILTER clauses push into an
+// indexed source and checks the results against a brute-force
+// evaluation of the same expressions.
+func TestPushdownEndToEnd(t *testing.T) {
+	db := udbms.Open()
+	tbl, err := db.Relational.CreateTable("people", relational.MustSchema("id",
+		relational.Column{Name: "id", Type: relational.TypeInt},
+		relational.Column{Name: "city", Type: relational.TypeString},
+		relational.Column{Name: "age", Type: relational.TypeInt, Nullable: true},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("city"); err != nil {
+		t.Fatal(err)
+	}
+	docs := db.Docs.Collection("events")
+	if err := docs.CreateIndex("kind"); err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"hki", "oulu", "tre"}
+	for i := 0; i < 90; i++ {
+		row := mmvalue.NewObject()
+		row.Set("id", mmvalue.Int(int64(i)))
+		row.Set("city", mmvalue.String(cities[i%3]))
+		if i%7 != 0 {
+			row.Set("age", mmvalue.Int(int64(i%80)))
+		}
+		if err := tbl.Insert(nil, mmvalue.FromObject(row)); err != nil {
+			t.Fatal(err)
+		}
+		ev := mmvalue.ObjectOf(
+			"_id", fmt.Sprintf("e%03d", i),
+			"kind", []string{"click", "view"}[i%2],
+			"who", int64(i%10),
+		)
+		if err := docs.Insert(nil, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		src  string
+		want int
+	}{
+		{`FOR p IN people FILTER p.city == "hki" RETURN p.id`, 30},
+		// UQL reads a missing age as Null, and Null < n is true — the
+		// pushed filter must preserve that.
+		{`FOR p IN people FILTER p.city == "hki" AND p.age < 40 RETURN p.id`, 19},
+		{`FOR p IN people FILTER p.age < 10 RETURN p.id`, 30},
+		{`FOR e IN events FILTER e.kind == "click" RETURN e.who`, 45},
+		{`FOR e IN events FILTER e.kind == "click" AND e.who >= 8 LIMIT 5 RETURN e.who`, 5},
+	} {
+		rows, err := Run(db, nil, tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if len(rows) != tc.want {
+			t.Errorf("%q: %d rows, want %d", tc.src, len(rows), tc.want)
+		}
+	}
+}

@@ -34,10 +34,16 @@ func (s unifiedSession) kvTx() *txn.Tx    { return s.tx }
 func (s unifiedSession) xmlTx() *txn.Tx   { return s.tx }
 func (s unifiedSession) hop()             {}
 
-// RunQuery implements Engine: the whole query sees one snapshot.
+// RunQuery implements Engine: the whole query sees one snapshot. The
+// join-heavy queries run through the unified engine's streaming
+// pipeline (hash joins, predicate pushdown); the rest share the
+// per-store bodies with the federation.
 func (e *UDBMSEngine) RunQuery(q QueryID, p Params) (int, error) {
 	tx := e.DB.Begin()
 	defer tx.Abort() // read-only: abort releases the snapshot
+	if n, ok, err := pipelineQuery(e.DB, tx, q, p); ok {
+		return n, err
+	}
 	return runQuery(e.stores(), unifiedSession{tx}, q, p)
 }
 

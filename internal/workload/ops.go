@@ -183,24 +183,63 @@ func q3TopRatedProducts(st stores, s session, p Params) (int, error) {
 	return len(rs), nil
 }
 
+// q4CityBigSpenders executes as a client-side hash join, the best a
+// federation can do: fetch the city's customers, then fetch all their
+// orders in one request and aggregate locally. Per-customer index
+// probes would each pay a store round trip, so the single bulk scan
+// request wins whenever the hop latency is nonzero — k probes cost
+// k·hop while the scan costs one hop plus an in-store pass that is
+// orders of magnitude cheaper than a round trip per probe.
 func q4CityBigSpenders(st stores, s session, p Params) (int, error) {
 	cust, err := customerTable(st)
 	if err != nil {
 		return 0, err
 	}
 	s.hop()
-	rows := cust.Query(s.relTx()).Where(relational.Col("city").Eq(p.City)).Rows()
+	rows := cust.Query(s.relTx()).Where(relational.Col("city").Eq(p.City)).Project("id").Rows()
 	orders := st.docs.Collection("orders")
 	count := 0
+	// Buckets are keyed by mmvalue.Key (so Float(7) matches Int(7))
+	// and re-verified with mmvalue.Equal on probe, exactly like the
+	// document.Eq probes this join replaces — Key collisions cannot
+	// merge distinct customers.
+	type custSum struct {
+		id  mmvalue.Value
+		sum float64
+	}
+	bucket := make(map[string][]*custSum, len(rows))
+	all := make([]*custSum, 0, len(rows))
 	for _, r := range rows {
 		id, _ := r.MustObject().Get("id")
-		s.hop()
-		sum := 0.0
-		for _, o := range orders.Find(s.docTx(), document.Eq("customer_id", id), nil) {
-			t, _ := o.MustObject().GetOr("total", mmvalue.Float(0)).AsFloat()
-			sum += t
+		cs := &custSum{id: id}
+		bucket[id.Key()] = append(bucket[id.Key()], cs)
+		all = append(all, cs)
+	}
+	cidPath := mmvalue.ParsePath("customer_id")
+	matchCust := func(cid mmvalue.Value) *custSum {
+		for _, cs := range bucket[cid.Key()] {
+			if mmvalue.Equal(cs.id, cid) {
+				return cs
+			}
 		}
-		if sum > p.Threshold {
+		return nil
+	}
+	s.hop()
+	for _, o := range orders.Find(s.docTx(), document.Func(
+		"customer_id in city set",
+		func(doc mmvalue.Value) bool {
+			cid, ok := cidPath.Lookup(doc)
+			return ok && !cid.IsNull() && matchCust(cid) != nil
+		}), &document.FindOptions{Projection: []string{"customer_id", "total"}}) {
+		obj := o.MustObject()
+		cid, _ := obj.Get("customer_id")
+		t, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
+		if cs := matchCust(cid); cs != nil {
+			cs.sum += t
+		}
+	}
+	for _, cs := range all {
+		if cs.sum > p.Threshold {
 			count++
 		}
 	}
@@ -277,7 +316,8 @@ func q8RevenueByCity(st stores, s session) (int, error) {
 	}
 	s.hop()
 	revenue := map[string]float64{}
-	for _, o := range st.docs.Collection("orders").Find(s.docTx(), nil, nil) {
+	for _, o := range st.docs.Collection("orders").Find(s.docTx(), nil,
+		&document.FindOptions{Projection: []string{"customer_id", "total"}}) {
 		obj := o.MustObject()
 		cid, _ := obj.Get("customer_id")
 		total, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
