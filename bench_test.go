@@ -8,6 +8,7 @@ package udbench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -109,6 +110,47 @@ func BenchmarkF2Scalability(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := workload.RunMix(fed, info, workload.StandardMix(fed), workload.DriverConfig{
 					Clients: clients, OpsPerClient: 20, Theta: 0.5, Seed: uint64(i),
+				})
+				ops += res.Ops
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkMixScaling measures how StandardMix throughput scales with
+// closed-loop clients (1, 2, 4, NumCPU) on both engines — the scaling
+// curve behind the striped lock table. Each sub-benchmark rebuilds its
+// engine so write history never carries across client counts; ops/s is
+// the figure of merit.
+func BenchmarkMixScaling(b *testing.B) {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, clients := range counts {
+		if seen[clients] {
+			continue
+		}
+		seen[clients] = true
+		clients := clients
+		b.Run(fmt.Sprintf("clients%d/udbms", clients), func(b *testing.B) {
+			uni, _, info := loadedEngines(b, 0.05, 0)
+			b.ResetTimer()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				res := workload.RunMix(uni, info, workload.StandardMix(uni), workload.DriverConfig{
+					Clients: clients, OpsPerClient: 50, Theta: 0.5, Seed: uint64(i),
+				})
+				ops += res.Ops
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+		})
+		b.Run(fmt.Sprintf("clients%d/federation", clients), func(b *testing.B) {
+			_, fed, info := loadedEngines(b, 0.05, 20*time.Microsecond)
+			b.ResetTimer()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				res := workload.RunMix(fed, info, workload.StandardMix(fed), workload.DriverConfig{
+					Clients: clients, OpsPerClient: 50, Theta: 0.5, Seed: uint64(i),
 				})
 				ops += res.Ops
 			}

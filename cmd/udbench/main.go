@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,11 @@ import (
 
 	"udbench/internal/core"
 	"udbench/internal/datagen"
+	"udbench/internal/federation"
 	"udbench/internal/metrics"
 	"udbench/internal/udbms"
 	"udbench/internal/uql"
+	"udbench/internal/workload"
 )
 
 func main() {
@@ -37,6 +40,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "mix":
+		err = cmdMix(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "-h", "--help", "help":
@@ -59,6 +64,7 @@ commands:
   list                         list experiments
   run <id>|all [flags]         run experiments (ids from 'list')
   generate [flags]             generate the dataset and print stats
+  mix [flags]                  drive the standard OLTP mix on both engines
   query "<uql>" [flags]        run a UQL query on a generated dataset
 
 run/generate flags:
@@ -67,6 +73,12 @@ run/generate flags:
   -quick     shrink sweeps for a fast run
   -hop D     federation per-request latency (default 100us)
   -csv       emit CSV instead of aligned tables
+  -json F    also write results to F as JSON
+
+mix flags (plus -sf/-seed/-hop/-json):
+  -clients N number of closed-loop clients (default 4)
+  -ops N     operations per client (default 200)
+  -theta T   Zipf parameter skew (default 0.5)
 `)
 }
 
@@ -79,13 +91,14 @@ func cmdList() error {
 	return nil
 }
 
-func benchFlags(args []string) (core.Config, []string, bool, error) {
+func benchFlags(args []string) (core.Config, []string, bool, string, error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	sf := fs.Float64("sf", 0.2, "scale factor")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	quick := fs.Bool("quick", false, "quick mode")
 	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
 	csv := fs.Bool("csv", false, "CSV output")
+	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	// Allow the experiment id before the flags.
 	var pos []string
 	rest := args
@@ -94,14 +107,30 @@ func benchFlags(args []string) (core.Config, []string, bool, error) {
 		rest = rest[1:]
 	}
 	if err := fs.Parse(rest); err != nil {
-		return core.Config{}, nil, false, err
+		return core.Config{}, nil, false, "", err
 	}
 	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop}
-	return cfg, append(pos, fs.Args()...), *csv, nil
+	return cfg, append(pos, fs.Args()...), *csv, *jsonPath, nil
+}
+
+// writeJSON marshals v indented into path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// tableJSON is the machine-readable form of one result table.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 func cmdRun(args []string) error {
-	cfg, pos, csv, err := benchFlags(args)
+	cfg, pos, csv, jsonPath, err := benchFlags(args)
 	if err != nil {
 		return err
 	}
@@ -135,11 +164,83 @@ func cmdRun(args []string) error {
 			fmt.Println(t.String())
 		}
 	}
+	if jsonPath != "" {
+		out := make([]tableJSON, 0, len(tables))
+		for _, t := range tables {
+			out = append(out, tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows()})
+		}
+		if err := writeJSON(jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d tables to %s\n", len(out), jsonPath)
+	}
+	return nil
+}
+
+// cmdMix drives the standard OLTP mix against both engines and emits
+// the per-op latency digest — the perf-trajectory probe future PRs
+// diff via -json.
+func cmdMix(args []string) error {
+	fs := flag.NewFlagSet("mix", flag.ContinueOnError)
+	sf := fs.Float64("sf", 0.2, "scale factor")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
+	clients := fs.Int("clients", 4, "closed-loop clients")
+	ops := fs.Int("ops", 200, "operations per client")
+	theta := fs.Float64("theta", 0.5, "Zipf parameter skew")
+	jsonPath := fs.String("json", "", "write results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	db := udbms.Open()
+	if err := ds.Load(datagen.Target{
+		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+	}); err != nil {
+		return err
+	}
+	f := federation.Open()
+	f.HopLatency = *hop
+	if err := ds.Load(datagen.Target{
+		Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
+	}); err != nil {
+		return err
+	}
+	info := workload.InfoOf(ds)
+	cfg := workload.DriverConfig{Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed}
+	var summaries []workload.RunSummary
+	t := metrics.NewTable(
+		fmt.Sprintf("Standard mix, SF %g, %d clients x %d ops, theta %g", *sf, *clients, *ops, *theta),
+		"engine", "op", "count", "mean", "p50", "p95", "p99", "ops/s", "aborts")
+	for _, e := range []workload.Engine{workload.NewUDBMSEngine(db), workload.NewFederationEngine(f)} {
+		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
+		s := res.Summary()
+		summaries = append(summaries, s)
+		t.AddRow(s.Engine, "all", s.Ops, res.Latency.Mean(), s.P50NS, s.P95NS, s.P99NS,
+			s.Throughput, s.Aborts)
+		for _, op := range s.PerOp {
+			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, "", "")
+		}
+	}
+	fmt.Print(t.String())
+	if *jsonPath != "" {
+		out := struct {
+			SF      float64               `json:"sf"`
+			Seed    uint64                `json:"seed"`
+			Theta   float64               `json:"theta"`
+			HopNS   time.Duration         `json:"hop_ns"`
+			Results []workload.RunSummary `json:"results"`
+		}{*sf, *seed, *theta, *hop, summaries}
+		if err := writeJSON(*jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote results to %s\n", *jsonPath)
+	}
 	return nil
 }
 
 func cmdQuery(args []string) error {
-	cfg, pos, _, err := benchFlags(args)
+	cfg, pos, _, _, err := benchFlags(args)
 	if err != nil {
 		return err
 	}
@@ -167,7 +268,7 @@ func cmdQuery(args []string) error {
 }
 
 func cmdGenerate(args []string) error {
-	cfg, _, csv, err := benchFlags(args)
+	cfg, _, csv, jsonPath, err := benchFlags(args)
 	if err != nil {
 		return err
 	}
@@ -196,6 +297,13 @@ func cmdGenerate(args []string) error {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Print(t.String())
+	}
+	if jsonPath != "" {
+		out := []tableJSON{{Title: t.Title, Headers: t.Headers, Rows: t.Rows()}}
+		if err := writeJSON(jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote dataset statistics to %s\n", jsonPath)
 	}
 	fmt.Printf("\ngenerate %v, load %v\n", genTime.Round(time.Millisecond), loadTime.Round(time.Millisecond))
 	return nil

@@ -58,4 +58,30 @@
 // into the seed scan — exactly preserving UQL's missing-path and null
 // comparison semantics — so secondary indexes engage; untranslatable
 // conjuncts remain as residual row filters.
+//
+// # Concurrency architecture
+//
+// The OLTP path is built to scale with cores; the harness must measure
+// engine architecture, not its own mutex convoys:
+//
+//   - Lock table (internal/txn): striped into 64 shards by resource-key
+//     hash, each with its own mutex and condition variable. Acquires of
+//     unrelated records never contend and a release wakes only its own
+//     shard. Deadlock detection runs on a single cross-shard wait-for
+//     graph behind a small detector lock that the uncontended fast
+//     path never touches; victims blocked in another shard are woken
+//     through that shard's condition variable.
+//   - Interned lock keys: every record carries its precomputed
+//     txn.ResourceKey (name + shard), built once when the record is
+//     created, so steady-state acquire/release performs zero
+//     allocations — no per-lock string concatenation or hashing.
+//   - Snapshot reads never lock (MVCC version chains); writers hold
+//     exclusive locks to commit (strict 2PL). The single designed
+//     serialization point is the commit window: Manager.commitMu makes
+//     timestamp assignment plus version stamping atomic with respect
+//     to Begin, so cross-model snapshots are never torn.
+//   - Measurement (internal/metrics, internal/workload): histograms
+//     use fixed-size logarithmic bucket arrays, and the closed-loop
+//     driver gives every worker a private recorder merged only after
+//     the run — recording an operation never takes a shared lock.
 package udbench

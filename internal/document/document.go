@@ -134,6 +134,35 @@ func (c *Collection) resource(id string) string {
 	return c.store.name + "/" + c.name + "/" + id
 }
 
+// chainOf returns the document's version chain, creating it (with its
+// interned lock key) on first use so the lock path never rebuilds the
+// resource string. The slot stays in the map even if the insert later
+// fails (duplicate id, deadlock abort): it may already be shared with
+// a concurrent transaction holding the record lock, so evicting it
+// here would orphan that transaction's writes. An empty chain reads as
+// "not found" everywhere, matching the store's existing behavior for
+// rolled-back inserts.
+func (c *Collection) chainOf(id string) *txn.Chain[mmvalue.Value] {
+	chain, _ := c.docs.GetOrInsert(id, func() *txn.Chain[mmvalue.Value] {
+		return &txn.Chain[mmvalue.Value]{Res: txn.NewResourceKey(c.resource(id))}
+	})
+	return chain
+}
+
+// lockDoc exclusively locks id's record, preferring the interned key.
+// When the record does not exist it locks a fresh key and re-checks —
+// the id may have been inserted by a transaction the lock waited on.
+func (c *Collection) lockDoc(tx *txn.Tx, id string) (*txn.Chain[mmvalue.Value], bool, error) {
+	if chain, ok := c.docs.Get(id); ok {
+		return chain, true, tx.LockExclusiveKey(chain.Res)
+	}
+	if err := tx.LockExclusive(c.resource(id)); err != nil {
+		return nil, false, err
+	}
+	chain, ok := c.docs.Get(id)
+	return chain, ok, nil
+}
+
 func (c *Collection) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
 	if tx != nil {
 		return fn(tx)
@@ -217,12 +246,10 @@ func (c *Collection) Insert(tx *txn.Tx, doc mmvalue.Value) error {
 		return fmt.Errorf("document %s: %s must be a non-empty string", c.name, IDField)
 	}
 	return c.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(c.resource(id)); err != nil {
+		chain := c.chainOf(id)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
 			return err
 		}
-		chain, _ := c.docs.GetOrInsert(id, func() *txn.Chain[mmvalue.Value] {
-			return &txn.Chain[mmvalue.Value]{}
-		})
 		if _, exists := chain.Read(c.store.mgr.Oracle().Current(), tx.ID()); exists {
 			return fmt.Errorf("document %s: duplicate %s %q", c.name, IDField, id)
 		}
@@ -254,10 +281,10 @@ func (c *Collection) Get(tx *txn.Tx, id string) (mmvalue.Value, bool) {
 // result; fn must keep the _id unchanged.
 func (c *Collection) Update(tx *txn.Tx, id string, fn func(doc mmvalue.Value) (mmvalue.Value, error)) error {
 	return c.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(c.resource(id)); err != nil {
+		chain, ok, err := c.lockDoc(tx, id)
+		if err != nil {
 			return err
 		}
-		chain, ok := c.docs.Get(id)
 		if !ok {
 			return fmt.Errorf("document %s: no document %q", c.name, id)
 		}
@@ -305,10 +332,10 @@ func (c *Collection) UnsetPath(tx *txn.Tx, id, path string) error {
 // Delete tombstones the document; deleting a missing id is a no-op.
 func (c *Collection) Delete(tx *txn.Tx, id string) error {
 	return c.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(c.resource(id)); err != nil {
+		chain, ok, err := c.lockDoc(tx, id)
+		if err != nil {
 			return err
 		}
-		chain, ok := c.docs.Get(id)
 		if !ok {
 			return nil
 		}

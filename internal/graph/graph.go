@@ -92,6 +92,45 @@ func (s *Store) Manager() *txn.Manager { return s.mgr }
 func (s *Store) vResource(id VID) string { return s.name + "/v/" + string(id) }
 func (s *Store) eResource(id EID) string { return s.name + "/e/" + string(id) }
 
+// vLockKey returns the interned lock key of a vertex, building a fresh
+// key only when the record does not exist yet (first insert, or lock on
+// a missing id).
+func (s *Store) vLockKey(id VID) txn.ResourceKey {
+	s.mu.RLock()
+	rec := s.vertices[id]
+	s.mu.RUnlock()
+	if rec != nil {
+		return rec.chain.Res
+	}
+	return txn.NewResourceKey(s.vResource(id))
+}
+
+// eLockKey is vLockKey for edges.
+func (s *Store) eLockKey(id EID) txn.ResourceKey {
+	s.mu.RLock()
+	rec := s.edges[id]
+	s.mu.RUnlock()
+	if rec != nil {
+		return rec.chain.Res
+	}
+	return txn.NewResourceKey(s.eResource(id))
+}
+
+// getOrCreateVertex returns the vertex record, creating it (with its
+// interned lock key) on first use. The caller serializes on the
+// record's lock before writing the chain.
+func (s *Store) getOrCreateVertex(id VID, label string) *vertexRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.vertices[id]
+	if rec == nil {
+		rec = &vertexRec{label: label}
+		rec.chain.Res = txn.NewResourceKey(s.vResource(id))
+		s.vertices[id] = rec
+	}
+	return rec
+}
+
 func (s *Store) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
 	if tx != nil {
 		return fn(tx)
@@ -110,20 +149,16 @@ func (s *Store) AddVertex(tx *txn.Tx, id VID, label string, props mmvalue.Value)
 		return fmt.Errorf("graph %s: vertex props must be an object", s.name)
 	}
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.vResource(id)); err != nil {
+		rec := s.getOrCreateVertex(id, label)
+		if err := tx.LockExclusiveKey(rec.chain.Res); err != nil {
 			return err
 		}
-		s.mu.Lock()
-		rec := s.vertices[id]
-		if rec == nil {
-			rec = &vertexRec{label: label}
-			s.vertices[id] = rec
-		}
-		s.mu.Unlock()
 		if _, exists := rec.chain.Read(s.mgr.Oracle().Current(), tx.ID()); exists {
 			return fmt.Errorf("graph %s: duplicate vertex %q", s.name, id)
 		}
+		s.mu.Lock()
 		rec.label = label
+		s.mu.Unlock()
 		rec.chain.Write(tx.ID(), props.Clone(), false)
 		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
@@ -141,7 +176,7 @@ func (s *Store) AddEdge(tx *txn.Tx, id EID, label string, from, to VID, props mm
 		return fmt.Errorf("graph %s: edge props must be an object", s.name)
 	}
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.eResource(id)); err != nil {
+		if err := tx.LockExclusiveKey(s.eLockKey(id)); err != nil {
 			return err
 		}
 		if _, ok := s.GetVertex(tx, from); !ok {
@@ -155,6 +190,7 @@ func (s *Store) AddEdge(tx *txn.Tx, id EID, label string, from, to VID, props mm
 		fresh := rec == nil
 		if fresh {
 			rec = &edgeRec{label: label, from: from, to: to}
+			rec.chain.Res = txn.NewResourceKey(s.eResource(id))
 			s.edges[id] = rec
 			s.link(id, label, from, to)
 		}
@@ -263,7 +299,7 @@ func readChain(c *txn.Chain[mmvalue.Value], tx *txn.Tx) (mmvalue.Value, bool) {
 // SetVertexProps replaces the property object of a vertex.
 func (s *Store) SetVertexProps(tx *txn.Tx, id VID, update func(props mmvalue.Value) (mmvalue.Value, error)) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.vResource(id)); err != nil {
+		if err := tx.LockExclusiveKey(s.vLockKey(id)); err != nil {
 			return err
 		}
 		s.mu.RLock()
@@ -293,7 +329,7 @@ func (s *Store) SetVertexProps(tx *txn.Tx, id VID, update func(props mmvalue.Val
 // RemoveEdge tombstones an edge.
 func (s *Store) RemoveEdge(tx *txn.Tx, id EID) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.eResource(id)); err != nil {
+		if err := tx.LockExclusiveKey(s.eLockKey(id)); err != nil {
 			return err
 		}
 		s.mu.RLock()
@@ -312,7 +348,7 @@ func (s *Store) RemoveEdge(tx *txn.Tx, id EID) error {
 // RemoveVertex tombstones a vertex and all incident edges.
 func (s *Store) RemoveVertex(tx *txn.Tx, id VID) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.vResource(id)); err != nil {
+		if err := tx.LockExclusiveKey(s.vLockKey(id)); err != nil {
 			return err
 		}
 		s.mu.RLock()

@@ -42,6 +42,16 @@ func (s *Store) Manager() *txn.Manager { return s.mgr }
 
 func (s *Store) resource(key string) string { return s.name + "/" + key }
 
+// chainOf returns the key's version chain, creating it (with its
+// interned lock key) on first use so the lock path never rebuilds the
+// resource string.
+func (s *Store) chainOf(key string) *txn.Chain[mmvalue.Value] {
+	chain, _ := s.list.GetOrInsert(key, func() *txn.Chain[mmvalue.Value] {
+		return &txn.Chain[mmvalue.Value]{Res: txn.NewResourceKey(s.resource(key))}
+	})
+	return chain
+}
+
 // run executes fn under tx, or under a fresh auto-committed
 // transaction when tx is nil.
 func (s *Store) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
@@ -57,12 +67,10 @@ func (s *Store) Put(tx *txn.Tx, key string, value mmvalue.Value) error {
 		return fmt.Errorf("kv %s: empty key", s.name)
 	}
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.resource(key)); err != nil {
+		chain := s.chainOf(key)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
 			return err
 		}
-		chain, _ := s.list.GetOrInsert(key, func() *txn.Chain[mmvalue.Value] {
-			return &txn.Chain[mmvalue.Value]{}
-		})
 		chain.Write(tx.ID(), value, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
@@ -87,12 +95,18 @@ func (s *Store) Get(tx *txn.Tx, key string) (mmvalue.Value, bool) {
 // not an error; the tombstone still serializes with concurrent writers.
 func (s *Store) Delete(tx *txn.Tx, key string) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.resource(key)); err != nil {
-			return err
-		}
 		chain, ok := s.list.Get(key)
 		if !ok {
-			return nil
+			// Lock the name anyway: the tombstone of a missing key must
+			// still serialize with concurrent writers of that key.
+			if err := tx.LockExclusive(s.resource(key)); err != nil {
+				return err
+			}
+			if chain, ok = s.list.Get(key); !ok {
+				return nil
+			}
+		} else if err := tx.LockExclusiveKey(chain.Res); err != nil {
+			return err
 		}
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })

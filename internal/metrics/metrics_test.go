@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -88,6 +89,95 @@ func TestHistogramMerge(t *testing.T) {
 	c.Merge(&a)
 	if c.Count() != 3 || c.Min() != time.Millisecond {
 		t.Error("merge into empty failed")
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	// a holds a low range, b a strictly higher one: the merged
+	// histogram must carry a's min, b's max, and the exact sum/count.
+	var a, b Histogram
+	var wantSum time.Duration
+	for i := 1; i <= 50; i++ {
+		d := time.Duration(i) * time.Microsecond
+		a.Observe(d)
+		wantSum += d
+	}
+	for i := 1; i <= 30; i++ {
+		d := time.Duration(i) * time.Second
+		b.Observe(d)
+		wantSum += d
+	}
+	a.Merge(&b)
+	if a.Count() != 80 {
+		t.Errorf("count = %d, want 80", a.Count())
+	}
+	if a.Min() != time.Microsecond {
+		t.Errorf("min = %v, want 1µs", a.Min())
+	}
+	if a.Max() != 30*time.Second {
+		t.Errorf("max = %v, want 30s", a.Max())
+	}
+	if a.sum != wantSum {
+		t.Errorf("sum = %v, want %v", a.sum, wantSum)
+	}
+	if mean := a.Mean(); mean != wantSum/80 {
+		t.Errorf("mean = %v, want %v", mean, wantSum/80)
+	}
+	// The p99 must land in b's range.
+	if p := a.Percentile(99); p < time.Second {
+		t.Errorf("p99 = %v, expected in the seconds range", p)
+	}
+}
+
+func TestHistogramMergeOverlappingRanges(t *testing.T) {
+	// Two histograms over the same range must merge into exactly the
+	// histogram that would result from observing everything in one.
+	var a, b, whole Histogram
+	for i := 1; i <= 200; i++ {
+		d := time.Duration(i) * time.Millisecond
+		whole.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.sum != whole.sum || a.min != whole.min || a.max != whole.max {
+		t.Errorf("merged (n=%d sum=%v min=%v max=%v) != whole (n=%d sum=%v min=%v max=%v)",
+			a.Count(), a.sum, a.min, a.max, whole.Count(), whole.sum, whole.min, whole.max)
+	}
+	for _, p := range []float64{1, 25, 50, 75, 99} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%g: merged %v != whole %v", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+	// Merging an empty histogram changes nothing (including min).
+	var empty Histogram
+	before := a.Min()
+	a.Merge(&empty)
+	if a.Count() != whole.Count() || a.Min() != before {
+		t.Error("merging an empty histogram changed state")
+	}
+}
+
+func TestBucketValueMemoized(t *testing.T) {
+	// The memoized midpoints must match the original math.Pow formula.
+	for _, b := range []int{0, 1, 100, 500, numBuckets - 1} {
+		want := time.Duration(math.Pow(growth, float64(b)+0.5))
+		if got := bucketValue(b); got != want {
+			t.Errorf("bucketValue(%d) = %v, want %v", b, got, want)
+		}
+	}
+	// Durations beyond the last bucket clamp instead of panicking.
+	var h Histogram
+	h.Observe(100 * time.Hour)
+	h.Observe(time.Millisecond)
+	if h.Max() != 100*time.Hour {
+		t.Errorf("max = %v", h.Max())
+	}
+	if p := h.Percentile(100); p != 100*time.Hour {
+		t.Errorf("p100 = %v, want exact max", p)
 	}
 }
 

@@ -142,6 +142,30 @@ func (t *Table) index(column string) *hashIndex {
 
 func (t *Table) resource(pk string) string { return t.name + "/" + pk }
 
+// chainOf returns the row's version chain, creating it (with its
+// interned lock key) on first use so the lock path never rebuilds the
+// resource string.
+func (t *Table) chainOf(pk string) *txn.Chain[mmvalue.Value] {
+	chain, _ := t.rows.GetOrInsert(pk, func() *txn.Chain[mmvalue.Value] {
+		return &txn.Chain[mmvalue.Value]{Res: txn.NewResourceKey(t.resource(pk))}
+	})
+	return chain
+}
+
+// lockRow exclusively locks pk's record, preferring the interned key.
+// When the record does not exist it locks a fresh key and re-checks —
+// the row may have been inserted by a transaction the lock waited on.
+func (t *Table) lockRow(tx *txn.Tx, pk string) (*txn.Chain[mmvalue.Value], bool, error) {
+	if chain, ok := t.rows.Get(pk); ok {
+		return chain, true, tx.LockExclusiveKey(chain.Res)
+	}
+	if err := tx.LockExclusive(t.resource(pk)); err != nil {
+		return nil, false, err
+	}
+	chain, ok := t.rows.Get(pk)
+	return chain, ok, nil
+}
+
 func (t *Table) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
 	if tx != nil {
 		return fn(tx)
@@ -174,12 +198,10 @@ func (t *Table) Insert(tx *txn.Tx, row mmvalue.Value) error {
 		return err
 	}
 	return t.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+		chain := t.chainOf(pk)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
 			return err
 		}
-		chain, _ := t.rows.GetOrInsert(pk, func() *txn.Chain[mmvalue.Value] {
-			return &txn.Chain[mmvalue.Value]{}
-		})
 		if _, exists := chain.Read(t.mgr.Oracle().Current(), tx.ID()); exists {
 			return fmt.Errorf("relational %s: duplicate primary key %v", t.name, pk)
 		}
@@ -227,10 +249,10 @@ func (t *Table) Get(tx *txn.Tx, pkValue any) (mmvalue.Value, bool) {
 func (t *Table) Update(tx *txn.Tx, pkValue any, fn func(row mmvalue.Value) (mmvalue.Value, error)) error {
 	pk := EncodeKey(mmvalue.From(pkValue))
 	return t.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+		chain, ok, err := t.lockRow(tx, pk)
+		if err != nil {
 			return err
 		}
-		chain, ok := t.rows.Get(pk)
 		if !ok {
 			return fmt.Errorf("relational %s: no row with key %v", t.name, pkValue)
 		}
@@ -267,10 +289,10 @@ func (t *Table) Update(tx *txn.Tx, pkValue any, fn func(row mmvalue.Value) (mmva
 func (t *Table) Delete(tx *txn.Tx, pkValue any) error {
 	pk := EncodeKey(mmvalue.From(pkValue))
 	return t.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(t.resource(pk)); err != nil {
+		chain, ok, err := t.lockRow(tx, pk)
+		if err != nil {
 			return err
 		}
-		chain, ok := t.rows.Get(pk)
 		if !ok {
 			return nil
 		}

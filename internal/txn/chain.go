@@ -12,6 +12,11 @@ import (
 // The zero Chain is empty and ready to use. Chain is safe for
 // concurrent readers and one writer (the lock holder).
 type Chain[T any] struct {
+	// Res is the record's interned lock-table key, set once by the
+	// owning store when the record is created (before the chain is
+	// shared) so the lock path never rebuilds the resource string.
+	Res ResourceKey
+
 	mu       sync.RWMutex
 	versions []version[T]
 }

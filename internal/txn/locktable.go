@@ -11,21 +11,62 @@ const (
 	lockExclusive
 )
 
+// numLockShards is the number of independent lock-table shards. Must be
+// a power of two (shard selection masks the key hash). 64 shards keep
+// the probability of two hot records colliding low while the per-shard
+// footprint stays tiny.
+const numLockShards = 64
+
+// ResourceKey is a precomputed lock-table key: the resource name plus
+// its shard assignment. Stores build one key per record when the record
+// is created and reuse it on every acquire, which keeps the lock path
+// free of string concatenation and hashing. Build with NewResourceKey;
+// the zero ResourceKey names the empty resource.
+type ResourceKey struct {
+	name  string
+	shard uint32
+}
+
+// NewResourceKey builds a key for the named resource. The name is the
+// identity: two keys with the same name always map to the same lock.
+func NewResourceKey(name string) ResourceKey {
+	return ResourceKey{name: name, shard: fnv32a(name) & (numLockShards - 1)}
+}
+
+// String returns the resource name.
+func (k ResourceKey) String() string { return k.name }
+
+// fnv32a is the 32-bit FNV-1a hash (inlined to avoid hash/fnv's
+// allocating Writer interface).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // lockTable implements strict two-phase locking over string-named
-// resources with deadlock detection on the wait-for graph. A single
-// mutex guards the whole table; waiters block on a shared condition
-// variable and re-evaluate grantability on every release. This is
-// deliberately simple and correct; lock hold times in the benchmark
-// dominate table overhead.
+// resources. The table is striped: entries are sharded by resource-key
+// hash, each shard with its own mutex and condition variable, so
+// acquires of unrelated resources never contend and a release only
+// wakes waiters in its own shard. Deadlock detection runs on a single
+// cross-shard wait-for graph guarded by a small dedicated detector
+// lock; the uncontended fast path (grant without waiting) never touches
+// it.
 type lockTable struct {
+	shards [numLockShards]lockShard
+	det    detector
+}
+
+type lockShard struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries map[string]*lockEntry
-	// waitsFor[a] = set of txIDs that a is currently waiting on.
-	waitsFor map[uint64]map[uint64]struct{}
-	// aborted marks waiters chosen as deadlock victims so they stop
-	// waiting and return ErrDeadlock.
-	aborted map[uint64]struct{}
+	// free recycles emptied entries so steady-state acquire/release on
+	// a working set performs zero allocations.
+	free []*lockEntry
 }
 
 type lockEntry struct {
@@ -34,77 +75,138 @@ type lockEntry struct {
 	waiters int
 }
 
+// detector owns the cross-shard deadlock state: the wait-for graph,
+// the set of chosen victims, and which shard each waiter sleeps on
+// (so a victim picked from another shard can be woken). Its mutex is a
+// leaf: it is taken while holding at most one shard mutex and never the
+// other way around.
+type detector struct {
+	mu sync.Mutex
+	// waitsFor[a] = set of txIDs that a is currently waiting on.
+	waitsFor map[uint64]map[uint64]struct{}
+	// aborted marks waiters chosen as deadlock victims so they stop
+	// waiting and return ErrDeadlock.
+	aborted map[uint64]struct{}
+	// waitShard records the shard each waiting transaction blocks on.
+	waitShard map[uint64]*lockShard
+}
+
 func newLockTable() *lockTable {
 	lt := &lockTable{
-		entries:  make(map[string]*lockEntry),
-		waitsFor: make(map[uint64]map[uint64]struct{}),
-		aborted:  make(map[uint64]struct{}),
+		det: detector{
+			waitsFor:  make(map[uint64]map[uint64]struct{}),
+			aborted:   make(map[uint64]struct{}),
+			waitShard: make(map[uint64]*lockShard),
+		},
 	}
-	lt.cond = sync.NewCond(&lt.mu)
+	for i := range lt.shards {
+		s := &lt.shards[i]
+		s.entries = make(map[string]*lockEntry)
+		s.cond = sync.NewCond(&s.mu)
+	}
 	return lt
 }
 
-// acquire blocks until the lock is granted or the caller is chosen as a
-// deadlock victim. It returns (true, nil) when a new lock was granted,
-// (false, nil) when the transaction already held a sufficient lock, and
-// (false, ErrDeadlock) when aborted.
-func (lt *lockTable) acquire(txID uint64, resource string, mode lockMode) (bool, error) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
+func (s *lockShard) newEntry() *lockEntry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &lockEntry{holders: make(map[uint64]lockMode, 2)}
+}
 
-	e := lt.entries[resource]
-	if e == nil {
-		e = &lockEntry{holders: make(map[uint64]lockMode)}
-		lt.entries[resource] = e
+func (s *lockShard) recycle(e *lockEntry) {
+	clear(e.holders)
+	if len(s.free) < 128 {
+		s.free = append(s.free, e)
 	}
-	if held, ok := e.holders[txID]; ok {
-		if held == lockExclusive || mode == lockShared {
-			return false, nil // already sufficient
-		}
-		// Upgrade S -> X: wait until we are the only holder.
-	}
+}
+
+// acquire blocks until the lock is granted or the caller is chosen as a
+// deadlock victim. It returns granted=true when a new lock was granted
+// and granted=false when the transaction already held a sufficient
+// lock; waited reports whether the call ever blocked (and therefore
+// registered state in the detector). On deadlock it returns
+// ErrDeadlock; the caller must abort the transaction.
+func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode) (granted, waited bool, err error) {
+	s := &lt.shards[key.shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
 	for {
-		// Refresh our wait edges each retry so released blockers do
-		// not linger in the graph and cause spurious victims.
-		lt.clearWaits(txID)
-		if _, victim := lt.aborted[txID]; victim {
-			delete(lt.aborted, txID)
-			return false, ErrDeadlock
+		if waited {
+			// Refresh our wait edges each retry so released blockers do
+			// not linger in the graph and cause spurious victims, and
+			// honor a victim marking before re-checking grantability.
+			// A transaction that never waited has no detector state, so
+			// the fast path skips the detector lock entirely.
+			lt.det.clearWaits(txID)
+			if lt.det.consumeAborted(txID) {
+				return false, true, ErrDeadlock
+			}
 		}
-		if lt.grantable(e, txID, mode) {
+		e := s.entries[key.name]
+		if e == nil {
+			// No holders: grant immediately on a fresh (or recycled)
+			// entry. The entry can be missing even after waiting (the
+			// last holder released while our shard mutex was dropped to
+			// signal a victim), so detector state still needs clearing.
+			e = s.newEntry()
+			s.entries[key.name] = e
 			e.holders[txID] = mode
-			lt.clearWaits(txID)
-			return true, nil
+			if waited {
+				lt.det.onGrant(txID)
+			}
+			return true, waited, nil
+		}
+		if held, ok := e.holders[txID]; ok {
+			if held == lockExclusive || mode == lockShared {
+				return false, waited, nil // already sufficient
+			}
+			// Upgrade S -> X: wait until we are the only holder.
+		}
+		if grantable(e, txID, mode) {
+			e.holders[txID] = mode
+			if waited {
+				lt.det.onGrant(txID)
+			}
+			return true, waited, nil
 		}
 		// Record wait edges to every conflicting holder, then check
 		// whether that closed a cycle.
-		blockers := lt.conflictingHolders(e, txID, mode)
-		w := lt.waitsFor[txID]
-		if w == nil {
-			w = make(map[uint64]struct{})
-			lt.waitsFor[txID] = w
+		blockers := conflictingHolders(e, txID, mode)
+		victimShard, self, mark := lt.det.addWaitsAndDetect(txID, blockers, s)
+		waited = true
+		if self {
+			return false, true, ErrDeadlock
 		}
-		for _, b := range blockers {
-			w[b] = struct{}{}
-		}
-		if victim, found := lt.findCycleVictim(txID); found {
-			if victim == txID {
-				delete(lt.aborted, txID) // in case marked
-				lt.clearWaits(txID)
-				return false, ErrDeadlock
+		if mark {
+			if victimShard == s {
+				s.cond.Broadcast()
+			} else if victimShard != nil {
+				// The victim sleeps on another shard's condition
+				// variable. Its shard mutex must be held while
+				// broadcasting (otherwise the wake-up can race the
+				// victim's own Wait and be lost), and shard mutexes are
+				// never nested — so drop ours, signal, retake, and
+				// re-evaluate from scratch.
+				s.mu.Unlock()
+				victimShard.mu.Lock()
+				victimShard.cond.Broadcast()
+				victimShard.mu.Unlock()
+				s.mu.Lock()
+				continue
 			}
-			lt.aborted[victim] = struct{}{}
-			lt.cond.Broadcast()
 		}
 		e.waiters++
-		lt.cond.Wait()
+		s.cond.Wait()
 		e.waiters--
 	}
 }
 
 // grantable reports whether txID may take the lock in mode right now.
-func (lt *lockTable) grantable(e *lockEntry, txID uint64, mode lockMode) bool {
+func grantable(e *lockEntry, txID uint64, mode lockMode) bool {
 	for holder, hm := range e.holders {
 		if holder == txID {
 			continue
@@ -116,7 +218,7 @@ func (lt *lockTable) grantable(e *lockEntry, txID uint64, mode lockMode) bool {
 	return true
 }
 
-func (lt *lockTable) conflictingHolders(e *lockEntry, txID uint64, mode lockMode) []uint64 {
+func conflictingHolders(e *lockEntry, txID uint64, mode lockMode) []uint64 {
 	var out []uint64
 	for holder, hm := range e.holders {
 		if holder == txID {
@@ -129,11 +231,116 @@ func (lt *lockTable) conflictingHolders(e *lockEntry, txID uint64, mode lockMode
 	return out
 }
 
+// release drops the given locks held by txID, waking only the affected
+// shards, and clears the transaction's detector state when it ever
+// waited. held may contain duplicates (S->X upgrades record the
+// resource twice); the extra passes are harmless.
+func (lt *lockTable) release(txID uint64, held []ResourceKey, waited bool) {
+	for _, k := range held {
+		s := &lt.shards[k.shard]
+		s.mu.Lock()
+		if e := s.entries[k.name]; e != nil {
+			if _, ok := e.holders[txID]; ok {
+				delete(e.holders, txID)
+				if len(e.holders) == 0 && e.waiters == 0 {
+					delete(s.entries, k.name)
+					s.recycle(e)
+				}
+			}
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+	if waited {
+		lt.det.clearTx(txID)
+	}
+}
+
+// --- detector ---
+
+// addWaitsAndDetect records txID's wait edges to blockers (noting the
+// shard it will sleep on), then searches for a cycle. It returns
+// self=true when txID itself is the victim (its detector state is
+// already cleared), or mark=true with the victim's wait shard when
+// another transaction was newly marked and its shard must be signalled.
+// An already-marked victim is not re-signalled (mark=false), so a
+// retrying waiter cannot busy-spin on a cycle that is being torn down.
+func (d *detector) addWaitsAndDetect(txID uint64, blockers []uint64, s *lockShard) (victimShard *lockShard, self, mark bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.waitsFor[txID]
+	if w == nil {
+		w = make(map[uint64]struct{})
+		d.waitsFor[txID] = w
+	}
+	for _, b := range blockers {
+		w[b] = struct{}{}
+	}
+	d.waitShard[txID] = s
+	victim, found := d.findCycleVictim(txID)
+	if !found {
+		return nil, false, false
+	}
+	if victim == txID {
+		delete(d.aborted, txID) // in case marked
+		delete(d.waitsFor, txID)
+		delete(d.waitShard, txID)
+		return nil, true, false
+	}
+	if _, already := d.aborted[victim]; already {
+		return nil, false, false
+	}
+	d.aborted[victim] = struct{}{}
+	return d.waitShard[victim], false, true
+}
+
+// clearWaits removes txID's outgoing wait edges; incoming edges from
+// other waiters are refreshed when they retry.
+func (d *detector) clearWaits(txID uint64) {
+	d.mu.Lock()
+	delete(d.waitsFor, txID)
+	delete(d.waitShard, txID)
+	d.mu.Unlock()
+}
+
+// consumeAborted reports (and clears) a victim marking.
+func (d *detector) consumeAborted(txID uint64) bool {
+	d.mu.Lock()
+	_, victim := d.aborted[txID]
+	if victim {
+		delete(d.aborted, txID)
+	}
+	d.mu.Unlock()
+	return victim
+}
+
+// onGrant clears all detector state of a transaction whose lock was
+// just granted. A granted transaction cannot sit on a genuine cycle (a
+// true blocker can never release while itself blocked), so discarding a
+// concurrent victim marking here is safe and prevents a stale flag from
+// spuriously killing the transaction's next acquire.
+func (d *detector) onGrant(txID uint64) {
+	d.mu.Lock()
+	delete(d.waitsFor, txID)
+	delete(d.waitShard, txID)
+	delete(d.aborted, txID)
+	d.mu.Unlock()
+}
+
+// clearTx drops every trace of txID at transaction end.
+func (d *detector) clearTx(txID uint64) {
+	d.mu.Lock()
+	delete(d.waitsFor, txID)
+	delete(d.waitShard, txID)
+	delete(d.aborted, txID)
+	d.mu.Unlock()
+}
+
 // findCycleVictim searches the wait-for graph for a cycle reachable
 // from start and returns the youngest (highest-ID) transaction on the
 // cycle as the victim. Higher ID means started later, so less work is
-// wasted.
-func (lt *lockTable) findCycleVictim(start uint64) (victim uint64, found bool) {
+// wasted. Callers hold d.mu.
+func (d *detector) findCycleVictim(start uint64) (victim uint64, found bool) {
 	// Iterative DFS tracking the path to recover cycle membership.
 	type frame struct {
 		node uint64
@@ -143,7 +350,7 @@ func (lt *lockTable) findCycleVictim(start uint64) (victim uint64, found bool) {
 	var path []uint64
 	push := func(n uint64) frame {
 		var succ []uint64
-		for s := range lt.waitsFor[n] {
+		for s := range d.waitsFor[n] {
 			succ = append(succ, s)
 		}
 		onPath[n] = true
@@ -175,33 +382,9 @@ func (lt *lockTable) findCycleVictim(start uint64) (victim uint64, found bool) {
 			}
 			return victim, true
 		}
-		if _, hasEdges := lt.waitsFor[n]; hasEdges {
+		if _, hasEdges := d.waitsFor[n]; hasEdges {
 			stack = append(stack, push(n))
 		}
 	}
 	return 0, false
-}
-
-// releaseAll drops every lock held by txID and clears its wait state.
-func (lt *lockTable) releaseAll(txID uint64) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	for res, e := range lt.entries {
-		if _, ok := e.holders[txID]; ok {
-			delete(e.holders, txID)
-			if len(e.holders) == 0 && e.waiters == 0 {
-				delete(lt.entries, res)
-			}
-		}
-	}
-	lt.clearWaits(txID)
-	delete(lt.aborted, txID)
-	lt.cond.Broadcast()
-}
-
-// clearWaits removes txID's outgoing wait edges and any incoming edges
-// pointing at it from the wait-for graph bookkeeping of *other* waiters
-// are refreshed when they retry.
-func (lt *lockTable) clearWaits(txID uint64) {
-	delete(lt.waitsFor, txID)
 }

@@ -75,9 +75,7 @@ type Manager struct {
 	oracle Oracle
 	locks  *lockTable
 	nextID atomic.Uint64
-
-	mu     sync.Mutex
-	active map[uint64]*Tx
+	active atomic.Int64
 
 	// commitMu makes the commit point atomic with respect to snapshot
 	// acquisition: Commit stamps every written version chain while
@@ -92,10 +90,7 @@ type Manager struct {
 
 // NewManager returns a ready Manager.
 func NewManager() *Manager {
-	return &Manager{
-		locks:  newLockTable(),
-		active: make(map[uint64]*Tx),
-	}
+	return &Manager{locks: newLockTable()}
 }
 
 // Begin starts a transaction with a snapshot at the current timestamp.
@@ -108,9 +103,7 @@ func (m *Manager) Begin() *Tx {
 		beginTS: beginTS,
 		mgr:     m,
 	}
-	m.mu.Lock()
-	m.active[tx.id] = tx
-	m.mu.Unlock()
+	m.active.Add(1)
 	return tx
 }
 
@@ -125,9 +118,7 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 
 // ActiveCount returns the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.active)
+	return int(m.active.Load())
 }
 
 // Tx is a single transaction. A Tx is not safe for concurrent use by
@@ -140,7 +131,10 @@ type Tx struct {
 
 	undo       []func()
 	commitHook []func(TS)
-	heldLocks  []string
+	heldLocks  []ResourceKey
+	// waited records whether any acquire ever blocked; only then does
+	// transaction end need to visit the deadlock detector.
+	waited bool
 }
 
 // ID returns the transaction's unique identifier.
@@ -158,36 +152,44 @@ func (tx *Tx) Active() bool { return tx.status == StatusActive }
 // LockExclusive acquires an exclusive lock on the named resource,
 // blocking until granted. If waiting would close a cycle in the
 // wait-for graph the transaction is aborted and ErrDeadlock returned.
-// Locks are held until Commit or Abort (strict 2PL).
+// Locks are held until Commit or Abort (strict 2PL). Hot paths should
+// prefer LockExclusiveKey with a precomputed ResourceKey.
 func (tx *Tx) LockExclusive(resource string) error {
-	if tx.status != StatusActive {
-		return ErrTxClosed
-	}
-	granted, err := tx.mgr.locks.acquire(tx.id, resource, lockExclusive)
-	if err != nil {
-		tx.Abort()
-		return err
-	}
-	if granted {
-		tx.heldLocks = append(tx.heldLocks, resource)
-	}
-	return nil
+	return tx.lock(NewResourceKey(resource), lockExclusive)
+}
+
+// LockExclusiveKey is LockExclusive over a precomputed key; with an
+// interned key the acquire path performs no allocations.
+func (tx *Tx) LockExclusiveKey(key ResourceKey) error {
+	return tx.lock(key, lockExclusive)
 }
 
 // LockShared acquires a shared lock on the named resource. Shared locks
 // are only used by the optional serializable read mode; snapshot reads
 // do not lock.
 func (tx *Tx) LockShared(resource string) error {
+	return tx.lock(NewResourceKey(resource), lockShared)
+}
+
+// LockSharedKey is LockShared over a precomputed key.
+func (tx *Tx) LockSharedKey(key ResourceKey) error {
+	return tx.lock(key, lockShared)
+}
+
+func (tx *Tx) lock(key ResourceKey, mode lockMode) error {
 	if tx.status != StatusActive {
 		return ErrTxClosed
 	}
-	granted, err := tx.mgr.locks.acquire(tx.id, resource, lockShared)
+	granted, waited, err := tx.mgr.locks.acquire(tx.id, key, mode)
+	if waited {
+		tx.waited = true
+	}
 	if err != nil {
 		tx.Abort()
 		return err
 	}
 	if granted {
-		tx.heldLocks = append(tx.heldLocks, resource)
+		tx.heldLocks = append(tx.heldLocks, key)
 	}
 	return nil
 }
@@ -236,13 +238,11 @@ func (tx *Tx) Abort() {
 }
 
 func (tx *Tx) finish() {
-	tx.mgr.locks.releaseAll(tx.id)
+	tx.mgr.locks.release(tx.id, tx.heldLocks, tx.waited)
 	tx.heldLocks = nil
 	tx.undo = nil
 	tx.commitHook = nil
-	tx.mgr.mu.Lock()
-	delete(tx.mgr.active, tx.id)
-	tx.mgr.mu.Unlock()
+	tx.mgr.active.Add(-1)
 }
 
 // RunWith executes fn inside a fresh transaction, committing on nil and

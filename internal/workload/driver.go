@@ -59,6 +59,20 @@ type DriverConfig struct {
 	Seed uint64
 }
 
+// workerRecorder is the per-client measurement state of one RunMix
+// worker. Each worker owns its recorder exclusively for the whole run,
+// so recording an operation never takes a lock another worker can
+// contend on; the driver merges recorders only after every worker has
+// finished. This keeps the measurement harness itself off the scaling
+// path it is measuring.
+type workerRecorder struct {
+	latency metrics.Histogram
+	perOp   []metrics.Histogram // index-aligned with the mix
+	ops     int64
+	errs    int64
+	aborts  int64
+}
+
 // RunMix drives the weighted mix against an engine and returns
 // aggregate metrics. Abort-class errors (deadlock, 2PC crash) are
 // counted but do not stop the run; other errors are counted as Errors.
@@ -73,8 +87,15 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	for _, m := range mix {
 		totalWeight += m.Weight
 	}
+	// A nil engine is allowed: the mix items carry their own Run
+	// closures, which is how driver-level tests exercise RunMix with
+	// synthetic operations.
+	name := "synthetic"
+	if e != nil {
+		name = e.Name()
+	}
 	res := Result{
-		Engine:  e.Name(),
+		Engine:  name,
 		Clients: cfg.Clients,
 		Latency: &metrics.Histogram{},
 		PerOp:   make(map[string]*metrics.Histogram, len(mix)),
@@ -82,36 +103,38 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	for _, m := range mix {
 		res.PerOp[m.Name] = &metrics.Histogram{}
 	}
-	var ops, errs, aborts atomic.Int64
+	recs := make([]workerRecorder, cfg.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
+			rec := &recs[client]
+			rec.perOp = make([]metrics.Histogram, len(mix))
 			gen := NewParamGen(info, cfg.Seed+uint64(client)*7919, cfg.Theta)
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				p := gen.Next()
 				p.FreshID = gen.NewOrderID(client, i)
 				pick := gen.rng.Intn(totalWeight)
-				var item MixItem
-				for _, m := range mix {
+				idx := 0
+				for j, m := range mix {
 					if pick < m.Weight {
-						item = m
+						idx = j
 						break
 					}
 					pick -= m.Weight
 				}
 				t0 := time.Now()
-				err := item.Run(p)
+				err := mix[idx].Run(p)
 				d := time.Since(t0)
-				ops.Add(1)
-				res.Latency.Observe(d)
-				res.PerOp[item.Name].Observe(d)
+				rec.ops++
+				rec.latency.Observe(d)
+				rec.perOp[idx].Observe(d)
 				if err != nil {
-					errs.Add(1)
+					rec.errs++
 					if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, federation.ErrCoordinatorCrash) {
-						aborts.Add(1)
+						rec.aborts++
 					}
 				}
 			}
@@ -119,9 +142,16 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	res.Ops = ops.Load()
-	res.Errors = errs.Load()
-	res.Aborts = aborts.Load()
+	for c := range recs {
+		rec := &recs[c]
+		res.Ops += rec.ops
+		res.Errors += rec.errs
+		res.Aborts += rec.aborts
+		res.Latency.Merge(&rec.latency)
+		for j, m := range mix {
+			res.PerOp[m.Name].Merge(&rec.perOp[j])
+		}
+	}
 	res.Throughput = metrics.Throughput(res.Ops, res.Elapsed)
 	return res
 }

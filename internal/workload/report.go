@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"udbench/internal/metrics"
+)
+
+// OpSummary is the machine-readable digest of one operation class in a
+// mix run. Durations are nanoseconds so the file diffs cleanly across
+// runs.
+type OpSummary struct {
+	Name   string        `json:"name"`
+	Count  int64         `json:"count"`
+	MeanNS time.Duration `json:"mean_ns"`
+	P50NS  time.Duration `json:"p50_ns"`
+	P95NS  time.Duration `json:"p95_ns"`
+	P99NS  time.Duration `json:"p99_ns"`
+	MaxNS  time.Duration `json:"max_ns"`
+}
+
+// RunSummary is the machine-readable digest of one RunMix result,
+// written by `udbench mix -json` so successive PRs can track a
+// BENCH_*.json perf trajectory.
+type RunSummary struct {
+	Engine     string        `json:"engine"`
+	Clients    int           `json:"clients"`
+	Ops        int64         `json:"ops"`
+	Errors     int64         `json:"errors"`
+	Aborts     int64         `json:"aborts"`
+	ElapsedNS  time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"throughput_ops_per_sec"`
+	P50NS      time.Duration `json:"p50_ns"`
+	P95NS      time.Duration `json:"p95_ns"`
+	P99NS      time.Duration `json:"p99_ns"`
+	PerOp      []OpSummary   `json:"per_op"`
+}
+
+func opSummary(name string, h *metrics.Histogram) OpSummary {
+	return OpSummary{
+		Name:   name,
+		Count:  h.Count(),
+		MeanNS: h.Mean(),
+		P50NS:  h.Percentile(50),
+		P95NS:  h.Percentile(95),
+		P99NS:  h.Percentile(99),
+		MaxNS:  h.Max(),
+	}
+}
+
+// Summary converts a Result into its machine-readable form, with
+// per-op entries sorted by name for stable output.
+func (r Result) Summary() RunSummary {
+	s := RunSummary{
+		Engine:     r.Engine,
+		Clients:    r.Clients,
+		Ops:        r.Ops,
+		Errors:     r.Errors,
+		Aborts:     r.Aborts,
+		ElapsedNS:  r.Elapsed,
+		Throughput: r.Throughput,
+		P50NS:      r.Latency.Percentile(50),
+		P95NS:      r.Latency.Percentile(95),
+		P99NS:      r.Latency.Percentile(99),
+	}
+	names := make([]string, 0, len(r.PerOp))
+	for name := range r.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.PerOp = append(s.PerOp, opSummary(name, r.PerOp[name]))
+	}
+	return s
+}

@@ -29,6 +29,30 @@ func (s *Store) Manager() *txn.Manager { return s.mgr }
 
 func (s *Store) resource(id string) string { return s.name + "/" + id }
 
+// chainOf returns the document's version chain, creating it (with its
+// interned lock key) on first use so the lock path never rebuilds the
+// resource string.
+func (s *Store) chainOf(id string) *txn.Chain[*Node] {
+	chain, _ := s.docs.GetOrInsert(id, func() *txn.Chain[*Node] {
+		return &txn.Chain[*Node]{Res: txn.NewResourceKey(s.resource(id))}
+	})
+	return chain
+}
+
+// lockDoc exclusively locks id's record, preferring the interned key.
+// When the record does not exist it locks a fresh key and re-checks —
+// the id may have been inserted by a transaction the lock waited on.
+func (s *Store) lockDoc(tx *txn.Tx, id string) (*txn.Chain[*Node], bool, error) {
+	if chain, ok := s.docs.Get(id); ok {
+		return chain, true, tx.LockExclusiveKey(chain.Res)
+	}
+	if err := tx.LockExclusive(s.resource(id)); err != nil {
+		return nil, false, err
+	}
+	chain, ok := s.docs.Get(id)
+	return chain, ok, nil
+}
+
 func (s *Store) run(tx *txn.Tx, fn func(*txn.Tx) error) error {
 	if tx != nil {
 		return fn(tx)
@@ -45,12 +69,10 @@ func (s *Store) Put(tx *txn.Tx, id string, doc *Node) error {
 		return fmt.Errorf("xmlstore %s: document root must be an element", s.name)
 	}
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.resource(id)); err != nil {
+		chain := s.chainOf(id)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
 			return err
 		}
-		chain, _ := s.docs.GetOrInsert(id, func() *txn.Chain[*Node] {
-			return &txn.Chain[*Node]{}
-		})
 		chain.Write(tx.ID(), doc.Clone(), false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
@@ -75,10 +97,10 @@ func (s *Store) Get(tx *txn.Tx, id string) (*Node, bool) {
 // result.
 func (s *Store) Update(tx *txn.Tx, id string, fn func(doc *Node) (*Node, error)) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.resource(id)); err != nil {
+		chain, ok, err := s.lockDoc(tx, id)
+		if err != nil {
 			return err
 		}
-		chain, ok := s.docs.Get(id)
 		if !ok {
 			return fmt.Errorf("xmlstore %s: no document %q", s.name, id)
 		}
@@ -103,10 +125,10 @@ func (s *Store) Update(tx *txn.Tx, id string, fn func(doc *Node) (*Node, error))
 // Delete tombstones the document; deleting a missing id is a no-op.
 func (s *Store) Delete(tx *txn.Tx, id string) error {
 	return s.run(tx, func(tx *txn.Tx) error {
-		if err := tx.LockExclusive(s.resource(id)); err != nil {
+		chain, ok, err := s.lockDoc(tx, id)
+		if err != nil {
 			return err
 		}
-		chain, ok := s.docs.Get(id)
 		if !ok {
 			return nil
 		}
