@@ -76,9 +76,12 @@ run/generate flags:
   -json F    also write results to F as JSON
 
 mix flags (plus -sf/-seed/-hop/-json):
-  -clients N number of closed-loop clients (default 4)
+  -clients N number of driver workers (default 4)
   -ops N     operations per client (default 200)
   -theta T   Zipf parameter skew (default 0.5)
+  -mode M    load model: closed (default) or open
+  -rate R    open-loop target arrival rate in ops/s (default 1000)
+  -arrival A open-loop arrival process: poisson (default) or fixed
 `)
 }
 
@@ -185,12 +188,42 @@ func cmdMix(args []string) error {
 	sf := fs.Float64("sf", 0.2, "scale factor")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
-	clients := fs.Int("clients", 4, "closed-loop clients")
+	clients := fs.Int("clients", 4, "driver workers")
 	ops := fs.Int("ops", 200, "operations per client")
 	theta := fs.Float64("theta", 0.5, "Zipf parameter skew")
+	mode := fs.String("mode", "closed", "load model: closed or open")
+	rate := fs.Float64("rate", 1000, "open-loop target arrival rate (ops/s)")
+	arrival := fs.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var driverMode workload.DriverMode
+	switch *mode {
+	case "closed":
+		driverMode = workload.ModeClosed
+	case "open":
+		driverMode = workload.ModeOpen
+		if *rate <= 0 {
+			return fmt.Errorf("mix: -mode open needs a positive -rate, got %g", *rate)
+		}
+	default:
+		return fmt.Errorf("mix: unknown -mode %q (want closed or open)", *mode)
+	}
+	var arrivalProc workload.ArrivalProcess
+	switch *arrival {
+	case "poisson":
+		arrivalProc = workload.ArrivalPoisson
+	case "fixed":
+		arrivalProc = workload.ArrivalFixed
+	default:
+		return fmt.Errorf("mix: unknown -arrival %q (want poisson or fixed)", *arrival)
+	}
+	// No arrival process exists in closed-loop mode; the JSON mirrors
+	// that with "" the same way rate_ops_per_sec uses 0.
+	arrivalName := ""
+	if driverMode == workload.ModeOpen {
+		arrivalName = arrivalProc.String()
 	}
 	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
 	db := udbms.Open()
@@ -207,30 +240,59 @@ func cmdMix(args []string) error {
 		return err
 	}
 	info := workload.InfoOf(ds)
-	cfg := workload.DriverConfig{Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed}
+	cfg := workload.DriverConfig{
+		Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed,
+		Mode: driverMode, RateOpsPerSec: *rate, Arrival: arrivalProc,
+	}
 	var summaries []workload.RunSummary
-	t := metrics.NewTable(
-		fmt.Sprintf("Standard mix, SF %g, %d clients x %d ops, theta %g", *sf, *clients, *ops, *theta),
-		"engine", "op", "count", "mean", "p50", "p95", "p99", "ops/s", "aborts")
+	title := fmt.Sprintf("Standard mix (%s loop), SF %g, %d clients x %d ops, theta %g",
+		driverMode, *sf, *clients, *ops, *theta)
+	if driverMode == workload.ModeOpen {
+		title += fmt.Sprintf(", %s arrivals @ %g ops/s", arrivalProc, *rate)
+	}
+	t := metrics.NewTable(title,
+		"engine", "op", "count", "mean", "p50", "p95", "p99", "int p99", "ops/s", "aborts")
+	lt := metrics.NewTable("Lock-table telemetry",
+		"engine", "acquires", "waits", "wait%", "wait time", "cycles", "victims")
 	for _, e := range []workload.Engine{workload.NewUDBMSEngine(db), workload.NewFederationEngine(f)} {
 		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
 		s := res.Summary()
 		summaries = append(summaries, s)
+		// Closed loops have no arrival schedule, so render the intended
+		// column not-measured ("") rather than as a zero latency.
+		intP99 := any("")
+		if driverMode == workload.ModeOpen {
+			intP99 = s.IntendedP99NS
+		}
 		t.AddRow(s.Engine, "all", s.Ops, res.Latency.Mean(), s.P50NS, s.P95NS, s.P99NS,
-			s.Throughput, s.Aborts)
+			intP99, s.Throughput, s.Aborts)
 		for _, op := range s.PerOp {
-			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, "", "")
+			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, "", "", "")
+		}
+		if ls := res.LockStats; ls != nil {
+			lt.AddRow(s.Engine, ls.Acquires, ls.Waits,
+				fmt.Sprintf("%.2f%%", 100*ls.WaitRate()), ls.WaitNS,
+				ls.Detector.Cycles, ls.Detector.Victims)
+		}
+		if driverMode == workload.ModeOpen {
+			fmt.Printf("%s: achieved %.1f of %g offered ops/s (%.1f%%)\n",
+				s.Engine, s.AchievedRate, *rate, 100*res.Rate.Achievement())
 		}
 	}
 	fmt.Print(t.String())
+	if lt.NumRows() > 0 {
+		fmt.Print(lt.String())
+	}
 	if *jsonPath != "" {
 		out := struct {
 			SF      float64               `json:"sf"`
 			Seed    uint64                `json:"seed"`
 			Theta   float64               `json:"theta"`
 			HopNS   time.Duration         `json:"hop_ns"`
+			Mode    string                `json:"mode"`
+			Arrival string                `json:"arrival"`
 			Results []workload.RunSummary `json:"results"`
-		}{*sf, *seed, *theta, *hop, summaries}
+		}{*sf, *seed, *theta, *hop, driverMode.String(), arrivalName, summaries}
 		if err := writeJSON(*jsonPath, out); err != nil {
 			return err
 		}

@@ -81,7 +81,25 @@
 //     timestamp assignment plus version stamping atomic with respect
 //     to Begin, so cross-model snapshots are never torn.
 //   - Measurement (internal/metrics, internal/workload): histograms
-//     use fixed-size logarithmic bucket arrays, and the closed-loop
-//     driver gives every worker a private recorder merged only after
-//     the run — recording an operation never takes a shared lock.
+//     use fixed-size logarithmic bucket arrays, and the driver gives
+//     every worker a private recorder merged only after the run —
+//     recording an operation never takes a shared lock.
+//   - Driver modes (internal/workload): the driver is closed-loop by
+//     default (each worker issues its next op when the previous one
+//     returns — deterministic per-client sequences, load throttled to
+//     the engine) and open-loop on request (DriverConfig.Mode), where
+//     an ArrivalSchedule pre-generates Poisson or fixed-interval
+//     arrival times at a target rate and a worker pool drains them.
+//     Open-loop ops record two latencies: service (start→done) and
+//     intended (scheduled arrival→done), so queueing delay behind a
+//     saturated engine is measured instead of omitted — the
+//     coordinated-omission fix. docs/BENCHMARKING.md covers the
+//     methodology.
+//   - Lock telemetry (internal/txn): every shard counts acquires,
+//     blocked acquires and blocked wall time under its existing mutex
+//     (nothing new on the fast path), and the deadlock detector counts
+//     cycle searches, cycles found and victims marked.
+//     Manager.LockStats() snapshots all of it; the driver reports the
+//     per-run delta through `udbench mix -json` so contention
+//     regressions are visible in the BENCH_*.json trajectory.
 package udbench

@@ -75,6 +75,17 @@ func Open() *Federation {
 	return f
 }
 
+// LockStats aggregates lock-table telemetry across the five per-store
+// managers (summed shard-by-index — each store has its own lock table,
+// so the per-shard rows describe the combined stripes, not one table).
+func (f *Federation) LockStats() txn.LockStats {
+	out := f.relMgr.LockStats()
+	for _, m := range []*txn.Manager{f.docMgr, f.graphMgr, f.kvMgr, f.xmlMgr} {
+		out = out.Merge(m.LockStats())
+	}
+	return out
+}
+
 // Hop simulates one network round trip to a store. Exported so
 // workloads can charge read paths explicitly.
 func (f *Federation) Hop() {

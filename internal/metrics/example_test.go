@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"udbench/internal/metrics"
+)
+
+// ExampleHistogram records a known latency ladder and reads exact
+// percentiles back (up to 64 observations the histogram keeps verbatim
+// samples, so small runs pay no bucketing error).
+func ExampleHistogram() {
+	var h metrics.Histogram
+	for ms := 1; ms <= 50; ms++ {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	fmt.Println(h.Count(), h.Percentile(50), h.Percentile(95), h.Max())
+	// Output: 50 25ms 48ms 50ms
+}
+
+// ExampleDualHistogram shows the coordinated-omission split: one
+// operation that ran for 1ms but sat queued for 9ms first records a
+// 1ms service latency and a 10ms intended latency.
+func ExampleDualHistogram() {
+	var d metrics.DualHistogram
+	d.Observe(1*time.Millisecond, 10*time.Millisecond)
+	fmt.Println(d.Service.Max(), d.Intended.Max())
+	// Output: 1ms 10ms
+}

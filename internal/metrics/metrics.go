@@ -265,6 +265,52 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += osum
 }
 
+// DualHistogram couples the two latencies of one coordinated-omission-
+// free measurement: Service is time from operation start to completion
+// (what the server did), Intended is time from the operation's
+// *scheduled* arrival to completion (what a client that issued requests
+// on schedule would have experienced, i.e. service time plus any queue
+// delay accrued while earlier operations overran their slots). Under an
+// open-loop driver at saturation the two diverge sharply — that
+// divergence is the coordinated-omission signal. The zero DualHistogram
+// is ready to use; like Histogram it is intended to be private to one
+// worker and merged after the run.
+type DualHistogram struct {
+	Service  Histogram
+	Intended Histogram
+}
+
+// Observe records one operation's service and intended latency.
+func (d *DualHistogram) Observe(service, intended time.Duration) {
+	d.Service.Observe(service)
+	d.Intended.Observe(intended)
+}
+
+// Merge folds other's observations into d.
+func (d *DualHistogram) Merge(other *DualHistogram) {
+	d.Service.Merge(&other.Service)
+	d.Intended.Merge(&other.Intended)
+}
+
+// Rate pairs the offered (requested) arrival rate of an open-loop run
+// with the rate the run actually sustained. Offered 0 means the run was
+// not rate-limited (closed loop).
+type Rate struct {
+	Offered  float64 // requested arrivals per second (0 = closed loop)
+	Achieved float64 // completed operations per second
+}
+
+// Achievement returns Achieved/Offered — 1.0 when the driver kept up
+// with the schedule, below 1.0 when the system under test (or the
+// driver machine) could not sustain the offered rate. A closed-loop
+// run (Offered 0) reports 1.
+func (r Rate) Achievement() float64 {
+	if r.Offered <= 0 {
+		return 1
+	}
+	return r.Achieved / r.Offered
+}
+
 // Table is a simple column-aligned result table with CSV export; the
 // harness renders every experiment through it.
 type Table struct {

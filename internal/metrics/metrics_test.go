@@ -247,3 +247,40 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+func TestDualHistogram(t *testing.T) {
+	var d DualHistogram
+	d.Observe(time.Millisecond, 5*time.Millisecond)
+	d.Observe(2*time.Millisecond, 2*time.Millisecond)
+	if d.Service.Count() != 2 || d.Intended.Count() != 2 {
+		t.Fatalf("counts = %d/%d, want 2/2", d.Service.Count(), d.Intended.Count())
+	}
+	if d.Service.Max() != 2*time.Millisecond || d.Intended.Max() != 5*time.Millisecond {
+		t.Errorf("max = %v/%v", d.Service.Max(), d.Intended.Max())
+	}
+	var other DualHistogram
+	other.Observe(3*time.Millisecond, 9*time.Millisecond)
+	d.Merge(&other)
+	if d.Service.Count() != 3 || d.Intended.Count() != 3 {
+		t.Errorf("merged counts = %d/%d, want 3/3", d.Service.Count(), d.Intended.Count())
+	}
+	if d.Intended.Max() != 9*time.Millisecond {
+		t.Errorf("merged intended max = %v, want 9ms", d.Intended.Max())
+	}
+}
+
+func TestRateAchievement(t *testing.T) {
+	cases := []struct {
+		rate Rate
+		want float64
+	}{
+		{Rate{Offered: 1000, Achieved: 500}, 0.5},
+		{Rate{Offered: 1000, Achieved: 1000}, 1},
+		{Rate{Offered: 0, Achieved: 12345}, 1}, // closed loop: no schedule to miss
+	}
+	for _, c := range cases {
+		if got := c.rate.Achievement(); got != c.want {
+			t.Errorf("Achievement(%+v) = %g, want %g", c.rate, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLockStatsCountsWaits pins the shard-level telemetry: a blocked
+// acquire increments exactly one shard's wait count and accrues
+// blocked wall time there, while the totals mirror the shard rows.
+func TestLockStatsCountsWaits(t *testing.T) {
+	m := NewManager()
+	key := NewResourceKey("contended")
+	tx1 := m.Begin()
+	if err := tx1.LockExclusiveKey(key); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := m.Begin()
+		err := tx2.LockExclusiveKey(key)
+		tx2.Abort()
+		done <- err
+	}()
+	waitFor(t, "tx2 to block", func() bool { return m.LockStats().Waits == 1 })
+	time.Sleep(5 * time.Millisecond) // accrue measurable blocked time
+	tx1.Abort()                      // release; tx2 gets the lock
+	if err := <-done; err != nil {
+		t.Fatalf("blocked acquire failed: %v", err)
+	}
+	s := m.LockStats()
+	if s.Acquires < 2 {
+		t.Errorf("acquires = %d, want >= 2", s.Acquires)
+	}
+	if s.Waits != 1 {
+		t.Errorf("waits = %d, want 1", s.Waits)
+	}
+	if s.WaitNS <= 0 {
+		t.Errorf("wait time = %v, want > 0", s.WaitNS)
+	}
+	if len(s.Shards) != 1 {
+		t.Fatalf("active shards = %d, want 1 (single resource)", len(s.Shards))
+	}
+	sh := s.Shards[0]
+	if sh.Acquires != s.Acquires || sh.Waits != s.Waits || sh.WaitNS != s.WaitNS {
+		t.Errorf("shard row %+v does not mirror totals %+v", sh, s)
+	}
+	if got := s.WaitRate(); got != float64(s.Waits)/float64(s.Acquires) {
+		t.Errorf("WaitRate() = %v", got)
+	}
+}
+
+// TestLockStatsDetectorCycle pins the detector telemetry: an AB-BA
+// deadlock records at least one search, one found cycle, and one
+// victim.
+func TestLockStatsDetectorCycle(t *testing.T) {
+	m := NewManager()
+	a, b := NewResourceKey("res-a"), NewResourceKey("res-b")
+	tx1, tx2 := m.Begin(), m.Begin()
+	if err := tx1.LockExclusiveKey(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.LockExclusiveKey(b); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() {
+		err := tx1.LockExclusiveKey(b)
+		if err == nil {
+			tx1.Abort()
+		}
+		errs <- err
+	}()
+	go func() {
+		err := tx2.LockExclusiveKey(a)
+		if err == nil {
+			tx2.Abort()
+		}
+		errs <- err
+	}()
+	e1, e2 := <-errs, <-errs
+	deadlocks := 0
+	for _, err := range []error{e1, e2} {
+		if errors.Is(err, ErrDeadlock) {
+			deadlocks++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 {
+		t.Fatalf("deadlock victims = %d, want exactly 1", deadlocks)
+	}
+	s := m.LockStats()
+	if s.Detector.Searches == 0 {
+		t.Error("detector ran no cycle searches")
+	}
+	if s.Detector.Cycles == 0 {
+		t.Error("detector found no cycles")
+	}
+	if s.Detector.Victims == 0 {
+		t.Error("detector marked no victims")
+	}
+	if s.Waits == 0 {
+		t.Error("no waits recorded for a deadlock that blocked both txns")
+	}
+}
+
+// TestLockStatsDelta verifies run-scoped telemetry: the delta of two
+// snapshots contains only the work between them, with quiet shards
+// dropped.
+func TestLockStatsDelta(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if err := tx.LockExclusive("warmup"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	before := m.LockStats()
+
+	tx2 := m.Begin()
+	if err := tx2.LockExclusive("fresh-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.LockExclusive("fresh-2"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	d := m.LockStats().Delta(before)
+	if d.Acquires != 2 {
+		t.Errorf("delta acquires = %d, want 2", d.Acquires)
+	}
+	if d.Waits != 0 || d.WaitNS != 0 {
+		t.Errorf("uncontended delta reports waits: %+v", d)
+	}
+	var shardAcquires uint64
+	for _, sh := range d.Shards {
+		shardAcquires += sh.Acquires
+	}
+	if shardAcquires != 2 {
+		t.Errorf("delta shard acquires sum to %d, want 2", shardAcquires)
+	}
+	// The warmup shard must not reappear with zero counters.
+	warm := NewResourceKey("warmup")
+	f1, f2 := NewResourceKey("fresh-1"), NewResourceKey("fresh-2")
+	for _, sh := range d.Shards {
+		if uint32(sh.Shard) == warm.shard && warm.shard != f1.shard && warm.shard != f2.shard {
+			t.Errorf("quiet warmup shard %d present in delta", sh.Shard)
+		}
+	}
+}
+
+// TestLockStatsMerge verifies cross-manager aggregation (the
+// federation's five lock tables fold into one snapshot).
+func TestLockStatsMerge(t *testing.T) {
+	m1, m2 := NewManager(), NewManager()
+	for _, m := range []*Manager{m1, m2} {
+		tx := m.Begin()
+		if err := tx.LockExclusive("x"); err != nil {
+			t.Fatal(err)
+		}
+		tx.Abort()
+	}
+	sum := m1.LockStats().Merge(m2.LockStats())
+	if sum.Acquires != 2 {
+		t.Errorf("merged acquires = %d, want 2", sum.Acquires)
+	}
+	// "x" hashes to the same shard in both tables, so the merged
+	// snapshot has one shard row with both acquires.
+	if len(sum.Shards) != 1 || sum.Shards[0].Acquires != 2 {
+		t.Errorf("merged shards = %+v, want one row with 2 acquires", sum.Shards)
+	}
+}

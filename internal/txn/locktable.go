@@ -2,6 +2,7 @@ package txn
 
 import (
 	"sync"
+	"time"
 )
 
 type lockMode uint8
@@ -67,6 +68,11 @@ type lockShard struct {
 	// free recycles emptied entries so steady-state acquire/release on
 	// a working set performs zero allocations.
 	free []*lockEntry
+	// Telemetry, guarded by mu (no extra synchronization on the fast
+	// path — the shard mutex is already held wherever these change).
+	acquires uint64        // acquire calls routed to this shard
+	waits    uint64        // acquires that blocked at least once
+	waitTime time.Duration // wall time spent asleep in cond.Wait (awake retry work excluded)
 }
 
 type lockEntry struct {
@@ -89,6 +95,10 @@ type detector struct {
 	aborted map[uint64]struct{}
 	// waitShard records the shard each waiting transaction blocks on.
 	waitShard map[uint64]*lockShard
+	// Telemetry, guarded by mu.
+	searches uint64 // cycle searches run (one per blocked acquire retry)
+	cycles   uint64 // searches that found a cycle
+	victims  uint64 // transactions marked as deadlock victims
 }
 
 func newLockTable() *lockTable {
@@ -133,6 +143,10 @@ func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode) (grant
 	s := &lt.shards[key.shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.acquires++
+	// slept tracks whether this acquire already counted toward s.waits
+	// (one blocked acquire, however many times it re-sleeps).
+	slept := false
 
 	for {
 		if waited {
@@ -199,9 +213,18 @@ func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode) (grant
 				continue
 			}
 		}
+		if !slept {
+			s.waits++
+			slept = true
+		}
+		// Time each sleep individually so only genuinely blocked time
+		// lands in waitTime — awake retry work (grantability re-checks,
+		// detector searches, victim broadcasts) is not billed.
+		sleepStart := time.Now()
 		e.waiters++
 		s.cond.Wait()
 		e.waiters--
+		s.waitTime += time.Since(sleepStart)
 	}
 }
 
@@ -277,20 +300,24 @@ func (d *detector) addWaitsAndDetect(txID uint64, blockers []uint64, s *lockShar
 		w[b] = struct{}{}
 	}
 	d.waitShard[txID] = s
+	d.searches++
 	victim, found := d.findCycleVictim(txID)
 	if !found {
 		return nil, false, false
 	}
+	d.cycles++
 	if victim == txID {
 		delete(d.aborted, txID) // in case marked
 		delete(d.waitsFor, txID)
 		delete(d.waitShard, txID)
+		d.victims++
 		return nil, true, false
 	}
 	if _, already := d.aborted[victim]; already {
 		return nil, false, false
 	}
 	d.aborted[victim] = struct{}{}
+	d.victims++
 	return d.waitShard[victim], false, true
 }
 

@@ -36,27 +36,123 @@ func StandardMix(e Engine) []MixItem {
 
 // Result summarizes one driver run.
 type Result struct {
-	Engine     string
-	Clients    int
-	Ops        int64
-	Errors     int64
-	Aborts     int64 // deadlock or 2PC failures (subset of Errors)
-	Elapsed    time.Duration
-	Latency    *metrics.Histogram
-	PerOp      map[string]*metrics.Histogram
+	Engine  string
+	Mode    DriverMode
+	Clients int
+	Ops     int64
+	Errors  int64
+	Aborts  int64 // deadlock or 2PC failures (subset of Errors)
+	Elapsed time.Duration
+	// Latency is service latency: operation start to completion.
+	Latency *metrics.Histogram
+	// Intended is coordinated-omission-free latency, measured from each
+	// operation's *scheduled* arrival to its completion, so queueing
+	// delay behind a saturated engine is included. Only the open-loop
+	// driver has a schedule; in closed-loop runs the histogram is empty.
+	Intended *metrics.Histogram
+	PerOp    map[string]*metrics.Histogram
+	// Rate pairs the requested arrival rate (0 for closed loop) with
+	// the completion rate the run sustained.
+	Rate       metrics.Rate
 	Throughput float64
+	// LockStats is the engine's lock-table telemetry accrued during the
+	// run (nil when the engine exposes none, e.g. synthetic mixes).
+	LockStats *txn.LockStats
+}
+
+// DriverMode selects the driver's load model.
+type DriverMode int
+
+const (
+	// ModeClosed is the classic closed loop: each of Clients workers
+	// issues its next operation only after the previous one completes,
+	// so the offered load self-throttles to the engine's capacity.
+	ModeClosed DriverMode = iota
+	// ModeOpen is the open loop: operations arrive on a schedule drawn
+	// from an arrival process at RateOpsPerSec regardless of whether
+	// earlier operations have finished, as real clients do. Arrivals
+	// queue when all workers are busy, and that queueing delay is
+	// visible in the intended-latency histogram.
+	ModeOpen
+)
+
+func (m DriverMode) String() string {
+	if m == ModeOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// ArrivalProcess selects how open-loop inter-arrival gaps are drawn.
+type ArrivalProcess int
+
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps (a Poisson
+	// process), the standard model for independent client arrivals.
+	ArrivalPoisson ArrivalProcess = iota
+	// ArrivalFixed spaces arrivals exactly 1/rate apart — a worst-case
+	// metronome with no burstiness, useful for rate-fidelity tests.
+	ArrivalFixed
+)
+
+func (a ArrivalProcess) String() string {
+	if a == ArrivalFixed {
+		return "fixed"
+	}
+	return "poisson"
 }
 
 // DriverConfig tunes a run.
 type DriverConfig struct {
-	// Clients is the number of concurrent closed-loop workers.
+	// Clients is the number of concurrent workers. In closed-loop mode
+	// each issues OpsPerClient operations back to back; in open-loop
+	// mode the pool drains the arrival schedule.
 	Clients int
-	// OpsPerClient is how many operations each worker issues.
+	// OpsPerClient is how many operations each worker issues (the total
+	// operation count Clients*OpsPerClient also sizes the open-loop
+	// schedule).
 	OpsPerClient int
 	// Theta is the Zipf skew of parameter selection (0 = uniform).
 	Theta float64
-	// Seed drives parameter selection.
+	// Seed drives parameter selection (and the arrival schedule).
 	Seed uint64
+	// Mode selects closed-loop (default) or open-loop driving.
+	Mode DriverMode
+	// RateOpsPerSec is the open-loop target arrival rate; ignored in
+	// closed-loop mode. Open-loop runs with a non-positive rate default
+	// to 1000 ops/s.
+	RateOpsPerSec float64
+	// Arrival is the open-loop arrival process (default Poisson).
+	Arrival ArrivalProcess
+}
+
+// LockStatsProvider is implemented by engines whose lock tables export
+// telemetry; RunMix snapshots it around the run and reports the delta.
+type LockStatsProvider interface {
+	LockStats() txn.LockStats
+}
+
+// mixWeight sums the mix's weights.
+func mixWeight(mix []MixItem) int {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	return total
+}
+
+// pickMixIndex draws one weighted mix index from the generator's
+// random stream. Both driver modes select operations through this,
+// so closed- and open-loop runs share mix-fidelity semantics exactly.
+func pickMixIndex(gen *ParamGen, mix []MixItem, totalWeight int) int {
+	pick := gen.rng.Intn(totalWeight)
+	for j, m := range mix {
+		if pick < m.Weight {
+			return j
+		}
+		pick -= m.Weight
+	}
+	return 0
 }
 
 // workerRecorder is the per-client measurement state of one RunMix
@@ -66,26 +162,50 @@ type DriverConfig struct {
 // finished. This keeps the measurement harness itself off the scaling
 // path it is measuring.
 type workerRecorder struct {
-	latency metrics.Histogram
-	perOp   []metrics.Histogram // index-aligned with the mix
-	ops     int64
-	errs    int64
-	aborts  int64
+	// lat records service latency for every operation and, in open-loop
+	// mode, the coordinated-omission-free intended latency alongside it
+	// (closed-loop runs leave the intended half empty).
+	lat    metrics.DualHistogram
+	perOp  []metrics.Histogram // index-aligned with the mix
+	ops    int64
+	errs   int64
+	aborts int64
+}
+
+// observe records one finished operation: service latency always,
+// intended latency only when the run has an arrival schedule.
+func (rec *workerRecorder) observe(idx int, service, intended time.Duration, hasSchedule bool, err error) {
+	rec.ops++
+	if hasSchedule {
+		rec.lat.Observe(service, intended)
+	} else {
+		rec.lat.Service.Observe(service)
+	}
+	rec.perOp[idx].Observe(service)
+	if err != nil {
+		rec.errs++
+		if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, federation.ErrCoordinatorCrash) {
+			rec.aborts++
+		}
+	}
 }
 
 // RunMix drives the weighted mix against an engine and returns
 // aggregate metrics. Abort-class errors (deadlock, 2PC crash) are
 // counted but do not stop the run; other errors are counted as Errors.
+//
+// cfg.Mode selects the load model. The default closed loop keeps
+// Clients workers each running OpsPerClient operations back to back —
+// deterministic per-client op sequences, load self-throttled to the
+// engine. ModeOpen instead schedules Clients*OpsPerClient arrivals at
+// cfg.RateOpsPerSec from cfg.Arrival and measures both service and
+// intended latency (see Result.Intended).
 func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
 	if cfg.OpsPerClient <= 0 {
 		cfg.OpsPerClient = 100
-	}
-	totalWeight := 0
-	for _, m := range mix {
-		totalWeight += m.Weight
 	}
 	// A nil engine is allowed: the mix items carry their own Run
 	// closures, which is how driver-level tests exercise RunMix with
@@ -95,15 +215,57 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 		name = e.Name()
 	}
 	res := Result{
-		Engine:  name,
-		Clients: cfg.Clients,
-		Latency: &metrics.Histogram{},
-		PerOp:   make(map[string]*metrics.Histogram, len(mix)),
+		Engine:   name,
+		Mode:     cfg.Mode,
+		Clients:  cfg.Clients,
+		Latency:  &metrics.Histogram{},
+		Intended: &metrics.Histogram{},
+		PerOp:    make(map[string]*metrics.Histogram, len(mix)),
 	}
 	for _, m := range mix {
 		res.PerOp[m.Name] = &metrics.Histogram{}
 	}
+	var lockBase txn.LockStats
+	lsp, hasLock := e.(LockStatsProvider)
+	if hasLock {
+		lockBase = lsp.LockStats()
+	}
 	recs := make([]workerRecorder, cfg.Clients)
+	if cfg.Mode == ModeOpen {
+		if cfg.RateOpsPerSec <= 0 {
+			cfg.RateOpsPerSec = 1000
+		}
+		res.Rate.Offered = cfg.RateOpsPerSec
+		res.Elapsed = runOpen(mix, cfg, buildOpenSchedule(info, mix, cfg), recs)
+	} else {
+		res.Elapsed = runClosed(info, mix, cfg, recs)
+	}
+	for c := range recs {
+		rec := &recs[c]
+		res.Ops += rec.ops
+		res.Errors += rec.errs
+		res.Aborts += rec.aborts
+		res.Latency.Merge(&rec.lat.Service)
+		res.Intended.Merge(&rec.lat.Intended)
+		for j, m := range mix {
+			res.PerOp[m.Name].Merge(&rec.perOp[j])
+		}
+	}
+	res.Throughput = metrics.Throughput(res.Ops, res.Elapsed)
+	res.Rate.Achieved = res.Throughput
+	if hasLock {
+		delta := lsp.LockStats().Delta(lockBase)
+		res.LockStats = &delta
+	}
+	return res
+}
+
+// runClosed is the classic closed loop: each worker draws parameters
+// from its own seeded generator and issues operations back to back.
+// Per-client op sequences depend only on (seed, client, theta, info),
+// which the determinism tests pin.
+func runClosed(info Info, mix []MixItem, cfg DriverConfig, recs []workerRecorder) time.Duration {
+	totalWeight := mixWeight(mix)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -116,44 +278,16 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				p := gen.Next()
 				p.FreshID = gen.NewOrderID(client, i)
-				pick := gen.rng.Intn(totalWeight)
-				idx := 0
-				for j, m := range mix {
-					if pick < m.Weight {
-						idx = j
-						break
-					}
-					pick -= m.Weight
-				}
+				idx := pickMixIndex(gen, mix, totalWeight)
 				t0 := time.Now()
 				err := mix[idx].Run(p)
 				d := time.Since(t0)
-				rec.ops++
-				rec.latency.Observe(d)
-				rec.perOp[idx].Observe(d)
-				if err != nil {
-					rec.errs++
-					if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, federation.ErrCoordinatorCrash) {
-						rec.aborts++
-					}
-				}
+				rec.observe(idx, d, 0, false, err)
 			}
 		}(c)
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
-	for c := range recs {
-		rec := &recs[c]
-		res.Ops += rec.ops
-		res.Errors += rec.errs
-		res.Aborts += rec.aborts
-		res.Latency.Merge(&rec.latency)
-		for j, m := range mix {
-			res.PerOp[m.Name].Merge(&rec.perOp[j])
-		}
-	}
-	res.Throughput = metrics.Throughput(res.Ops, res.Elapsed)
-	return res
+	return time.Since(start)
 }
 
 // TornReadResult reports a torn-read probe (cross-model atomicity as

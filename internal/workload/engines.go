@@ -19,6 +19,10 @@ func NewUDBMSEngine(db *udbms.DB) *UDBMSEngine { return &UDBMSEngine{DB: db} }
 // Name implements Engine.
 func (e *UDBMSEngine) Name() string { return "udbms" }
 
+// LockStats implements LockStatsProvider: the unified engine has one
+// shared lock table, so its snapshot is the manager's directly.
+func (e *UDBMSEngine) LockStats() txn.LockStats { return e.DB.Manager().LockStats() }
+
 func (e *UDBMSEngine) stores() stores {
 	return stores{rel: e.DB.Relational, docs: e.DB.Docs, gr: e.DB.Graph, kv: e.DB.KV, xml: e.DB.XML}
 }
@@ -115,6 +119,10 @@ func NewFederationEngine(f *federation.Federation) *FederationEngine {
 
 // Name implements Engine.
 func (e *FederationEngine) Name() string { return "federation" }
+
+// LockStats implements LockStatsProvider: the federation aggregates
+// its five independent per-store lock tables.
+func (e *FederationEngine) LockStats() txn.LockStats { return e.F.LockStats() }
 
 func (e *FederationEngine) stores() stores {
 	return stores{rel: e.F.Relational, docs: e.F.Docs, gr: e.F.Graph, kv: e.F.KV, xml: e.F.XML}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"udbench/internal/datagen"
+	"udbench/internal/metrics"
+)
+
+// arrivalSeedSalt decorrelates the arrival-gap random stream from the
+// parameter-selection stream, which both derive from DriverConfig.Seed.
+const arrivalSeedSalt = 0x9E3779B97F4A7C15
+
+// ArrivalSchedule generates deterministic operation arrival offsets for
+// the open-loop driver: each Next call returns the offset (from run
+// start) at which the next operation is *scheduled* to arrive,
+// independent of how long any operation actually takes. Poisson
+// schedules draw exponential inter-arrival gaps; fixed schedules space
+// arrivals exactly 1/rate apart. The same (process, rate, seed) always
+// yields the same schedule.
+type ArrivalSchedule struct {
+	process  ArrivalProcess
+	interval float64 // mean seconds between arrivals (1/rate)
+	rng      *datagen.RNG
+	at       float64 // offset in seconds of the last arrival issued
+}
+
+// NewArrivalSchedule builds a schedule with the given arrival process
+// and target rate in operations per second (non-positive rates are
+// clamped to 1 op/s).
+func NewArrivalSchedule(process ArrivalProcess, rateOpsPerSec float64, seed uint64) *ArrivalSchedule {
+	if rateOpsPerSec <= 0 {
+		rateOpsPerSec = 1
+	}
+	return &ArrivalSchedule{
+		process:  process,
+		interval: 1 / rateOpsPerSec,
+		rng:      datagen.NewRNG(seed),
+	}
+}
+
+// Next returns the next scheduled arrival offset and advances the
+// schedule.
+func (s *ArrivalSchedule) Next() time.Duration {
+	switch s.process {
+	case ArrivalFixed:
+		s.at += s.interval
+	default: // Poisson: exponential gaps, -ln(1-U)/rate with U in [0,1)
+		s.at += -math.Log1p(-s.rng.Float64()) * s.interval
+	}
+	return time.Duration(s.at * float64(time.Second))
+}
+
+// scheduledOp is one pre-generated open-loop operation: what to run,
+// with which parameters, and when it is scheduled to arrive.
+type scheduledOp struct {
+	due time.Duration // scheduled arrival, as an offset from run start
+	idx int           // mix item index
+	p   Params
+}
+
+// buildOpenSchedule pre-generates the whole open-loop run — parameters,
+// weighted mix picks, and arrival times — from a single seeded stream,
+// so the schedule is deterministic regardless of worker interleaving at
+// execution time. Total length is Clients*OpsPerClient, mirroring the
+// closed loop's op budget.
+func buildOpenSchedule(info Info, mix []MixItem, cfg DriverConfig) []scheduledOp {
+	totalWeight := mixWeight(mix)
+	gen := NewParamGen(info, cfg.Seed, cfg.Theta)
+	arr := NewArrivalSchedule(cfg.Arrival, cfg.RateOpsPerSec, cfg.Seed^arrivalSeedSalt)
+	ops := make([]scheduledOp, cfg.Clients*cfg.OpsPerClient)
+	for i := range ops {
+		p := gen.Next()
+		p.FreshID = gen.NewOrderID(0, i)
+		ops[i] = scheduledOp{due: arr.Next(), idx: pickMixIndex(gen, mix, totalWeight), p: p}
+	}
+	return ops
+}
+
+// runOpen executes a pre-built schedule open-loop: a dispatcher
+// releases each operation into a queue at its scheduled arrival time
+// (never earlier, and never throttled by busy workers — the queue
+// holds the entire run), and cfg.Clients workers drain the queue. For
+// every operation two latencies are recorded: service (execution start
+// to completion) and intended (scheduled arrival to completion). When
+// the engine cannot keep up with the offered rate the queue grows and
+// intended latency inflates with the backlog — the tail the closed
+// loop's coordinated omission hides.
+func runOpen(mix []MixItem, cfg DriverConfig, ops []scheduledOp, recs []workerRecorder) time.Duration {
+	// The queue carries indices into ops (not scheduledOp values — the
+	// slice is alive for the whole run anyway) and is buffered to the
+	// whole run, so the dispatcher never blocks on a send: arrivals
+	// stay on schedule no matter how far behind the workers fall.
+	queue := make(chan int, len(ops))
+	var wg sync.WaitGroup
+	start := time.Now()
+	go func() {
+		for i := range ops {
+			if d := time.Until(start.Add(ops[i].due)); d > 0 {
+				time.Sleep(d)
+			}
+			queue <- i
+		}
+		close(queue)
+	}()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rec := &recs[client]
+			rec.perOp = make([]metrics.Histogram, len(mix))
+			for i := range queue {
+				op := &ops[i]
+				t0 := time.Now()
+				err := mix[op.idx].Run(op.p)
+				end := time.Now()
+				rec.observe(op.idx, end.Sub(t0), end.Sub(start.Add(op.due)), true, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"udbench/internal/metrics"
+	"udbench/internal/txn"
 )
 
 // OpSummary is the machine-readable digest of one operation class in a
@@ -24,17 +25,34 @@ type OpSummary struct {
 // written by `udbench mix -json` so successive PRs can track a
 // BENCH_*.json perf trajectory.
 type RunSummary struct {
-	Engine     string        `json:"engine"`
-	Clients    int           `json:"clients"`
-	Ops        int64         `json:"ops"`
-	Errors     int64         `json:"errors"`
-	Aborts     int64         `json:"aborts"`
-	ElapsedNS  time.Duration `json:"elapsed_ns"`
-	Throughput float64       `json:"throughput_ops_per_sec"`
-	P50NS      time.Duration `json:"p50_ns"`
-	P95NS      time.Duration `json:"p95_ns"`
-	P99NS      time.Duration `json:"p99_ns"`
-	PerOp      []OpSummary   `json:"per_op"`
+	Engine  string `json:"engine"`
+	Mode    string `json:"mode"` // "closed" | "open"
+	Clients int    `json:"clients"`
+	Ops     int64  `json:"ops"`
+	Errors  int64  `json:"errors"`
+	Aborts  int64  `json:"aborts"`
+	// RateOpsPerSec is the requested open-loop arrival rate (0 when
+	// closed-loop); AchievedRate is the completion rate the run
+	// sustained (equals Throughput).
+	RateOpsPerSec float64       `json:"rate_ops_per_sec"`
+	AchievedRate  float64       `json:"achieved_rate"`
+	ElapsedNS     time.Duration `json:"elapsed_ns"`
+	Throughput    float64       `json:"throughput_ops_per_sec"`
+	P50NS         time.Duration `json:"p50_ns"`
+	P95NS         time.Duration `json:"p95_ns"`
+	P99NS         time.Duration `json:"p99_ns"`
+	// Intended percentiles are coordinated-omission-free latency
+	// (scheduled arrival to completion); zero in closed-loop runs,
+	// which have no arrival schedule.
+	IntendedP50NS time.Duration `json:"intended_p50_ns"`
+	IntendedP95NS time.Duration `json:"intended_p95_ns"`
+	IntendedP99NS time.Duration `json:"intended_p99_ns"`
+	IntendedMaxNS time.Duration `json:"intended_max_ns"`
+	PerOp         []OpSummary   `json:"per_op"`
+	// LockStats is the engine's lock-table telemetry for this run
+	// (per-shard wait counts plus deadlock-detector counters); absent
+	// for engines without a lock table.
+	LockStats *txn.LockStats `json:"lock_stats,omitempty"`
 }
 
 func opSummary(name string, h *metrics.Histogram) OpSummary {
@@ -53,16 +71,26 @@ func opSummary(name string, h *metrics.Histogram) OpSummary {
 // per-op entries sorted by name for stable output.
 func (r Result) Summary() RunSummary {
 	s := RunSummary{
-		Engine:     r.Engine,
-		Clients:    r.Clients,
-		Ops:        r.Ops,
-		Errors:     r.Errors,
-		Aborts:     r.Aborts,
-		ElapsedNS:  r.Elapsed,
-		Throughput: r.Throughput,
-		P50NS:      r.Latency.Percentile(50),
-		P95NS:      r.Latency.Percentile(95),
-		P99NS:      r.Latency.Percentile(99),
+		Engine:        r.Engine,
+		Mode:          r.Mode.String(),
+		Clients:       r.Clients,
+		Ops:           r.Ops,
+		Errors:        r.Errors,
+		Aborts:        r.Aborts,
+		RateOpsPerSec: r.Rate.Offered,
+		AchievedRate:  r.Rate.Achieved,
+		ElapsedNS:     r.Elapsed,
+		Throughput:    r.Throughput,
+		P50NS:         r.Latency.Percentile(50),
+		P95NS:         r.Latency.Percentile(95),
+		P99NS:         r.Latency.Percentile(99),
+		LockStats:     r.LockStats,
+	}
+	if r.Intended != nil && r.Intended.Count() > 0 {
+		s.IntendedP50NS = r.Intended.Percentile(50)
+		s.IntendedP95NS = r.Intended.Percentile(95)
+		s.IntendedP99NS = r.Intended.Percentile(99)
+		s.IntendedMaxNS = r.Intended.Max()
 	}
 	names := make([]string, 0, len(r.PerOp))
 	for name := range r.PerOp {
