@@ -76,12 +76,14 @@ run/generate flags:
   -json F    also write results to F as JSON
 
 mix flags (plus -sf/-seed/-hop/-json):
-  -clients N number of driver workers (default 4)
-  -ops N     operations per client (default 200)
-  -theta T   Zipf parameter skew (default 0.5)
-  -mode M    load model: closed (default) or open
-  -rate R    open-loop target arrival rate in ops/s (default 1000)
-  -arrival A open-loop arrival process: poisson (default) or fixed
+  -clients N   number of driver workers (default 4)
+  -ops N       operations per client (default 200)
+  -theta T     Zipf parameter skew (default 0.5)
+  -mode M      load model: closed (default) or open
+  -rate R      open-loop target arrival rate in ops/s (default 1000)
+  -arrival A   open-loop arrival process: poisson (default) or fixed
+  -duration D  open-loop time bound, e.g. 30s (replaces -ops; arrivals
+               generate lazily and the backlog drains under a deadline)
 `)
 }
 
@@ -194,6 +196,7 @@ func cmdMix(args []string) error {
 	mode := fs.String("mode", "closed", "load model: closed or open")
 	rate := fs.Float64("rate", 1000, "open-loop target arrival rate (ops/s)")
 	arrival := fs.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
+	duration := fs.Duration("duration", 0, "open-loop time bound (e.g. 30s); replaces the -ops count")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -202,6 +205,9 @@ func cmdMix(args []string) error {
 	switch *mode {
 	case "closed":
 		driverMode = workload.ModeClosed
+		if *duration > 0 {
+			return fmt.Errorf("mix: -duration needs -mode open (the closed loop is count-bounded)")
+		}
 	case "open":
 		driverMode = workload.ModeOpen
 		if *rate <= 0 {
@@ -242,11 +248,15 @@ func cmdMix(args []string) error {
 	info := workload.InfoOf(ds)
 	cfg := workload.DriverConfig{
 		Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed,
-		Mode: driverMode, RateOpsPerSec: *rate, Arrival: arrivalProc,
+		Mode: driverMode, RateOpsPerSec: *rate, Arrival: arrivalProc, Duration: *duration,
 	}
 	var summaries []workload.RunSummary
-	title := fmt.Sprintf("Standard mix (%s loop), SF %g, %d clients x %d ops, theta %g",
-		driverMode, *sf, *clients, *ops, *theta)
+	budget := fmt.Sprintf("%d clients x %d ops", *clients, *ops)
+	if *duration > 0 {
+		budget = fmt.Sprintf("%d clients, %v", *clients, *duration)
+	}
+	title := fmt.Sprintf("Standard mix (%s loop), SF %g, %s, theta %g",
+		driverMode, *sf, budget, *theta)
 	if driverMode == workload.ModeOpen {
 		title += fmt.Sprintf(", %s arrivals @ %g ops/s", arrivalProc, *rate)
 	}
@@ -267,7 +277,11 @@ func cmdMix(args []string) error {
 		t.AddRow(s.Engine, "all", s.Ops, res.Latency.Mean(), s.P50NS, s.P95NS, s.P99NS,
 			intP99, s.Throughput, s.Aborts)
 		for _, op := range s.PerOp {
-			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, "", "", "")
+			opIntP99 := any("")
+			if driverMode == workload.ModeOpen {
+				opIntP99 = op.IntendedP99NS
+			}
+			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, opIntP99, "", "")
 		}
 		if ls := res.LockStats; ls != nil {
 			lt.AddRow(s.Engine, ls.Acquires, ls.Waits,
@@ -275,8 +289,12 @@ func cmdMix(args []string) error {
 				ls.Detector.Cycles, ls.Detector.Victims)
 		}
 		if driverMode == workload.ModeOpen {
-			fmt.Printf("%s: achieved %.1f of %g offered ops/s (%.1f%%)\n",
-				s.Engine, s.AchievedRate, *rate, 100*res.Rate.Achievement())
+			note := ""
+			if s.Dropped > 0 {
+				note = fmt.Sprintf(", %d arrivals dropped at the drain deadline", s.Dropped)
+			}
+			fmt.Printf("%s: achieved %.1f of %g offered ops/s (%.1f%%)%s\n",
+				s.Engine, s.AchievedRate, *rate, 100*res.Rate.Achievement(), note)
 		}
 	}
 	fmt.Print(t.String())

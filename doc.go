@@ -88,13 +88,19 @@
 //     default (each worker issues its next op when the previous one
 //     returns — deterministic per-client sequences, load throttled to
 //     the engine) and open-loop on request (DriverConfig.Mode), where
-//     an ArrivalSchedule pre-generates Poisson or fixed-interval
-//     arrival times at a target rate and a worker pool drains them.
-//     Open-loop ops record two latencies: service (start→done) and
-//     intended (scheduled arrival→done), so queueing delay behind a
-//     saturated engine is measured instead of omitted — the
-//     coordinated-omission fix. docs/BENCHMARKING.md covers the
-//     methodology.
+//     an ArrivalSchedule generates Poisson or fixed-interval arrival
+//     times at a target rate — lazily, so a run may be count-bounded
+//     (Clients*OpsPerClient) or time-bounded (DriverConfig.Duration,
+//     with a drain deadline that drops rather than serves an unbounded
+//     backlog). Open-loop ops record two latencies: service
+//     (start→done) and intended (scheduled arrival→done), aggregate
+//     and per op class, so queueing delay behind a saturated engine is
+//     measured instead of omitted — the coordinated-omission fix.
+//     Every run stamps its T2 order ids with a process-unique nonce,
+//     so sweeps re-running one config on one store never collide. The
+//     f5 experiment (internal/core) climbs a geometric rate ladder on
+//     top of this and reports each engine's saturation knee.
+//     docs/BENCHMARKING.md covers the methodology.
 //   - Lock telemetry (internal/txn): every shard counts acquires,
 //     blocked acquires and blocked wall time under its existing mutex
 //     (nothing new on the fast path), and the deadlock detector counts

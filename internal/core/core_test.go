@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"a1", "f1", "f2", "f3", "f4", "t2", "t3", "t4", "t5"}
+	want := []string{"a1", "f1", "f2", "f3", "f4", "f5", "t2", "t3", "t4", "t5"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -173,6 +173,59 @@ func TestF4ScaleUp(t *testing.T) {
 	}
 	if tables[0].NumRows() != 2 {
 		t.Fatalf("F4 rows = %d", tables[0].NumRows())
+	}
+}
+
+func TestF5LatencyVsRate(t *testing.T) {
+	rows, err := f5Sweep(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEngine := map[string][]f5Row{}
+	for _, r := range rows {
+		byEngine[r.Engine] = append(byEngine[r.Engine], r)
+	}
+	for _, eng := range []string{"udbms", "federation"} {
+		if len(byEngine[eng]) == 0 {
+			t.Fatalf("sweep has no %s rows", eng)
+		}
+	}
+	for _, r := range rows {
+		if r.Achieved <= 0 {
+			t.Errorf("%s @ %.0f ops/s achieved nothing", r.Engine, r.Offered)
+		}
+		if r.IntP50 < r.SvcP50/2 {
+			t.Errorf("%s @ %.0f: intended p50 %v implausibly below service p50 %v",
+				r.Engine, r.Offered, r.IntP50, r.SvcP50)
+		}
+		// T2 inserts must never hit duplicate FreshIDs across the
+		// ladder's repeated runs on one loaded store: with the mix's
+		// retried transactions, every expected error is an abort
+		// (deadlock give-up, 2PC crash) — any surplus is a duplicate
+		// key from FreshID reuse.
+		if r.Errors != r.Aborts {
+			t.Errorf("%s @ %.0f: %d errors but only %d aborts — duplicate FreshIDs across sweep runs?",
+				r.Engine, r.Offered, r.Errors, r.Aborts)
+		}
+	}
+	// The sweep must push the federation past its knee, and at that
+	// rung the coordinated-omission-free tail must dwarf service
+	// latency — the whole point of measuring open-loop.
+	fed := byEngine["federation"]
+	lastFed := fed[len(fed)-1]
+	if !lastFed.Saturated {
+		t.Fatalf("ladder never saturated the federation (top rung %.0f ops/s achieved %.0f)",
+			lastFed.Offered, lastFed.Achieved)
+	}
+	if lastFed.IntP99 < 2*lastFed.SvcP99 {
+		t.Errorf("federation knee rung: intended p99 %v < 2x service p99 %v — backlog not visible",
+			lastFed.IntP99, lastFed.SvcP99)
+	}
+	// The udbms sweep must climb past the federation's knee rate: the
+	// unified engine's capacity headroom is the paper's claim.
+	uni := byEngine["udbms"]
+	if topU, topF := uni[len(uni)-1].Offered, lastFed.Offered; topU < topF {
+		t.Errorf("udbms ladder stopped at %.0f ops/s, below the federation knee %.0f", topU, topF)
 	}
 }
 

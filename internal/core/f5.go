@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"udbench/internal/metrics"
+	"udbench/internal/workload"
+)
+
+// f5KneeThreshold is the saturation criterion: the first offered rate
+// at which the achieved completion rate falls below this fraction of
+// the offered rate is the engine's knee — beyond it the engine is no
+// longer keeping up with the arrival schedule and intended latency
+// grows with the backlog rather than with per-op cost.
+const f5KneeThreshold = 0.9
+
+func init() {
+	register(Experiment{ID: "f5", Name: "Latency vs offered rate (open-loop saturation knee)",
+		Pillar: "multi-model transactions", Run: runF5})
+}
+
+// f5Row is one measured cell of the sweep: one engine at one offered
+// rate. The typed form exists so tests (and future JSON consumers) can
+// assert on the sweep without parsing rendered table strings.
+type f5Row struct {
+	Engine    string
+	Offered   float64
+	Achieved  float64
+	SvcP50    time.Duration
+	SvcP99    time.Duration
+	IntP50    time.Duration
+	IntP99    time.Duration
+	IntMax    time.Duration
+	AbortRate float64 // aborts / completed ops
+	Aborts    int64
+	Errors    int64
+	LockWait  time.Duration
+	Dropped   int64
+	Saturated bool // achieved/offered < f5KneeThreshold
+}
+
+// f5Config sizes the rate ladder.
+type f5Config struct {
+	baseRate float64       // first rung of the geometric ladder
+	factor   float64       // ladder growth per rung
+	maxSteps int           // rung cap per engine (safety bound)
+	clients  int           // open-loop worker pool
+	theta    float64       // Zipf skew of parameter selection
+	warmup   time.Duration // unmeasured run before each measured rung
+	measure  time.Duration // measured run length per rung
+}
+
+func f5ConfigFor(cfg Config) f5Config {
+	if cfg.Quick {
+		return f5Config{baseRate: 100, factor: 4, maxSteps: 6, clients: 4, theta: 0.5,
+			warmup: 100 * time.Millisecond, measure: 400 * time.Millisecond}
+	}
+	return f5Config{baseRate: 250, factor: 2, maxSteps: 10, clients: 8, theta: 0.5,
+		warmup: time.Second, measure: 3 * time.Second}
+}
+
+// f5Sweep drives the standard mix open-loop at a geometric ladder of
+// offered rates against both engines. Per rung it runs an unmeasured
+// warm-up (populating caches and the freshly counted lock telemetry is
+// delta-scoped per run anyway), then one duration-bounded measured run,
+// and climbs until the achieved rate drops below f5KneeThreshold of
+// the offered rate — the knee — or the ladder cap is hit. The knee
+// rung itself is kept (it is the most interesting row: intended
+// latency there is backlog, not service), so each engine's sweep ends
+// with at most one saturated row.
+func f5Sweep(cfg Config) ([]f5Row, error) {
+	p := f5ConfigFor(cfg)
+	tb, err := newTestbed(cfg.SF, cfg.Seed, cfg.HopLatency)
+	if err != nil {
+		return nil, err
+	}
+	var rows []f5Row
+	for _, e := range []workload.Engine{tb.uni, tb.fed} {
+		rate := p.baseRate
+		for step := 0; step < p.maxSteps; step++ {
+			dc := workload.DriverConfig{
+				Clients: p.clients, Theta: p.theta, Seed: cfg.Seed,
+				Mode: workload.ModeOpen, RateOpsPerSec: rate,
+				Arrival: workload.ArrivalPoisson, Duration: p.measure,
+			}
+			warm := dc
+			warm.Duration = p.warmup
+			workload.RunMix(e, tb.info, workload.StandardMix(e), warm)
+			res := workload.RunMix(e, tb.info, workload.StandardMix(e), dc)
+			row := f5Row{
+				Engine:    e.Name(),
+				Offered:   rate,
+				Achieved:  res.Rate.Achieved,
+				SvcP50:    res.Latency.Percentile(50),
+				SvcP99:    res.Latency.Percentile(99),
+				IntP50:    res.Intended.Percentile(50),
+				IntP99:    res.Intended.Percentile(99),
+				IntMax:    res.Intended.Max(),
+				Aborts:    res.Aborts,
+				Errors:    res.Errors,
+				Dropped:   res.Dropped,
+				Saturated: res.Rate.Achievement() < f5KneeThreshold,
+			}
+			if res.Ops > 0 {
+				row.AbortRate = float64(res.Aborts) / float64(res.Ops)
+			}
+			if res.LockStats != nil {
+				row.LockWait = res.LockStats.WaitNS
+			}
+			rows = append(rows, row)
+			if row.Saturated {
+				break
+			}
+			rate *= p.factor
+		}
+	}
+	return rows, nil
+}
+
+// runF5 is the latency-vs-offered-rate experiment: the classic
+// throughput/intended-p99 knee curve per engine, measured open-loop so
+// the tail includes queueing delay (coordinated-omission-free). The
+// second table digests the sweep into each engine's knee rate and the
+// capacity it sustained just below it.
+func runF5(cfg Config) ([]*metrics.Table, error) {
+	p := f5ConfigFor(cfg)
+	rows, err := f5Sweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sweep := metrics.NewTable(
+		fmt.Sprintf("F5: latency vs offered rate (open loop, %v per rate, x%g ladder), SF %g",
+			p.measure, p.factor, cfg.SF),
+		"engine", "offered", "achieved", "ach%", "svc p50", "svc p99",
+		"int p50", "int p99", "int max", "abort%", "lock wait", "dropped")
+	for _, r := range rows {
+		sweep.AddRow(r.Engine, r.Offered, r.Achieved,
+			fmt.Sprintf("%.0f%%", 100*r.Achieved/r.Offered),
+			r.SvcP50, r.SvcP99, r.IntP50, r.IntP99, r.IntMax,
+			fmt.Sprintf("%.1f%%", 100*r.AbortRate), r.LockWait, r.Dropped)
+	}
+	knee := metrics.NewTable(
+		fmt.Sprintf("F5: saturation knee (first offered rate with achieved/offered < %.0f%%)",
+			100*f5KneeThreshold),
+		"engine", "knee ops/s", "capacity ops/s", "int p99 @ knee", "svc p99 @ knee", "int/svc")
+	for _, eng := range []string{"udbms", "federation"} {
+		var last *f5Row
+		found := false
+		for i := range rows {
+			if rows[i].Engine != eng {
+				continue
+			}
+			r := &rows[i]
+			if r.Saturated {
+				// Capacity is the last achieved rate before the knee —
+				// or the knee rung's own achieved rate when even the
+				// first rung saturated.
+				capacity := r.Achieved
+				if last != nil {
+					capacity = last.Achieved
+				}
+				knee.AddRow(eng, r.Offered, capacity, r.IntP99, r.SvcP99,
+					ratio(r.SvcP99, r.IntP99))
+				found = true
+				break
+			}
+			last = r
+		}
+		if !found && last != nil {
+			// Never saturated within the ladder: report the top rung as
+			// a capacity lower bound with no knee.
+			knee.AddRow(eng, "> "+fmt.Sprintf("%.0f", last.Offered), last.Achieved,
+				last.IntP99, last.SvcP99, ratio(last.SvcP99, last.IntP99))
+		}
+	}
+	return []*metrics.Table{sweep, knee}, nil
+}

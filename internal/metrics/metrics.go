@@ -342,6 +342,12 @@ func (t *Table) AddRow(cells ...any) {
 
 func formatFloat(v float64) string {
 	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		// Ratios with a zero denominator (an engine that completed no
+		// ops, a zero-duration cell) reach the table as NaN/Inf; render
+		// the not-measured marker instead of leaking "NaN" into tables
+		// and CSV files consumers parse.
+		return "-"
 	case v == math.Trunc(v) && math.Abs(v) < 1e15:
 		return fmt.Sprintf("%.0f", v)
 	case math.Abs(v) >= 100:
@@ -387,7 +393,10 @@ func (t *Table) String() string {
 				sb.WriteString("  ")
 			}
 			sb.WriteString(cell)
-			if i < len(cells)-1 {
+			// Pad only within known column widths: a row handed more
+			// cells than there are headers still renders (unpadded at
+			// the tail) instead of indexing past widths.
+			if i < len(cells)-1 && i < len(widths) && widths[i] > len(cell) {
 				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
 			}
 		}

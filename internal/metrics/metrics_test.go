@@ -236,15 +236,58 @@ func TestThroughput(t *testing.T) {
 
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
-		3:       "3",
-		3.14159: "3.142",
-		1234.56: "1234.6",
-		0.001:   "0.001",
+		3:            "3",
+		3.14159:      "3.142",
+		1234.56:      "1234.6",
+		0.001:        "0.001",
+		math.NaN():   "-",
+		math.Inf(1):  "-",
+		math.Inf(-1): "-",
 	}
 	for in, want := range cases {
 		if got := formatFloat(in); got != want {
 			t.Errorf("formatFloat(%g) = %s, want %s", in, got, want)
 		}
+	}
+}
+
+// TestTableNonFiniteCells covers the zero-denominator-ratio path end to
+// end: NaN/Inf values render as "-" in both the aligned and CSV
+// outputs rather than as "NaN"/"+Inf" noise.
+func TestTableNonFiniteCells(t *testing.T) {
+	tb := NewTable("", "engine", "ratio", "rate")
+	tb.AddRow("udbms", math.NaN(), math.Inf(1))
+	s, csv := tb.String(), tb.CSV()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(s, bad) || strings.Contains(csv, bad) {
+			t.Errorf("non-finite value leaked into output:\n%s\n%s", s, csv)
+		}
+	}
+	if csv != "engine,ratio,rate\nudbms,-,-\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+// TestTableExtraCells pins the AddRow-wider-than-headers fix: String()
+// used to index widths past len(Headers) and panic; now the extra
+// cells render unpadded at the end of the row.
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("Wide", "a", "b")
+	tb.AddRow("x", "y", "extra", 7)
+	tb.AddRow("longer-than-header", "y")
+	s := tb.String()
+	for _, frag := range []string{"extra", "7", "longer-than-header"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// CSV keeps every cell too.
+	if !strings.Contains(tb.CSV(), "x,y,extra,7") {
+		t.Errorf("CSV dropped extra cells: %q", tb.CSV())
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,12 @@ type Result struct {
 	Ops     int64
 	Errors  int64
 	Aborts  int64 // deadlock or 2PC failures (subset of Errors)
+	// Dropped counts open-loop arrivals abandoned at the drain
+	// deadline of a duration-bounded run: the engine was so far behind
+	// the schedule that finishing the backlog would have extended wall
+	// time unboundedly. Always 0 for closed-loop and count-bounded
+	// open-loop runs.
+	Dropped int64
 	Elapsed time.Duration
 	// Latency is service latency: operation start to completion.
 	Latency *metrics.Histogram
@@ -50,7 +57,12 @@ type Result struct {
 	// delay behind a saturated engine is included. Only the open-loop
 	// driver has a schedule; in closed-loop runs the histogram is empty.
 	Intended *metrics.Histogram
-	PerOp    map[string]*metrics.Histogram
+	// PerOp carries one dual histogram per operation class: Service is
+	// always populated, Intended only in open-loop runs (same contract
+	// as the aggregate Latency/Intended pair). Per-op intended
+	// percentiles show which transaction class queues first when the
+	// engine saturates.
+	PerOp map[string]*metrics.DualHistogram
 	// Rate pairs the requested arrival rate (0 for closed loop) with
 	// the completion rate the run sustained.
 	Rate       metrics.Rate
@@ -124,6 +136,15 @@ type DriverConfig struct {
 	RateOpsPerSec float64
 	// Arrival is the open-loop arrival process (default Poisson).
 	Arrival ArrivalProcess
+	// Duration, when positive in open-loop mode, makes the run
+	// time-bounded instead of count-bounded: arrivals are generated
+	// lazily until Duration elapses (OpsPerClient no longer sizes the
+	// schedule) and the backlog drains under a deadline — see
+	// drainDeadline — after which remaining queued arrivals are
+	// abandoned and counted in Result.Dropped, so a saturating sweep
+	// step cannot extend wall time unboundedly. Ignored in closed-loop
+	// mode.
+	Duration time.Duration
 }
 
 // LockStatsProvider is implemented by engines whose lock tables export
@@ -140,6 +161,30 @@ func mixWeight(mix []MixItem) int {
 	}
 	return total
 }
+
+// validateMix rejects mixes the weighted pick cannot draw from: an
+// empty mix, a negative weight, or an all-zero weight sum would make
+// pickMixIndex panic inside a worker goroutine (rng.Intn(0)), taking
+// the whole process down instead of failing one run.
+func validateMix(mix []MixItem) error {
+	if len(mix) == 0 {
+		return errors.New("workload: empty mix")
+	}
+	for _, m := range mix {
+		if m.Weight < 0 {
+			return fmt.Errorf("workload: mix item %q has negative weight %d", m.Name, m.Weight)
+		}
+	}
+	if mixWeight(mix) <= 0 {
+		return errors.New("workload: mix weights sum to zero")
+	}
+	return nil
+}
+
+// runSeq issues process-unique run nonces; every RunMix call gets its
+// own, so FreshIDs from distinct runs (any mode, any config) can never
+// collide on a shared store.
+var runSeq atomic.Uint64
 
 // pickMixIndex draws one weighted mix index from the generator's
 // random stream. Both driver modes select operations through this,
@@ -166,7 +211,7 @@ type workerRecorder struct {
 	// mode, the coordinated-omission-free intended latency alongside it
 	// (closed-loop runs leave the intended half empty).
 	lat    metrics.DualHistogram
-	perOp  []metrics.Histogram // index-aligned with the mix
+	perOp  []metrics.DualHistogram // index-aligned with the mix
 	ops    int64
 	errs   int64
 	aborts int64
@@ -178,10 +223,11 @@ func (rec *workerRecorder) observe(idx int, service, intended time.Duration, has
 	rec.ops++
 	if hasSchedule {
 		rec.lat.Observe(service, intended)
+		rec.perOp[idx].Observe(service, intended)
 	} else {
 		rec.lat.Service.Observe(service)
+		rec.perOp[idx].Service.Observe(service)
 	}
-	rec.perOp[idx].Observe(service)
 	if err != nil {
 		rec.errs++
 		if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, federation.ErrCoordinatorCrash) {
@@ -197,9 +243,16 @@ func (rec *workerRecorder) observe(idx int, service, intended time.Duration, has
 // cfg.Mode selects the load model. The default closed loop keeps
 // Clients workers each running OpsPerClient operations back to back —
 // deterministic per-client op sequences, load self-throttled to the
-// engine. ModeOpen instead schedules Clients*OpsPerClient arrivals at
-// cfg.RateOpsPerSec from cfg.Arrival and measures both service and
-// intended latency (see Result.Intended).
+// engine. ModeOpen instead schedules arrivals at cfg.RateOpsPerSec
+// from cfg.Arrival — Clients*OpsPerClient of them, or lazily for
+// cfg.Duration when set — and measures both service and intended
+// latency (see Result.Intended).
+//
+// Every call stamps its T2 FreshIDs with a process-unique run nonce,
+// so repeated runs against the same loaded store (a rate sweep, an
+// experiment ladder) never collide on order ids. Everything else about
+// a run — op sequence, parameters, arrivals — remains a pure function
+// of the config.
 func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
@@ -220,25 +273,33 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 		Clients:  cfg.Clients,
 		Latency:  &metrics.Histogram{},
 		Intended: &metrics.Histogram{},
-		PerOp:    make(map[string]*metrics.Histogram, len(mix)),
+		PerOp:    make(map[string]*metrics.DualHistogram, len(mix)),
 	}
 	for _, m := range mix {
-		res.PerOp[m.Name] = &metrics.Histogram{}
+		res.PerOp[m.Name] = &metrics.DualHistogram{}
+	}
+	if err := validateMix(mix); err != nil {
+		// An undrivable mix is a configuration error, not a crash: the
+		// zero Result comes back with one error counted so sweeps and
+		// reports see a failed run instead of a dead process.
+		res.Errors = 1
+		return res
 	}
 	var lockBase txn.LockStats
 	lsp, hasLock := e.(LockStatsProvider)
 	if hasLock {
 		lockBase = lsp.LockStats()
 	}
+	nonce := runSeq.Add(1)
 	recs := make([]workerRecorder, cfg.Clients)
 	if cfg.Mode == ModeOpen {
 		if cfg.RateOpsPerSec <= 0 {
 			cfg.RateOpsPerSec = 1000
 		}
 		res.Rate.Offered = cfg.RateOpsPerSec
-		res.Elapsed = runOpen(mix, cfg, buildOpenSchedule(info, mix, cfg), recs)
+		res.Elapsed, res.Dropped = runOpen(mix, cfg, newOpenScheduler(info, mix, cfg, nonce), recs)
 	} else {
-		res.Elapsed = runClosed(info, mix, cfg, recs)
+		res.Elapsed = runClosed(info, mix, cfg, recs, nonce)
 	}
 	for c := range recs {
 		rec := &recs[c]
@@ -263,8 +324,10 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 // runClosed is the classic closed loop: each worker draws parameters
 // from its own seeded generator and issues operations back to back.
 // Per-client op sequences depend only on (seed, client, theta, info),
-// which the determinism tests pin.
-func runClosed(info Info, mix []MixItem, cfg DriverConfig, recs []workerRecorder) time.Duration {
+// which the determinism tests pin; only the FreshID carries the run
+// nonce, so repeats of one config stay comparable while never reusing
+// order ids.
+func runClosed(info Info, mix []MixItem, cfg DriverConfig, recs []workerRecorder, nonce uint64) time.Duration {
 	totalWeight := mixWeight(mix)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -273,11 +336,11 @@ func runClosed(info Info, mix []MixItem, cfg DriverConfig, recs []workerRecorder
 		go func(client int) {
 			defer wg.Done()
 			rec := &recs[client]
-			rec.perOp = make([]metrics.Histogram, len(mix))
+			rec.perOp = make([]metrics.DualHistogram, len(mix))
 			gen := NewParamGen(info, cfg.Seed+uint64(client)*7919, cfg.Theta)
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				p := gen.Next()
-				p.FreshID = gen.NewOrderID(client, i)
+				p.FreshID = gen.NewOrderID(nonce, client, i)
 				idx := pickMixIndex(gen, mix, totalWeight)
 				t0 := time.Now()
 				err := mix[idx].Run(p)

@@ -11,16 +11,16 @@ import (
 
 // traceMix builds a mix of no-op items that record every dispatched
 // operation (name + params) per client. The client index is recovered
-// from FreshID, which the driver stamps as "o-new-<client>-<seq>".
+// from FreshID, which the driver stamps as "o-new-r<run>-<client>-<seq>".
 func traceMix(t *testing.T, weights map[string]int, traces [][]string) []MixItem {
 	t.Helper()
 	var mu sync.Mutex
 	record := func(name string, p Params) {
 		parts := strings.Split(p.FreshID, "-")
-		if len(parts) != 4 {
+		if len(parts) != 5 {
 			t.Fatalf("unexpected FreshID %q", p.FreshID)
 		}
-		client, err := strconv.Atoi(parts[2])
+		client, err := strconv.Atoi(parts[3])
 		if err != nil || client < 0 || client >= len(traces) {
 			t.Fatalf("bad client in FreshID %q", p.FreshID)
 		}
@@ -123,10 +123,10 @@ func TestMixFidelity(t *testing.T) {
 	// The per-op histograms must account for every op exactly once.
 	var histTotal int64
 	for name, h := range res.PerOp {
-		if h.Count() != int64(counts[name]) {
-			t.Errorf("%s histogram count %d != dispatched %d", name, h.Count(), counts[name])
+		if h.Service.Count() != int64(counts[name]) {
+			t.Errorf("%s histogram count %d != dispatched %d", name, h.Service.Count(), counts[name])
 		}
-		histTotal += h.Count()
+		histTotal += h.Service.Count()
 	}
 	if histTotal != res.Ops || res.Latency.Count() != res.Ops {
 		t.Errorf("histogram totals %d/%d != ops %d", histTotal, res.Latency.Count(), res.Ops)
@@ -144,6 +144,31 @@ func (nopEngine) StockTransferOnce(Params) error        { return nil }
 func (nopEngine) NewOrder(Params) error                 { return nil }
 func (nopEngine) WriteFeedback(Params) error            { return nil }
 func (nopEngine) SnapshotRead(Params) (bool, error)     { return false, nil }
+
+// TestRunMixRejectsInvalidMix pins the empty/zero-weight validation:
+// an undrivable mix must come back as a zero Result with one error
+// counted, never as an rng.Intn(0) panic inside a worker.
+func TestRunMixRejectsInvalidMix(t *testing.T) {
+	info := Info{Customers: 10, Products: 10, Orders: 10}
+	cases := map[string][]MixItem{
+		"empty":       {},
+		"zero-weight": {{Name: "A", Weight: 0, Run: func(Params) error { return nil }}},
+		"negative":    {{Name: "A", Weight: -3, Run: func(Params) error { return nil }}, {Name: "B", Weight: 5, Run: func(Params) error { return nil }}},
+	}
+	for name, mix := range cases {
+		for _, mode := range []DriverMode{ModeClosed, ModeOpen} {
+			res := RunMix(nil, info, mix, DriverConfig{
+				Clients: 2, OpsPerClient: 10, Seed: 1, Mode: mode, RateOpsPerSec: 1000,
+			})
+			if res.Ops != 0 || res.Errors != 1 {
+				t.Errorf("%s/%v mix: ops=%d errors=%d, want 0/1", name, mode, res.Ops, res.Errors)
+			}
+			if res.Throughput != 0 {
+				t.Errorf("%s/%v mix reported throughput %g", name, mode, res.Throughput)
+			}
+		}
+	}
+}
 
 // TestStandardMixWeights pins the documented 50/20/15/10/5 split.
 func TestStandardMixWeights(t *testing.T) {

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udbench/internal/datagen"
@@ -53,55 +54,139 @@ func (s *ArrivalSchedule) Next() time.Duration {
 	return time.Duration(s.at * float64(time.Second))
 }
 
-// scheduledOp is one pre-generated open-loop operation: what to run,
-// with which parameters, and when it is scheduled to arrive.
+// scheduledOp is one generated open-loop operation: what to run, with
+// which parameters, and when it is scheduled to arrive.
 type scheduledOp struct {
 	due time.Duration // scheduled arrival, as an offset from run start
 	idx int           // mix item index
 	p   Params
 }
 
-// buildOpenSchedule pre-generates the whole open-loop run — parameters,
-// weighted mix picks, and arrival times — from a single seeded stream,
-// so the schedule is deterministic regardless of worker interleaving at
-// execution time. Total length is Clients*OpsPerClient, mirroring the
-// closed loop's op budget.
-func buildOpenSchedule(info Info, mix []MixItem, cfg DriverConfig) []scheduledOp {
-	totalWeight := mixWeight(mix)
-	gen := NewParamGen(info, cfg.Seed, cfg.Theta)
-	arr := NewArrivalSchedule(cfg.Arrival, cfg.RateOpsPerSec, cfg.Seed^arrivalSeedSalt)
-	ops := make([]scheduledOp, cfg.Clients*cfg.OpsPerClient)
-	for i := range ops {
-		p := gen.Next()
-		p.FreshID = gen.NewOrderID(0, i)
-		ops[i] = scheduledOp{due: arr.Next(), idx: pickMixIndex(gen, mix, totalWeight), p: p}
-	}
-	return ops
+// openScheduler generates the open-loop run — parameters, weighted mix
+// picks, and arrival times — lazily from a single seeded stream, so
+// the schedule is deterministic regardless of worker interleaving at
+// execution time and a duration-bounded run never materializes more
+// arrivals than its horizon admits. Count-bounded runs (Duration == 0)
+// stop after Clients*OpsPerClient arrivals, mirroring the closed
+// loop's op budget; duration-bounded runs stop at the first arrival
+// scheduled past the horizon.
+type openScheduler struct {
+	gen         *ParamGen
+	arr         *ArrivalSchedule
+	totalWeight int
+	mix         []MixItem
+	nonce       uint64
+	limit       int           // op-count bound (0 in duration mode)
+	horizon     time.Duration // duration bound (0 in count mode)
+	i           int
 }
 
-// runOpen executes a pre-built schedule open-loop: a dispatcher
-// releases each operation into a queue at its scheduled arrival time
-// (never earlier, and never throttled by busy workers — the queue
-// holds the entire run), and cfg.Clients workers drain the queue. For
-// every operation two latencies are recorded: service (execution start
-// to completion) and intended (scheduled arrival to completion). When
-// the engine cannot keep up with the offered rate the queue grows and
-// intended latency inflates with the backlog — the tail the closed
-// loop's coordinated omission hides.
-func runOpen(mix []MixItem, cfg DriverConfig, ops []scheduledOp, recs []workerRecorder) time.Duration {
-	// The queue carries indices into ops (not scheduledOp values — the
-	// slice is alive for the whole run anyway) and is buffered to the
-	// whole run, so the dispatcher never blocks on a send: arrivals
-	// stay on schedule no matter how far behind the workers fall.
-	queue := make(chan int, len(ops))
+// newOpenScheduler builds the lazy schedule source for one run. The
+// nonce goes into every FreshID so successive runs on one store never
+// re-insert an order id (see RunMix).
+func newOpenScheduler(info Info, mix []MixItem, cfg DriverConfig, nonce uint64) *openScheduler {
+	s := &openScheduler{
+		gen:         NewParamGen(info, cfg.Seed, cfg.Theta),
+		arr:         NewArrivalSchedule(cfg.Arrival, cfg.RateOpsPerSec, cfg.Seed^arrivalSeedSalt),
+		totalWeight: mixWeight(mix),
+		mix:         mix,
+		nonce:       nonce,
+	}
+	if cfg.Duration > 0 {
+		s.horizon = cfg.Duration
+	} else {
+		s.limit = cfg.Clients * cfg.OpsPerClient
+	}
+	return s
+}
+
+// next returns the next scheduled operation, or ok=false when the
+// schedule is exhausted (count bound reached — including a degenerate
+// zero-op budget — or the next arrival would land past the duration
+// horizon).
+func (s *openScheduler) next() (scheduledOp, bool) {
+	if s.horizon <= 0 && s.i >= s.limit {
+		return scheduledOp{}, false
+	}
+	due := s.arr.Next()
+	if s.horizon > 0 && due >= s.horizon {
+		return scheduledOp{}, false
+	}
+	p := s.gen.Next()
+	p.FreshID = s.gen.NewOrderID(s.nonce, 0, s.i)
+	op := scheduledOp{due: due, idx: pickMixIndex(s.gen, s.mix, s.totalWeight), p: p}
+	s.i++
+	return op, true
+}
+
+// expected returns a capacity hint for the dispatch queue: the exact
+// op count in count mode, the mean arrival count plus generous
+// headroom in duration mode (a Poisson process essentially never
+// exceeds twice its mean, and the headroom covers tiny means).
+func (s *openScheduler) expected(cfg DriverConfig) int {
+	if s.limit > 0 {
+		return s.limit
+	}
+	return int(cfg.RateOpsPerSec*cfg.Duration.Seconds()*2) + 4096
+}
+
+// buildOpenSchedule materializes the lazy schedule — determinism tests
+// compare these snapshots; the driver itself consumes the scheduler
+// one arrival at a time.
+func buildOpenSchedule(info Info, mix []MixItem, cfg DriverConfig, nonce uint64) []scheduledOp {
+	s := newOpenScheduler(info, mix, cfg, nonce)
+	var ops []scheduledOp
+	for {
+		op, ok := s.next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+// drainDeadline bounds how long a duration-bounded run may keep
+// working its backlog after the arrival horizon closes: half the run
+// again, plus a constant floor so very short runs still get a useful
+// drain window. Arrivals still queued at the deadline are dropped and
+// counted — a saturated sweep step reports its backlog instead of
+// serving it forever.
+func drainDeadline(d time.Duration) time.Duration {
+	return d + d/2 + 250*time.Millisecond
+}
+
+// runOpen executes the schedule open-loop: a dispatcher releases each
+// operation into a queue at its scheduled arrival time (never earlier,
+// and never throttled by busy workers), and cfg.Clients workers drain
+// the queue. For every operation two latencies are recorded: service
+// (execution start to completion) and intended (scheduled arrival to
+// completion). When the engine cannot keep up with the offered rate
+// the queue grows and intended latency inflates with the backlog — the
+// tail the closed loop's coordinated omission hides. Duration-bounded
+// runs additionally stop draining at drainDeadline and report the
+// abandoned arrivals as dropped.
+func runOpen(mix []MixItem, cfg DriverConfig, sched *openScheduler, recs []workerRecorder) (time.Duration, int64) {
+	// The queue is buffered to the whole expected run, so the
+	// dispatcher never blocks on a send: arrivals stay on schedule no
+	// matter how far behind the workers fall.
+	queue := make(chan scheduledOp, sched.expected(cfg))
+	var deadline time.Time
+	var dropped atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
+	if sched.horizon > 0 {
+		deadline = start.Add(drainDeadline(sched.horizon))
+	}
 	go func() {
-		for i := range ops {
-			if d := time.Until(start.Add(ops[i].due)); d > 0 {
+		for {
+			op, ok := sched.next()
+			if !ok {
+				break
+			}
+			if d := time.Until(start.Add(op.due)); d > 0 {
 				time.Sleep(d)
 			}
-			queue <- i
+			queue <- op
 		}
 		close(queue)
 	}()
@@ -110,9 +195,12 @@ func runOpen(mix []MixItem, cfg DriverConfig, ops []scheduledOp, recs []workerRe
 		go func(client int) {
 			defer wg.Done()
 			rec := &recs[client]
-			rec.perOp = make([]metrics.Histogram, len(mix))
-			for i := range queue {
-				op := &ops[i]
+			rec.perOp = make([]metrics.DualHistogram, len(mix))
+			for op := range queue {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					dropped.Add(1)
+					continue
+				}
 				t0 := time.Now()
 				err := mix[op.idx].Run(op.p)
 				end := time.Now()
@@ -121,5 +209,14 @@ func runOpen(mix []MixItem, cfg DriverConfig, ops []scheduledOp, recs []workerRe
 		}(c)
 	}
 	wg.Wait()
-	return time.Since(start)
+	elapsed := time.Since(start)
+	// A duration-bounded run owns the whole arrival horizon: when the
+	// last (random) arrival lands early and the backlog clears before
+	// the horizon, the quiet tail is still part of the run — without
+	// the clamp a short window under-counts elapsed and reports an
+	// achieved rate above the offered one.
+	if sched.horizon > 0 && elapsed < sched.horizon {
+		elapsed = sched.horizon
+	}
+	return elapsed, dropped.Load()
 }

@@ -55,7 +55,7 @@ func TestOpenScheduleDeterminism(t *testing.T) {
 		Clients: 3, OpsPerClient: 40, Theta: 0.6, Seed: 11,
 		Mode: ModeOpen, RateOpsPerSec: 1000,
 	}
-	a, b := buildOpenSchedule(info, mix, cfg), buildOpenSchedule(info, mix, cfg)
+	a, b := buildOpenSchedule(info, mix, cfg, 1), buildOpenSchedule(info, mix, cfg, 1)
 	if len(a) != 120 {
 		t.Fatalf("schedule length = %d, want Clients*OpsPerClient = 120", len(a))
 	}
@@ -65,7 +65,7 @@ func TestOpenScheduleDeterminism(t *testing.T) {
 		}
 	}
 	cfg.Seed = 12
-	c := buildOpenSchedule(info, mix, cfg)
+	c := buildOpenSchedule(info, mix, cfg, 1)
 	same := true
 	for i := range a {
 		if a[i] != c[i] {
@@ -147,5 +147,130 @@ func TestOpenLoopExposesCoordinatedOmission(t *testing.T) {
 	}
 	if closed.Intended.Count() != 0 {
 		t.Errorf("closed-loop run recorded %d intended samples, want 0", closed.Intended.Count())
+	}
+}
+
+// TestZeroBudgetScheduleIsEmpty pins the degenerate count bound: a
+// config with no duration and a zero op budget yields an empty
+// schedule, not an unbounded generator.
+func TestZeroBudgetScheduleIsEmpty(t *testing.T) {
+	info := Info{Customers: 10, Products: 10, Orders: 10}
+	mix := []MixItem{{Name: "A", Weight: 1}}
+	ops := buildOpenSchedule(info, mix, DriverConfig{Mode: ModeOpen, RateOpsPerSec: 1000}, 1)
+	if len(ops) != 0 {
+		t.Fatalf("zero-budget schedule generated %d arrivals, want 0", len(ops))
+	}
+}
+
+// TestLazyScheduleDeterminism verifies the duration-bounded lazy
+// schedule is a prefix-stable pure function of the config: the run
+// with the longer horizon reproduces the shorter run's arrivals
+// exactly, then continues. (FreshIDs use the nonce passed in, so two
+// materializations with one nonce are comparable verbatim.)
+func TestLazyScheduleDeterminism(t *testing.T) {
+	info := Info{Customers: 100, Products: 50, Orders: 200}
+	mix := []MixItem{{Name: "A", Weight: 3}, {Name: "B", Weight: 1}}
+	cfg := DriverConfig{
+		Clients: 2, Theta: 0.4, Seed: 21,
+		Mode: ModeOpen, RateOpsPerSec: 2000, Duration: 100 * time.Millisecond,
+	}
+	short := buildOpenSchedule(info, mix, cfg, 5)
+	if len(short) == 0 {
+		t.Fatal("duration-bounded schedule generated no arrivals")
+	}
+	for _, op := range short {
+		if op.due >= cfg.Duration {
+			t.Fatalf("arrival at %v scheduled past the %v horizon", op.due, cfg.Duration)
+		}
+	}
+	long := cfg
+	long.Duration = 200 * time.Millisecond
+	full := buildOpenSchedule(info, mix, long, 5)
+	if len(full) <= len(short) {
+		t.Fatalf("longer horizon generated %d arrivals, want > %d", len(full), len(short))
+	}
+	for i := range short {
+		if short[i] != full[i] {
+			t.Fatalf("same-seed lazy schedules diverge at op %d:\n  %+v\n  %+v", i, short[i], full[i])
+		}
+	}
+}
+
+// TestDurationBoundedWallTime is the drain-deadline check: a mix
+// offered at ~10x capacity would need several seconds to drain its
+// backlog, but a duration-bounded run must come back by the drain
+// deadline with the abandoned arrivals counted as dropped.
+func TestDurationBoundedWallTime(t *testing.T) {
+	info := Info{Customers: 100, Products: 50, Orders: 200}
+	slow := func(Params) error { time.Sleep(5 * time.Millisecond); return nil }
+	mix := []MixItem{{Name: "S", Weight: 1, Run: slow}}
+	dur := 250 * time.Millisecond
+	res := RunMix(nil, info, mix, DriverConfig{
+		Clients: 2, Seed: 13,
+		Mode: ModeOpen, RateOpsPerSec: 4000, Arrival: ArrivalFixed, Duration: dur,
+	})
+	// Capacity is ~400 ops/s, offered 4000 for 250ms => ~1000 arrivals,
+	// an unbounded drain of ~2.5s. The deadline is dur*1.5+250ms =
+	// 625ms; allow generous scheduling slack on top.
+	if res.Elapsed > 1300*time.Millisecond {
+		t.Errorf("duration-bounded run took %v, want well under the unbounded ~2.5s drain", res.Elapsed)
+	}
+	if res.Elapsed < dur {
+		t.Errorf("run finished in %v, before the %v arrival horizon closed", res.Elapsed, dur)
+	}
+	if res.Dropped == 0 {
+		t.Error("saturating duration-bounded run dropped nothing; drain deadline not applied")
+	}
+	if res.Ops == 0 {
+		t.Error("no operations completed")
+	}
+	if res.Intended.Count() != res.Ops {
+		t.Errorf("intended samples %d != completed ops %d (dropped ops must not be observed)",
+			res.Intended.Count(), res.Ops)
+	}
+}
+
+// TestPerOpIntendedPercentiles pins the per-op-class intended
+// contract: populated (and >= service) in open mode, absent in closed
+// mode — same shape as the aggregate histograms.
+func TestPerOpIntendedPercentiles(t *testing.T) {
+	info := Info{Customers: 100, Products: 50, Orders: 200}
+	mix := []MixItem{
+		{Name: "A", Weight: 1, Run: func(Params) error { return nil }},
+		{Name: "B", Weight: 1, Run: func(Params) error { time.Sleep(200 * time.Microsecond); return nil }},
+	}
+	closed := RunMix(nil, info, mix, DriverConfig{Clients: 2, OpsPerClient: 40, Seed: 6})
+	for name, h := range closed.PerOp {
+		if h.Intended.Count() != 0 {
+			t.Errorf("closed-loop per-op %q has %d intended samples, want 0", name, h.Intended.Count())
+		}
+	}
+	cs := closed.Summary()
+	for _, op := range cs.PerOp {
+		if op.IntendedP50NS != 0 || op.IntendedP99NS != 0 {
+			t.Errorf("closed-loop summary op %q has intended percentiles: %+v", op.Name, op)
+		}
+	}
+	open := RunMix(nil, info, mix, DriverConfig{
+		Clients: 2, OpsPerClient: 40, Seed: 6, Mode: ModeOpen, RateOpsPerSec: 5000,
+	})
+	for name, h := range open.PerOp {
+		if h.Intended.Count() != h.Service.Count() {
+			t.Errorf("open-loop per-op %q intended samples %d != service %d",
+				name, h.Intended.Count(), h.Service.Count())
+		}
+	}
+	os := open.Summary()
+	for _, op := range os.PerOp {
+		if op.Count == 0 {
+			continue
+		}
+		if op.IntendedP50NS <= 0 || op.IntendedP99NS <= 0 {
+			t.Errorf("open-loop summary op %q missing intended percentiles: %+v", op.Name, op)
+		}
+		if op.IntendedP99NS < op.P99NS/2 {
+			t.Errorf("open-loop op %q intended p99 %v implausibly below service p99 %v",
+				op.Name, op.IntendedP99NS, op.P99NS)
+		}
 	}
 }

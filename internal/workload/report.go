@@ -19,6 +19,12 @@ type OpSummary struct {
 	P95NS  time.Duration `json:"p95_ns"`
 	P99NS  time.Duration `json:"p99_ns"`
 	MaxNS  time.Duration `json:"max_ns"`
+	// Intended percentiles are per-op-class coordinated-omission-free
+	// latency (scheduled arrival to completion); zero in closed-loop
+	// runs, which have no arrival schedule. At saturation they show
+	// which transaction class queues first.
+	IntendedP50NS time.Duration `json:"intended_p50_ns"`
+	IntendedP99NS time.Duration `json:"intended_p99_ns"`
 }
 
 // RunSummary is the machine-readable digest of one RunMix result,
@@ -31,6 +37,9 @@ type RunSummary struct {
 	Ops     int64  `json:"ops"`
 	Errors  int64  `json:"errors"`
 	Aborts  int64  `json:"aborts"`
+	// Dropped counts arrivals a duration-bounded open-loop run
+	// abandoned at its drain deadline (0 everywhere else).
+	Dropped int64 `json:"dropped"`
 	// RateOpsPerSec is the requested open-loop arrival rate (0 when
 	// closed-loop); AchievedRate is the completion rate the run
 	// sustained (equals Throughput).
@@ -55,16 +64,21 @@ type RunSummary struct {
 	LockStats *txn.LockStats `json:"lock_stats,omitempty"`
 }
 
-func opSummary(name string, h *metrics.Histogram) OpSummary {
-	return OpSummary{
+func opSummary(name string, d *metrics.DualHistogram) OpSummary {
+	s := OpSummary{
 		Name:   name,
-		Count:  h.Count(),
-		MeanNS: h.Mean(),
-		P50NS:  h.Percentile(50),
-		P95NS:  h.Percentile(95),
-		P99NS:  h.Percentile(99),
-		MaxNS:  h.Max(),
+		Count:  d.Service.Count(),
+		MeanNS: d.Service.Mean(),
+		P50NS:  d.Service.Percentile(50),
+		P95NS:  d.Service.Percentile(95),
+		P99NS:  d.Service.Percentile(99),
+		MaxNS:  d.Service.Max(),
 	}
+	if d.Intended.Count() > 0 {
+		s.IntendedP50NS = d.Intended.Percentile(50)
+		s.IntendedP99NS = d.Intended.Percentile(99)
+	}
+	return s
 }
 
 // Summary converts a Result into its machine-readable form, with
@@ -77,6 +91,7 @@ func (r Result) Summary() RunSummary {
 		Ops:           r.Ops,
 		Errors:        r.Errors,
 		Aborts:        r.Aborts,
+		Dropped:       r.Dropped,
 		RateOpsPerSec: r.Rate.Offered,
 		AchievedRate:  r.Rate.Achieved,
 		ElapsedNS:     r.Elapsed,

@@ -18,6 +18,7 @@ var goldenSummaryFields = []string{
 	"aborts",
 	"achieved_rate",
 	"clients",
+	"dropped",
 	"elapsed_ns",
 	"engine",
 	"errors",
@@ -41,6 +42,8 @@ var goldenSummaryFields = []string{
 	"p95_ns",
 	"p99_ns",
 	"per_op[].count",
+	"per_op[].intended_p50_ns",
+	"per_op[].intended_p99_ns",
 	"per_op[].max_ns",
 	"per_op[].mean_ns",
 	"per_op[].name",

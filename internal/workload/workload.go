@@ -193,7 +193,11 @@ func (g *ParamGen) Next() Params {
 }
 
 // NewOrderID draws a fresh, never-generated order id for T2 inserts.
-// Ids are unique per generator.
-func (g *ParamGen) NewOrderID(client int, seq int) string {
-	return fmt.Sprintf("o-new-%03d-%08d", client, seq)
+// Ids are unique per (run, client, seq) triple: the driver threads a
+// process-unique run nonce through so that back-to-back RunMix calls
+// against the same loaded store can never re-insert an id an earlier
+// run already used (which would inflate T2 duplicate-key errors on
+// every run after the first — exactly what a rate sweep does).
+func (g *ParamGen) NewOrderID(run uint64, client int, seq int) string {
+	return fmt.Sprintf("o-new-r%d-%03d-%08d", run, client, seq)
 }

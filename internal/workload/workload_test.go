@@ -193,10 +193,38 @@ func TestRunMixBothEngines(t *testing.T) {
 		}
 		total := int64(0)
 		for _, h := range res.PerOp {
-			total += h.Count()
+			total += h.Service.Count()
 		}
 		if total != res.Ops {
 			t.Errorf("%s per-op histograms sum to %d", e.Name(), total)
+		}
+	}
+}
+
+// TestRunMixRepeatNoDuplicateFreshIDs is the regression test for the
+// FreshID-reuse bug: back-to-back RunMix calls on the same loaded
+// engine used to re-stamp the same order ids (closed loop repeated
+// (client, seq) verbatim; the open loop stamped every op (0, seq)), so
+// every run after the first inflated T2 duplicate-key errors — exactly
+// what a rate sweep does. With the per-run nonce, the second run (and
+// a mode switch) must insert cleanly.
+func TestRunMixRepeatNoDuplicateFreshIDs(t *testing.T) {
+	fx := newFixture(t, 0.02)
+	t2Only := []MixItem{{Name: "T2", Weight: 1, Run: fx.uni.NewOrder}}
+	closed := DriverConfig{Clients: 2, OpsPerClient: 20, Seed: 5}
+	for run := 1; run <= 2; run++ {
+		res := RunMix(fx.uni, fx.info, t2Only, closed)
+		if res.Errors != 0 {
+			t.Fatalf("closed-loop run %d: %d errors (duplicate FreshIDs?)", run, res.Errors)
+		}
+	}
+	open := closed
+	open.Mode = ModeOpen
+	open.RateOpsPerSec = 5000
+	for run := 1; run <= 2; run++ {
+		res := RunMix(fx.uni, fx.info, t2Only, open)
+		if res.Errors != 0 {
+			t.Fatalf("open-loop run %d: %d errors (duplicate FreshIDs?)", run, res.Errors)
 		}
 	}
 }
@@ -327,8 +355,11 @@ func TestParamGenDeterminism(t *testing.T) {
 			t.Fatalf("customer out of range: %d", pa.CustomerID)
 		}
 	}
-	if a.NewOrderID(1, 2) == a.NewOrderID(1, 3) || a.NewOrderID(1, 2) != b.NewOrderID(1, 2) {
+	if a.NewOrderID(7, 1, 2) == a.NewOrderID(7, 1, 3) || a.NewOrderID(7, 1, 2) != b.NewOrderID(7, 1, 2) {
 		t.Error("NewOrderID uniqueness/determinism wrong")
+	}
+	if a.NewOrderID(7, 1, 2) == a.NewOrderID(8, 1, 2) {
+		t.Error("NewOrderID must differ across run nonces")
 	}
 }
 
