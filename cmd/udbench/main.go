@@ -263,7 +263,7 @@ func cmdMix(args []string) error {
 	t := metrics.NewTable(title,
 		"engine", "op", "count", "mean", "p50", "p95", "p99", "int p99", "ops/s", "aborts")
 	lt := metrics.NewTable("Lock-table telemetry",
-		"engine", "acquires", "waits", "wait%", "wait time", "cycles", "victims")
+		"engine", "acquires", "shared fast", "waits", "wait%", "wait time", "sweeps", "cycles", "victims")
 	for _, e := range []workload.Engine{workload.NewUDBMSEngine(db), workload.NewFederationEngine(f)} {
 		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
 		s := res.Summary()
@@ -284,9 +284,9 @@ func cmdMix(args []string) error {
 			t.AddRow(s.Engine, op.Name, op.Count, op.MeanNS, op.P50NS, op.P95NS, op.P99NS, opIntP99, "", "")
 		}
 		if ls := res.LockStats; ls != nil {
-			lt.AddRow(s.Engine, ls.Acquires, ls.Waits,
+			lt.AddRow(s.Engine, ls.Acquires, ls.SharedFast, ls.Waits,
 				fmt.Sprintf("%.2f%%", 100*ls.WaitRate()), ls.WaitNS,
-				ls.Detector.Cycles, ls.Detector.Victims)
+				ls.Detector.Sweeps, ls.Detector.Cycles, ls.Detector.Victims)
 		}
 		if driverMode == workload.ModeOpen {
 			note := ""

@@ -67,19 +67,39 @@
 //   - Lock table (internal/txn): striped into 64 shards by resource-key
 //     hash, each with its own mutex and condition variable. Acquires of
 //     unrelated records never contend and a release wakes only its own
-//     shard. Deadlock detection runs on a single cross-shard wait-for
-//     graph behind a small detector lock that the uncontended fast
-//     path never touches; victims blocked in another shard are woken
-//     through that shard's condition variable.
+//     shard. Entries are resident (created once per resource, indexed
+//     lock-free), which enables the shared fast path below.
+//   - Contention-free serializable reads: a shared lock on an entry
+//     with no exclusive holder and no queued waiter is granted by one
+//     CAS on the entry's reader count — no shard mutex, no allocation.
+//     Once a writer queues, a flag bit shuts the fast path so readers
+//     cannot starve it, and slow-path shared requests queue behind the
+//     waiting writer too. Fast readers are anonymous; if their
+//     transaction ever blocks, it first promotes those holds into the
+//     named holders map so the deadlock detector sees every edge. The
+//     stores expose this as GetShared (serializable read mode);
+//     snapshot reads still never lock at all.
+//   - Background deadlock detection: a blocked acquire only records
+//     its wait-for edges; a sweeper goroutine — spawned when the first
+//     waiter appears, exiting when the graph drains — runs one DFS
+//     over the whole cross-shard graph per interval (default 1ms,
+//     Manager.SetDetectorInterval) and marks the youngest transaction
+//     of each cycle as the victim. Victim latency is bounded by the
+//     interval; a blocked acquire no longer pays a graph traversal.
 //   - Interned lock keys: every record carries its precomputed
 //     txn.ResourceKey (name + shard), built once when the record is
 //     created, so steady-state acquire/release performs zero
 //     allocations — no per-lock string concatenation or hashing.
 //   - Snapshot reads never lock (MVCC version chains); writers hold
-//     exclusive locks to commit (strict 2PL). The single designed
-//     serialization point is the commit window: Manager.commitMu makes
-//     timestamp assignment plus version stamping atomic with respect
-//     to Begin, so cross-model snapshots are never torn.
+//     exclusive locks to commit (strict 2PL). The commit point is
+//     epoch-based: a commit stamps its versions at a timestamp from an
+//     atomic sequence (safe — it still holds its exclusive locks),
+//     then publishes by raising a watermark once all smaller
+//     timestamps have published. Begin snapshots at the watermark with
+//     a single atomic load, so cross-model snapshots are never torn
+//     and neither Begin nor Commit takes a mutex — the old
+//     Manager.commitMu serialization point is gone. Commit returns
+//     only after publishing, preserving read-your-writes.
 //   - Measurement (internal/metrics, internal/workload): histograms
 //     use fixed-size logarithmic bucket arrays, and the driver gives
 //     every worker a private recorder merged only after the run —
@@ -102,9 +122,10 @@
 //     top of this and reports each engine's saturation knee.
 //     docs/BENCHMARKING.md covers the methodology.
 //   - Lock telemetry (internal/txn): every shard counts acquires,
-//     blocked acquires and blocked wall time under its existing mutex
-//     (nothing new on the fast path), and the deadlock detector counts
-//     cycle searches, cycles found and victims marked.
+//     fast-path shared grants, blocked acquires and blocked wall time
+//     in atomic counters (so even the mutex-free fast path is
+//     counted), and the background detector counts sweeps, cycles
+//     found and victims marked, and reports its sweep interval.
 //     Manager.LockStats() snapshots all of it; the driver reports the
 //     per-run delta through `udbench mix -json` so contention
 //     regressions are visible in the BENCH_*.json trajectory.

@@ -277,6 +277,19 @@ func (c *Collection) Get(tx *txn.Tx, id string) (mmvalue.Value, bool) {
 	return chain.Read(tx.BeginTS(), tx.ID())
 }
 
+// GetShared is the serializable read mode: it takes a shared lock on
+// the document (held to commit) and returns the latest committed
+// value, which the lock keeps stable until tx ends. A transaction is
+// required. See txn.SharedRead for the protocol.
+func (c *Collection) GetShared(tx *txn.Tx, id string) (mmvalue.Value, bool, error) {
+	if tx == nil {
+		return mmvalue.Null, false, fmt.Errorf("document %s/%s: GetShared requires a transaction", c.store.name, c.name)
+	}
+	return txn.SharedRead(tx, c.store.mgr,
+		func() string { return c.resource(id) },
+		func() (*txn.Chain[mmvalue.Value], bool) { return c.docs.Get(id) })
+}
+
 // Update applies fn to a clone of the current document and stores the
 // result; fn must keep the _id unchanged.
 func (c *Collection) Update(tx *txn.Tx, id string, fn func(doc mmvalue.Value) (mmvalue.Value, error)) error {

@@ -289,6 +289,34 @@ func (s *Store) GetEdge(tx *txn.Tx, id EID) (Edge, bool) {
 	return Edge{ID: id, Label: rec.label, From: rec.from, To: rec.to, Props: props}, true
 }
 
+// GetVertexShared is the serializable read mode for vertices: it takes
+// a shared lock on the vertex record (held to commit) and returns the
+// latest committed state, which the lock keeps stable until tx ends. A
+// transaction is required. It follows the txn.SharedRead protocol
+// inline (the record carries label/adjacency state beside its chain,
+// so the generic chain helper does not fit).
+func (s *Store) GetVertexShared(tx *txn.Tx, id VID) (Vertex, bool, error) {
+	if tx == nil {
+		return Vertex{}, false, fmt.Errorf("graph %s: GetVertexShared requires a transaction", s.name)
+	}
+	// vLockKey serializes the absence case too: a missing vertex locks
+	// a fresh key that any concurrent creator must also take.
+	if err := tx.LockSharedKey(s.vLockKey(id)); err != nil {
+		return Vertex{}, false, err
+	}
+	s.mu.RLock()
+	rec := s.vertices[id]
+	s.mu.RUnlock()
+	if rec == nil {
+		return Vertex{}, false, nil
+	}
+	props, ok := rec.chain.Read(s.mgr.Oracle().Current(), tx.ID())
+	if !ok {
+		return Vertex{}, false, nil
+	}
+	return Vertex{ID: id, Label: rec.label, Props: props}, true, nil
+}
+
 func readChain(c *txn.Chain[mmvalue.Value], tx *txn.Tx) (mmvalue.Value, bool) {
 	if tx == nil {
 		return c.ReadLatest()

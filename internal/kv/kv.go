@@ -91,6 +91,20 @@ func (s *Store) Get(tx *txn.Tx, key string) (mmvalue.Value, bool) {
 	return chain.Read(tx.BeginTS(), tx.ID())
 }
 
+// GetShared is the serializable read mode: it takes a shared lock on
+// the key (held to commit, like every lock) and returns the latest
+// committed value, which the lock keeps stable until tx ends. A
+// transaction is required — the lock is what distinguishes this from a
+// snapshot Get. See txn.SharedRead for the protocol.
+func (s *Store) GetShared(tx *txn.Tx, key string) (mmvalue.Value, bool, error) {
+	if tx == nil {
+		return mmvalue.Null, false, fmt.Errorf("kv %s: GetShared requires a transaction", s.name)
+	}
+	return txn.SharedRead(tx, s.mgr,
+		func() string { return s.resource(key) },
+		func() (*txn.Chain[mmvalue.Value], bool) { return s.list.Get(key) })
+}
+
 // Delete removes key (writes a tombstone). Deleting a missing key is
 // not an error; the tombstone still serializes with concurrent writers.
 func (s *Store) Delete(tx *txn.Tx, key string) error {

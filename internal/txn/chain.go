@@ -128,6 +128,39 @@ func (c *Chain[T]) Len() int {
 	return len(c.versions)
 }
 
+// SharedRead is the serializable shared-lock read protocol behind the
+// stores' GetShared methods, kept in one place so the subtleties stay
+// in sync: when the record is missing, its *name* is locked shared so
+// the absence serializes against a concurrent creator (which must take
+// the same lock to insert) and the lookup is retried; when present,
+// the interned chain key is locked and the chain is read at the
+// oracle's current edge — under the shared lock no writer can be
+// stamping this chain, so that read is the stable latest committed
+// value (or the transaction's own uncommitted write, if it already
+// holds an exclusive lock here). Uncontended shared locks are granted
+// on the lock table's contention-free fast path. tx must be non-nil;
+// lookup is called once more if the first call misses.
+func SharedRead[T any](tx *Tx, mgr *Manager, resource func() string, lookup func() (*Chain[T], bool)) (T, bool, error) {
+	var zero T
+	chain, ok := lookup()
+	if !ok {
+		if err := tx.LockShared(resource()); err != nil {
+			return zero, false, err
+		}
+		if chain, ok = lookup(); !ok {
+			return zero, false, nil
+		}
+	}
+	if err := tx.LockSharedKey(chain.Res); err != nil {
+		return zero, false, err
+	}
+	v, live := chain.Read(mgr.Oracle().Current(), tx.ID())
+	if !live {
+		return zero, false, nil
+	}
+	return v, true, nil
+}
+
 // GC drops committed versions that are older than horizon and shadowed
 // by a newer committed version, returning how many were dropped.
 // The newest committed version is always retained.

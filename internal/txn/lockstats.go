@@ -6,21 +6,26 @@ import "time"
 // no activity are omitted from snapshots, so Shard identifies which of
 // the numLockShards stripes the counters belong to.
 type ShardLockStats struct {
-	Shard    int           `json:"shard"`
-	Acquires uint64        `json:"acquires"`
-	Waits    uint64        `json:"waits"`
-	WaitNS   time.Duration `json:"wait_ns"`
+	Shard    int    `json:"shard"`
+	Acquires uint64 `json:"acquires"`
+	// SharedFast counts the subset of Acquires granted on the lock-free
+	// shared fast path (reader-count CAS, no shard mutex).
+	SharedFast uint64        `json:"shared_fast"`
+	Waits      uint64        `json:"waits"`
+	WaitNS     time.Duration `json:"wait_ns"`
 }
 
-// DetectorStats summarizes the deadlock detector's work: how many cycle
-// searches ran (one per blocked-acquire retry), how many found a cycle,
-// and how many transactions were marked as victims. Victims can be
-// lower than cycles because a search that rediscovers a cycle whose
-// victim is already marked does not mark a second one.
+// DetectorStats summarizes the background deadlock detector's work: how
+// many sweeps ran (one full pass over the wait-for graph per pass, not
+// one search per blocked acquire), how many cycles those sweeps found,
+// and how many transactions were marked as victims (one per cycle).
+// IntervalNS is the sweep cadence — the upper bound on how long a
+// deadlocked transaction waits before a victim is chosen.
 type DetectorStats struct {
-	Searches uint64 `json:"searches"`
-	Cycles   uint64 `json:"cycles"`
-	Victims  uint64 `json:"victims"`
+	Sweeps     uint64        `json:"sweeps"`
+	Cycles     uint64        `json:"cycles"`
+	Victims    uint64        `json:"victims"`
+	IntervalNS time.Duration `json:"interval_ns"`
 }
 
 // LockStats is a point-in-time snapshot of lock-table telemetry:
@@ -29,11 +34,12 @@ type DetectorStats struct {
 // only, ordered by shard index). Counters are monotone, so the
 // telemetry of a bounded run is the Delta of two snapshots.
 type LockStats struct {
-	Acquires uint64           `json:"acquires"`
-	Waits    uint64           `json:"waits"`
-	WaitNS   time.Duration    `json:"wait_ns"`
-	Detector DetectorStats    `json:"detector"`
-	Shards   []ShardLockStats `json:"shards"`
+	Acquires   uint64           `json:"acquires"`
+	SharedFast uint64           `json:"shared_fast"`
+	Waits      uint64           `json:"waits"`
+	WaitNS     time.Duration    `json:"wait_ns"`
+	Detector   DetectorStats    `json:"detector"`
+	Shards     []ShardLockStats `json:"shards"`
 }
 
 // WaitRate returns the fraction of acquires that blocked.
@@ -46,29 +52,33 @@ func (s LockStats) WaitRate() float64 {
 
 // Delta returns the change from prev to s, shard by shard. Both
 // snapshots must come from the same manager (counters are monotone);
-// shards absent from prev are taken as zero.
+// shards absent from prev are taken as zero. The detector interval is
+// not a counter — the delta carries the current (s) value.
 func (s LockStats) Delta(prev LockStats) LockStats {
 	prevShards := make(map[int]ShardLockStats, len(prev.Shards))
 	for _, ps := range prev.Shards {
 		prevShards[ps.Shard] = ps
 	}
 	out := LockStats{
-		Acquires: s.Acquires - prev.Acquires,
-		Waits:    s.Waits - prev.Waits,
-		WaitNS:   s.WaitNS - prev.WaitNS,
+		Acquires:   s.Acquires - prev.Acquires,
+		SharedFast: s.SharedFast - prev.SharedFast,
+		Waits:      s.Waits - prev.Waits,
+		WaitNS:     s.WaitNS - prev.WaitNS,
 		Detector: DetectorStats{
-			Searches: s.Detector.Searches - prev.Detector.Searches,
-			Cycles:   s.Detector.Cycles - prev.Detector.Cycles,
-			Victims:  s.Detector.Victims - prev.Detector.Victims,
+			Sweeps:     s.Detector.Sweeps - prev.Detector.Sweeps,
+			Cycles:     s.Detector.Cycles - prev.Detector.Cycles,
+			Victims:    s.Detector.Victims - prev.Detector.Victims,
+			IntervalNS: s.Detector.IntervalNS,
 		},
 	}
 	for _, sh := range s.Shards {
 		p := prevShards[sh.Shard]
 		d := ShardLockStats{
-			Shard:    sh.Shard,
-			Acquires: sh.Acquires - p.Acquires,
-			Waits:    sh.Waits - p.Waits,
-			WaitNS:   sh.WaitNS - p.WaitNS,
+			Shard:      sh.Shard,
+			Acquires:   sh.Acquires - p.Acquires,
+			SharedFast: sh.SharedFast - p.SharedFast,
+			Waits:      sh.Waits - p.Waits,
+			WaitNS:     sh.WaitNS - p.WaitNS,
 		}
 		if d.Acquires != 0 || d.Waits != 0 || d.WaitNS != 0 {
 			out.Shards = append(out.Shards, d)
@@ -80,7 +90,9 @@ func (s LockStats) Delta(prev LockStats) LockStats {
 // Merge folds other into s and returns the sum. Shards are summed by
 // index, which aggregates the stripes of *different* lock tables (the
 // federation merges its five per-store managers this way); within one
-// manager use Delta, not Merge.
+// manager use Delta, not Merge. The merged detector interval is the
+// slowest (largest) of the two — the bound on victim latency across
+// the merged tables.
 func (s LockStats) Merge(other LockStats) LockStats {
 	byShard := make(map[int]ShardLockStats, len(s.Shards)+len(other.Shards))
 	maxShard := -1
@@ -89,6 +101,7 @@ func (s LockStats) Merge(other LockStats) LockStats {
 			acc := byShard[sh.Shard]
 			acc.Shard = sh.Shard
 			acc.Acquires += sh.Acquires
+			acc.SharedFast += sh.SharedFast
 			acc.Waits += sh.Waits
 			acc.WaitNS += sh.WaitNS
 			byShard[sh.Shard] = acc
@@ -97,14 +110,20 @@ func (s LockStats) Merge(other LockStats) LockStats {
 			}
 		}
 	}
+	interval := s.Detector.IntervalNS
+	if other.Detector.IntervalNS > interval {
+		interval = other.Detector.IntervalNS
+	}
 	out := LockStats{
-		Acquires: s.Acquires + other.Acquires,
-		Waits:    s.Waits + other.Waits,
-		WaitNS:   s.WaitNS + other.WaitNS,
+		Acquires:   s.Acquires + other.Acquires,
+		SharedFast: s.SharedFast + other.SharedFast,
+		Waits:      s.Waits + other.Waits,
+		WaitNS:     s.WaitNS + other.WaitNS,
 		Detector: DetectorStats{
-			Searches: s.Detector.Searches + other.Detector.Searches,
-			Cycles:   s.Detector.Cycles + other.Detector.Cycles,
-			Victims:  s.Detector.Victims + other.Detector.Victims,
+			Sweeps:     s.Detector.Sweeps + other.Detector.Sweeps,
+			Cycles:     s.Detector.Cycles + other.Detector.Cycles,
+			Victims:    s.Detector.Victims + other.Detector.Victims,
+			IntervalNS: interval,
 		},
 	}
 	for i := 0; i <= maxShard; i++ {
@@ -115,10 +134,10 @@ func (s LockStats) Merge(other LockStats) LockStats {
 	return out
 }
 
-// LockStats snapshots the manager's lock-table telemetry. It briefly
-// takes each shard mutex in turn (and the detector mutex once), so a
-// snapshot is cheap but not a single atomic cut across shards — fine
-// for the monotone counters it reads.
+// LockStats snapshots the manager's lock-table telemetry. Shard
+// counters are atomics, so the snapshot takes no shard mutex (only the
+// small detector mutex once); it is cheap but not a single atomic cut
+// across shards — fine for the monotone counters it reads.
 func (m *Manager) LockStats() LockStats {
 	return m.locks.stats()
 }
@@ -127,22 +146,26 @@ func (lt *lockTable) stats() LockStats {
 	var out LockStats
 	for i := range lt.shards {
 		s := &lt.shards[i]
-		s.mu.Lock()
-		acq, waits, wt := s.acquires, s.waits, s.waitTime
-		s.mu.Unlock()
+		acq := s.acquires.Load()
+		fast := s.sharedFast.Load()
+		waits := s.waits.Load()
+		wt := time.Duration(s.waitNS.Load())
 		if acq == 0 && waits == 0 {
 			continue
 		}
 		out.Acquires += acq
+		out.SharedFast += fast
 		out.Waits += waits
 		out.WaitNS += wt
 		out.Shards = append(out.Shards, ShardLockStats{
-			Shard: i, Acquires: acq, Waits: waits, WaitNS: wt,
+			Shard: i, Acquires: acq, SharedFast: fast, Waits: waits, WaitNS: wt,
 		})
 	}
 	d := &lt.det
 	d.mu.Lock()
-	out.Detector = DetectorStats{Searches: d.searches, Cycles: d.cycles, Victims: d.victims}
+	out.Detector = DetectorStats{
+		Sweeps: d.sweeps, Cycles: d.cycles, Victims: d.victims, IntervalNS: d.interval,
+	}
 	d.mu.Unlock()
 	return out
 }

@@ -64,8 +64,8 @@ func TestLockStatsCountsWaits(t *testing.T) {
 }
 
 // TestLockStatsDetectorCycle pins the detector telemetry: an AB-BA
-// deadlock records at least one search, one found cycle, and one
-// victim.
+// deadlock records at least one background sweep, one found cycle, and
+// one victim, and the snapshot reports the sweep interval.
 func TestLockStatsDetectorCycle(t *testing.T) {
 	m := NewManager()
 	a, b := NewResourceKey("res-a"), NewResourceKey("res-b")
@@ -104,14 +104,17 @@ func TestLockStatsDetectorCycle(t *testing.T) {
 		t.Fatalf("deadlock victims = %d, want exactly 1", deadlocks)
 	}
 	s := m.LockStats()
-	if s.Detector.Searches == 0 {
-		t.Error("detector ran no cycle searches")
+	if s.Detector.Sweeps == 0 {
+		t.Error("detector ran no background sweeps")
 	}
 	if s.Detector.Cycles == 0 {
 		t.Error("detector found no cycles")
 	}
 	if s.Detector.Victims == 0 {
 		t.Error("detector marked no victims")
+	}
+	if s.Detector.IntervalNS != DefaultDetectorInterval {
+		t.Errorf("detector interval = %v, want %v", s.Detector.IntervalNS, DefaultDetectorInterval)
 	}
 	if s.Waits == 0 {
 		t.Error("no waits recorded for a deadlock that blocked both txns")

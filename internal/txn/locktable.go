@@ -2,6 +2,7 @@ package txn
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,46 +49,124 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// Entry state word layout (lockEntry.state). The low 32 bits count
+// fast-path shared holders (anonymous readers granted by CAS without
+// the shard mutex); the flag bits mirror, for the lock-free reader
+// path, facts whose source of truth lives under the shard mutex.
+const (
+	// fastCountMask extracts the fast-path shared-reader count.
+	fastCountMask uint64 = (1 << 32) - 1
+	// flagExclusive is set exactly while an exclusive holder exists in
+	// the entry's holders map. Set atomically with the writer's grant
+	// (CAS against a zero reader count), cleared at release.
+	flagExclusive uint64 = 1 << 32
+	// flagWaiters is set while at least one transaction sleeps on this
+	// entry. New fast-path readers back off to the slow path while it is
+	// set, so a storm of readers cannot starve a blocked writer.
+	flagWaiters uint64 = 1 << 33
+)
+
+// DefaultDetectorInterval is the cadence of the background deadlock
+// detector: the upper bound a deadlocked transaction waits before a
+// sweep finds the cycle and marks a victim. Override per manager with
+// SetDetectorInterval.
+const DefaultDetectorInterval = time.Millisecond
+
 // lockTable implements strict two-phase locking over string-named
 // resources. The table is striped: entries are sharded by resource-key
 // hash, each shard with its own mutex and condition variable, so
 // acquires of unrelated resources never contend and a release only
-// wakes waiters in its own shard. Deadlock detection runs on a single
-// cross-shard wait-for graph guarded by a small dedicated detector
-// lock; the uncontended fast path (grant without waiting) never touches
-// it.
+// wakes waiters in its own shard.
+//
+// Shared locks additionally have a contention-free fast path: when an
+// entry has no exclusive holder and no sleeping waiter, a reader
+// CAS-increments the entry's fast reader count and never touches the
+// shard mutex. Entries are therefore *resident*: once created for a
+// resource they stay in the shard's lock-free index forever (the table
+// grows with the set of resources ever locked, exactly like the record
+// version chains themselves), which is what makes a raced fast-path
+// pointer permanently safe to CAS against.
+//
+// Deadlock detection is batched: a blocked acquire only records its
+// wait-for edges; a background sweeper goroutine — spawned when the
+// first waiter appears, exiting when the graph drains — runs one DFS
+// over the whole cross-shard graph per interval and marks victims.
 type lockTable struct {
 	shards [numLockShards]lockShard
 	det    detector
 }
 
 type lockShard struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	entries map[string]*lockEntry
-	// free recycles emptied entries so steady-state acquire/release on
-	// a working set performs zero allocations.
-	free []*lockEntry
-	// Telemetry, guarded by mu (no extra synchronization on the fast
-	// path — the shard mutex is already held wherever these change).
-	acquires uint64        // acquire calls routed to this shard
-	waits    uint64        // acquires that blocked at least once
-	waitTime time.Duration // wall time spent asleep in cond.Wait (awake retry work excluded)
+	mu   sync.Mutex
+	cond *sync.Cond
+	// entries is the lock-free resource index: resource name ->
+	// *lockEntry. Entries are created under mu (slow path) and never
+	// removed, so a pointer loaded here is valid forever.
+	entries sync.Map
+	// Telemetry. Atomics, not mutex-guarded counters: the shared fast
+	// path must count acquires without ever taking mu.
+	acquires   atomic.Uint64 // acquire calls routed to this shard
+	sharedFast atomic.Uint64 // shared acquires granted on the lock-free fast path
+	waits      atomic.Uint64 // acquires that blocked at least once
+	waitNS     atomic.Int64  // wall time spent asleep in cond.Wait
 }
 
 type lockEntry struct {
-	// holders maps txID -> mode currently granted.
+	// state is the lock-free view: fast reader count + flags. See the
+	// flag constants for the layout and ownership rules.
+	state atomic.Uint64
+	// holders maps txID -> mode currently granted via the slow path.
+	// Guarded by the shard mutex. Fast-path readers are anonymous: they
+	// live only in the state count (and in their transaction's held-lock
+	// list, which promotes them into holders if the transaction ever
+	// blocks, keeping deadlock detection sound).
 	holders map[uint64]lockMode
+	// waiters counts transactions currently asleep on this entry;
+	// guarded by the shard mutex. Its zero/non-zero transitions drive
+	// flagWaiters.
 	waiters int
+	// xwaiters is the set of transactions sleeping on this entry that
+	// want the lock exclusively. New shared requests queue behind them
+	// (no reader pile-on past a waiting writer) and take wait-for edges
+	// to them. Guarded by the shard mutex; allocated on first writer
+	// wait.
+	xwaiters map[uint64]struct{}
 }
 
-// detector owns the cross-shard deadlock state: the wait-for graph,
-// the set of chosen victims, and which shard each waiter sleeps on
-// (so a victim picked from another shard can be woken). Its mutex is a
-// leaf: it is taken while holding at most one shard mutex and never the
-// other way around.
+// fastHoldPromoter is implemented by *Tx: promoteFastHolds converts the
+// transaction's anonymous fast-path shared holds into named holders-map
+// entries. The lock table calls it once, without holding any shard
+// mutex, before a transaction first sleeps — a sleeping transaction's
+// shared holds must be visible to the deadlock detector, or a writer
+// blocked on them would wait on an edge the wait-for graph cannot see.
+// hasFastHolds lets the table skip the mutex round trip when there is
+// nothing to promote (it reads only caller-goroutine-owned state).
+type fastHoldPromoter interface {
+	hasFastHolds() bool
+	promoteFastHolds()
+}
+
+// heldLock records one lock held by a transaction: the key, the entry
+// it was granted on (entries are resident, so the pointer stays valid),
+// the granted mode, and whether the grant was the anonymous shared fast
+// path (released by count decrement) or a holders-map grant (released
+// under the shard mutex).
+type heldLock struct {
+	key   ResourceKey
+	entry *lockEntry
+	mode  lockMode
+	fast  bool
+}
+
+// detector owns the cross-shard deadlock state: the wait-for graph, the
+// set of chosen victims, and which shard each waiter sleeps on (so a
+// victim can be woken wherever it blocks). Its mutex is a leaf: it is
+// taken while holding at most one shard mutex and never the other way
+// around — the background sweeper collects victims under det.mu, drops
+// it, and only then takes shard mutexes to broadcast.
 type detector struct {
-	mu sync.Mutex
+	mu       sync.Mutex
+	interval time.Duration
 	// waitsFor[a] = set of txIDs that a is currently waiting on.
 	waitsFor map[uint64]map[uint64]struct{}
 	// aborted marks waiters chosen as deadlock victims so they stop
@@ -95,15 +174,20 @@ type detector struct {
 	aborted map[uint64]struct{}
 	// waitShard records the shard each waiting transaction blocks on.
 	waitShard map[uint64]*lockShard
+	// running is true while the background sweeper goroutine is alive.
+	// It is spawned by the first waiter and exits when the graph
+	// drains, so idle managers cost nothing.
+	running bool
 	// Telemetry, guarded by mu.
-	searches uint64 // cycle searches run (one per blocked acquire retry)
-	cycles   uint64 // searches that found a cycle
-	victims  uint64 // transactions marked as deadlock victims
+	sweeps  uint64 // background passes over the whole wait-for graph
+	cycles  uint64 // cycles found across all sweeps
+	victims uint64 // transactions marked as deadlock victims
 }
 
 func newLockTable() *lockTable {
 	lt := &lockTable{
 		det: detector{
+			interval:  DefaultDetectorInterval,
 			waitsFor:  make(map[uint64]map[uint64]struct{}),
 			aborted:   make(map[uint64]struct{}),
 			waitShard: make(map[uint64]*lockShard),
@@ -111,42 +195,95 @@ func newLockTable() *lockTable {
 	}
 	for i := range lt.shards {
 		s := &lt.shards[i]
-		s.entries = make(map[string]*lockEntry)
 		s.cond = sync.NewCond(&s.mu)
 	}
 	return lt
 }
 
-func (s *lockShard) newEntry() *lockEntry {
-	if n := len(s.free); n > 0 {
-		e := s.free[n-1]
-		s.free = s.free[:n-1]
-		return e
+// getOrCreate returns the resident entry for name, creating it on first
+// use. Safe without the shard mutex (sync.Map), but creation normally
+// happens on the slow path anyway.
+func (s *lockShard) getOrCreate(name string) *lockEntry {
+	if v, ok := s.entries.Load(name); ok {
+		return v.(*lockEntry)
 	}
-	return &lockEntry{holders: make(map[uint64]lockMode, 2)}
+	v, _ := s.entries.LoadOrStore(name, &lockEntry{holders: make(map[uint64]lockMode, 2)})
+	return v.(*lockEntry)
 }
 
-func (s *lockShard) recycle(e *lockEntry) {
-	clear(e.holders)
-	if len(s.free) < 128 {
-		s.free = append(s.free, e)
+// acquireSharedFast tries the contention-free shared-lock grant: if the
+// entry exists and has no exclusive holder and no sleeping waiter, a
+// single CAS increments the reader count and the acquire is done — no
+// shard mutex, no allocation. It returns nil when the caller must take
+// the slow path (entry missing, writer present, or waiters queued).
+func (lt *lockTable) acquireSharedFast(key ResourceKey) *lockEntry {
+	s := &lt.shards[key.shard]
+	v, ok := s.entries.Load(key.name)
+	if !ok {
+		return nil
 	}
+	e := v.(*lockEntry)
+	for {
+		st := e.state.Load()
+		if st&(flagExclusive|flagWaiters) != 0 {
+			return nil
+		}
+		if e.state.CompareAndSwap(st, st+1) {
+			s.acquires.Add(1)
+			s.sharedFast.Add(1)
+			return e
+		}
+	}
+}
+
+// releaseFastShared drops one fast-path shared hold. Only when the
+// count drains to zero with a waiter flagged does it touch the shard
+// mutex, to hand off to a blocked writer without a lost wakeup: the
+// writer re-checks the count under the mutex, so it either saw zero
+// already or is in cond.Wait when the broadcast arrives.
+func (lt *lockTable) releaseFastShared(key ResourceKey, e *lockEntry) {
+	st := e.state.Add(^uint64(0)) // decrement reader count
+	if st&fastCountMask == 0 && st&flagWaiters != 0 {
+		s := &lt.shards[key.shard]
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// promoteFastShared converts one anonymous fast-path shared hold of
+// txID into a named holders-map entry, waking the shard so any writer
+// blocked on the drained count re-evaluates (and records a wait-for
+// edge to txID, which the background detector can now see). Called
+// while the promoting transaction holds no shard mutex.
+func (lt *lockTable) promoteFastShared(txID uint64, key ResourceKey, e *lockEntry) {
+	s := &lt.shards[key.shard]
+	s.mu.Lock()
+	e.holders[txID] = lockShared
+	e.state.Add(^uint64(0)) // the anonymous count ref becomes the holders entry
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // acquire blocks until the lock is granted or the caller is chosen as a
 // deadlock victim. It returns granted=true when a new lock was granted
 // and granted=false when the transaction already held a sufficient
 // lock; waited reports whether the call ever blocked (and therefore
-// registered state in the detector). On deadlock it returns
-// ErrDeadlock; the caller must abort the transaction.
-func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode) (granted, waited bool, err error) {
+// registered state in the detector); entry is the resident lock entry
+// (valid on every return, for release bookkeeping). pr, when non-nil,
+// is invoked once before the caller first sleeps so its fast-path
+// shared holds become visible to the deadlock detector.
+func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode, pr fastHoldPromoter) (granted, waited bool, entry *lockEntry, err error) {
 	s := &lt.shards[key.shard]
+	s.acquires.Add(1)
+	e := s.getOrCreate(key.name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.acquires++
 	// slept tracks whether this acquire already counted toward s.waits
-	// (one blocked acquire, however many times it re-sleeps).
+	// (one blocked acquire, however many times it re-sleeps); promoted
+	// whether the pre-sleep fast-hold promotion already ran.
 	slept := false
+	promoted := pr == nil
 
 	for {
 		if waited {
@@ -157,91 +294,145 @@ func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode) (grant
 			// the fast path skips the detector lock entirely.
 			lt.det.clearWaits(txID)
 			if lt.det.consumeAborted(txID) {
-				return false, true, ErrDeadlock
+				// Our departure may have emptied xwaiters: shared
+				// requests queued behind us must re-evaluate, and no
+				// release will ever broadcast on their behalf if the
+				// holders they were compatible with are already gone.
+				s.cond.Broadcast()
+				return false, true, e, ErrDeadlock
 			}
-		}
-		e := s.entries[key.name]
-		if e == nil {
-			// No holders: grant immediately on a fresh (or recycled)
-			// entry. The entry can be missing even after waiting (the
-			// last holder released while our shard mutex was dropped to
-			// signal a victim), so detector state still needs clearing.
-			e = s.newEntry()
-			s.entries[key.name] = e
-			e.holders[txID] = mode
-			if waited {
-				lt.det.onGrant(txID)
-			}
-			return true, waited, nil
 		}
 		if held, ok := e.holders[txID]; ok {
 			if held == lockExclusive || mode == lockShared {
-				return false, waited, nil // already sufficient
+				return false, waited, e, nil // already sufficient
 			}
-			// Upgrade S -> X: wait until we are the only holder.
+			// Upgrade S -> X: fall through and wait until we are the
+			// only holder and the fast reader count is drained.
 		}
-		if grantable(e, txID, mode) {
-			e.holders[txID] = mode
-			if waited {
-				lt.det.onGrant(txID)
+		if mode == lockExclusive {
+			if !hasOtherHolder(e, txID) {
+				// The holders map is clear; the grant still has to beat
+				// the lock-free readers. CAS-setting flagExclusive
+				// against a zero fast count closes the race: a reader
+				// that increments first fails our CAS, a reader after
+				// our CAS sees the flag and backs off.
+				st := e.state.Load()
+				if st&fastCountMask == 0 && e.state.CompareAndSwap(st, st|flagExclusive) {
+					e.holders[txID] = lockExclusive
+					if waited {
+						lt.det.onGrant(txID)
+					}
+					return true, waited, e, nil
+				}
 			}
-			return true, waited, nil
+		} else {
+			// Shared slow path: compatible with other shared holders
+			// (named or fast), but queues behind a waiting writer so
+			// readers cannot pile on past it.
+			if !hasExclusiveHolder(e, txID) && len(e.xwaiters) == 0 {
+				e.holders[txID] = lockShared
+				if waited {
+					lt.det.onGrant(txID)
+				}
+				return true, waited, e, nil
+			}
 		}
-		// Record wait edges to every conflicting holder, then check
-		// whether that closed a cycle.
-		blockers := conflictingHolders(e, txID, mode)
-		victimShard, self, mark := lt.det.addWaitsAndDetect(txID, blockers, s)
+		// Record wait edges to every conflicting holder (and, for a
+		// shared request, to the writers queued ahead), then sleep; the
+		// background detector sweeps the graph for cycles.
+		lt.det.addWaits(txID, blockersFor(e, txID, mode), s)
 		waited = true
-		if self {
-			return false, true, ErrDeadlock
-		}
-		if mark {
-			if victimShard == s {
-				s.cond.Broadcast()
-			} else if victimShard != nil {
-				// The victim sleeps on another shard's condition
-				// variable. Its shard mutex must be held while
-				// broadcasting (otherwise the wake-up can race the
-				// victim's own Wait and be lost), and shard mutexes are
-				// never nested — so drop ours, signal, retake, and
-				// re-evaluate from scratch.
+		if !promoted {
+			promoted = true
+			if pr.hasFastHolds() {
+				// First block: make our anonymous shared holds visible
+				// to the detector. Promotion takes other shards'
+				// mutexes, and shard mutexes are never nested — drop
+				// ours, promote, retake, and re-evaluate from scratch.
 				s.mu.Unlock()
-				victimShard.mu.Lock()
-				victimShard.cond.Broadcast()
-				victimShard.mu.Unlock()
+				pr.promoteFastHolds()
 				s.mu.Lock()
 				continue
 			}
 		}
 		if !slept {
-			s.waits++
+			s.waits.Add(1)
 			slept = true
 		}
-		// Time each sleep individually so only genuinely blocked time
-		// lands in waitTime — awake retry work (grantability re-checks,
-		// detector searches, victim broadcasts) is not billed.
-		sleepStart := time.Now()
 		e.waiters++
+		if e.waiters == 1 {
+			e.state.Or(flagWaiters)
+		}
+		if mode == lockExclusive {
+			if e.xwaiters == nil {
+				e.xwaiters = make(map[uint64]struct{}, 2)
+			}
+			e.xwaiters[txID] = struct{}{}
+			// Re-check the reader count now that flagWaiters is
+			// published. A fast reader that drained the count between
+			// our grant check and the flag-set saw no flag and skipped
+			// the handoff broadcast; sleeping here would be forever
+			// (an anonymous reader also leaves no wait-for edge for
+			// the detector to find). With the flag visible no new
+			// reader can increment, the count can only fall — so if it
+			// is zero now the grant CAS cannot be raced and must
+			// succeed; if it is not, the last reader is guaranteed to
+			// see the flag and broadcast, and sleeping is safe.
+			st := e.state.Load()
+			if st&fastCountMask == 0 && !hasOtherHolder(e, txID) &&
+				e.state.CompareAndSwap(st, st|flagExclusive) {
+				e.waiters--
+				if e.waiters == 0 {
+					e.state.And(^flagWaiters)
+				}
+				delete(e.xwaiters, txID)
+				e.holders[txID] = lockExclusive
+				lt.det.onGrant(txID)
+				return true, true, e, nil
+			}
+		}
+		// Time each sleep individually so only genuinely blocked time
+		// lands in waitNS — awake retry work is not billed.
+		sleepStart := time.Now()
 		s.cond.Wait()
 		e.waiters--
-		s.waitTime += time.Since(sleepStart)
+		if e.waiters == 0 {
+			e.state.And(^flagWaiters)
+		}
+		if mode == lockExclusive {
+			delete(e.xwaiters, txID)
+		}
+		s.waitNS.Add(int64(time.Since(sleepStart)))
 	}
 }
 
-// grantable reports whether txID may take the lock in mode right now.
-func grantable(e *lockEntry, txID uint64, mode lockMode) bool {
+// hasOtherHolder reports whether any transaction other than txID holds
+// the entry in any mode (fast-path readers excluded — the caller checks
+// the state count separately).
+func hasOtherHolder(e *lockEntry, txID uint64) bool {
+	for holder := range e.holders {
+		if holder != txID {
+			return true
+		}
+	}
+	return false
+}
+
+// hasExclusiveHolder reports whether a transaction other than txID
+// holds the entry exclusively.
+func hasExclusiveHolder(e *lockEntry, txID uint64) bool {
 	for holder, hm := range e.holders {
-		if holder == txID {
-			continue
-		}
-		if mode == lockExclusive || hm == lockExclusive {
-			return false
+		if holder != txID && hm == lockExclusive {
+			return true
 		}
 	}
-	return true
+	return false
 }
 
-func conflictingHolders(e *lockEntry, txID uint64, mode lockMode) []uint64 {
+// blockersFor lists the transactions a blocked request waits on: every
+// conflicting holder, plus — for shared requests — the writers queued
+// ahead of it.
+func blockersFor(e *lockEntry, txID uint64, mode lockMode) []uint64 {
 	var out []uint64
 	for holder, hm := range e.holders {
 		if holder == txID {
@@ -251,27 +442,35 @@ func conflictingHolders(e *lockEntry, txID uint64, mode lockMode) []uint64 {
 			out = append(out, holder)
 		}
 	}
+	if mode == lockShared {
+		for w := range e.xwaiters {
+			if w != txID {
+				out = append(out, w)
+			}
+		}
+	}
 	return out
 }
 
 // release drops the given locks held by txID, waking only the affected
 // shards, and clears the transaction's detector state when it ever
-// waited. held may contain duplicates (S->X upgrades record the
-// resource twice); the extra passes are harmless.
-func (lt *lockTable) release(txID uint64, held []ResourceKey, waited bool) {
-	for _, k := range held {
-		s := &lt.shards[k.shard]
-		s.mu.Lock()
-		if e := s.entries[k.name]; e != nil {
-			if _, ok := e.holders[txID]; ok {
-				delete(e.holders, txID)
-				if len(e.holders) == 0 && e.waiters == 0 {
-					delete(s.entries, k.name)
-					s.recycle(e)
-				}
-			}
-			s.cond.Broadcast()
+// waited.
+func (lt *lockTable) release(txID uint64, held []heldLock, waited bool) {
+	for i := range held {
+		h := &held[i]
+		if h.fast {
+			lt.releaseFastShared(h.key, h.entry)
+			continue
 		}
+		s := &lt.shards[h.key.shard]
+		s.mu.Lock()
+		if hm, ok := h.entry.holders[txID]; ok {
+			delete(h.entry.holders, txID)
+			if hm == lockExclusive {
+				h.entry.state.And(^flagExclusive)
+			}
+		}
+		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
 	if waited {
@@ -281,44 +480,80 @@ func (lt *lockTable) release(txID uint64, held []ResourceKey, waited bool) {
 
 // --- detector ---
 
-// addWaitsAndDetect records txID's wait edges to blockers (noting the
-// shard it will sleep on), then searches for a cycle. It returns
-// self=true when txID itself is the victim (its detector state is
-// already cleared), or mark=true with the victim's wait shard when
-// another transaction was newly marked and its shard must be signalled.
-// An already-marked victim is not re-signalled (mark=false), so a
-// retrying waiter cannot busy-spin on a cycle that is being torn down.
-func (d *detector) addWaitsAndDetect(txID uint64, blockers []uint64, s *lockShard) (victimShard *lockShard, self, mark bool) {
+// addWaits records txID's wait edges to blockers (noting the shard it
+// will sleep on) and ensures the background sweeper is running. Unlike
+// the old per-acquire DFS, no cycle search happens here: the sweeper
+// finds cycles in batch, so a blocked acquire pays one map update
+// instead of a graph traversal.
+func (d *detector) addWaits(txID uint64, blockers []uint64, s *lockShard) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	w := d.waitsFor[txID]
 	if w == nil {
-		w = make(map[uint64]struct{})
+		w = make(map[uint64]struct{}, len(blockers))
 		d.waitsFor[txID] = w
 	}
 	for _, b := range blockers {
 		w[b] = struct{}{}
 	}
 	d.waitShard[txID] = s
-	d.searches++
-	victim, found := d.findCycleVictim(txID)
-	if !found {
-		return nil, false, false
+	if !d.running {
+		// First waiter: spawn the sweeper, which sweeps immediately —
+		// an isolated deadlock is found without waiting an interval.
+		d.running = true
+		go d.run()
 	}
-	d.cycles++
-	if victim == txID {
-		delete(d.aborted, txID) // in case marked
-		delete(d.waitsFor, txID)
-		delete(d.waitShard, txID)
+	d.mu.Unlock()
+}
+
+// run is the background sweeper: one DFS pass over the whole wait-for
+// graph per interval while waiters exist, exiting when the graph
+// drains. Victims are marked under the detector mutex, but their shards
+// are only broadcast after it is dropped (shard mutexes order before
+// the detector mutex everywhere else).
+func (d *detector) run() {
+	for {
+		d.mu.Lock()
+		if len(d.waitsFor) == 0 {
+			d.running = false
+			d.mu.Unlock()
+			return
+		}
+		d.sweeps++
+		wake := d.sweepLocked()
+		iv := d.interval
+		d.mu.Unlock()
+		for _, s := range wake {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		time.Sleep(iv)
+	}
+}
+
+// sweepLocked finds every cycle currently in the graph, marking one
+// victim per cycle, and returns the shards to wake. Marked victims are
+// excluded from further traversal (they will abort and release), so
+// each iteration either finds a new cycle or terminates. The done memo
+// is shared across iterations — marking a victim only removes
+// traversable edges, which cannot make a fully-explored cycle-free
+// node part of a cycle — so one sweep visits each settled node once
+// however many victims it marks. Callers hold d.mu.
+func (d *detector) sweepLocked() []*lockShard {
+	var wake []*lockShard
+	done := map[uint64]bool{}
+	for {
+		victim, found := d.findCycleVictim(done)
+		if !found {
+			return wake
+		}
+		d.cycles++
 		d.victims++
-		return nil, true, false
+		d.aborted[victim] = struct{}{}
+		if s := d.waitShard[victim]; s != nil {
+			wake = append(wake, s)
+		}
 	}
-	if _, already := d.aborted[victim]; already {
-		return nil, false, false
-	}
-	d.aborted[victim] = struct{}{}
-	d.victims++
-	return d.waitShard[victim], false, true
 }
 
 // clearWaits removes txID's outgoing wait edges; incoming edges from
@@ -363,12 +598,30 @@ func (d *detector) clearTx(txID uint64) {
 	d.mu.Unlock()
 }
 
-// findCycleVictim searches the wait-for graph for a cycle reachable
-// from start and returns the youngest (highest-ID) transaction on the
-// cycle as the victim. Higher ID means started later, so less work is
-// wasted. Callers hold d.mu.
-func (d *detector) findCycleVictim(start uint64) (victim uint64, found bool) {
-	// Iterative DFS tracking the path to recover cycle membership.
+// findCycleVictim searches the whole wait-for graph for a cycle and
+// returns the youngest (highest-ID) transaction on it as the victim.
+// Higher ID means started later, so less work is wasted. Transactions
+// already marked as victims are skipped — their cycles are being torn
+// down. done memoizes nodes fully explored without a cycle (valid for
+// the whole sweep, see sweepLocked). Callers hold d.mu.
+func (d *detector) findCycleVictim(done map[uint64]bool) (victim uint64, found bool) {
+	// Iterative DFS from every node, tracking the path to recover cycle
+	// membership.
+	for start := range d.waitsFor {
+		if done[start] {
+			continue
+		}
+		if _, ab := d.aborted[start]; ab {
+			continue
+		}
+		if v, ok := d.dfsFrom(start, done); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (d *detector) dfsFrom(start uint64, done map[uint64]bool) (victim uint64, found bool) {
 	type frame struct {
 		node uint64
 		next []uint64
@@ -378,7 +631,9 @@ func (d *detector) findCycleVictim(start uint64) (victim uint64, found bool) {
 	push := func(n uint64) frame {
 		var succ []uint64
 		for s := range d.waitsFor[n] {
-			succ = append(succ, s)
+			if _, ab := d.aborted[s]; !ab {
+				succ = append(succ, s)
+			}
 		}
 		onPath[n] = true
 		path = append(path, n)
@@ -389,6 +644,7 @@ func (d *detector) findCycleVictim(start uint64) (victim uint64, found bool) {
 		top := &stack[len(stack)-1]
 		if len(top.next) == 0 {
 			onPath[top.node] = false
+			done[top.node] = true
 			path = path[:len(path)-1]
 			stack = stack[:len(stack)-1]
 			continue
@@ -409,8 +665,13 @@ func (d *detector) findCycleVictim(start uint64) (victim uint64, found bool) {
 			}
 			return victim, true
 		}
+		if done[n] {
+			continue
+		}
 		if _, hasEdges := d.waitsFor[n]; hasEdges {
 			stack = append(stack, push(n))
+		} else {
+			done[n] = true
 		}
 	}
 	return 0, false

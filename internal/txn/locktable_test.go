@@ -31,14 +31,19 @@ func keysOnDistinctShards(t *testing.T, n int) []ResourceKey {
 // TestLockAcquireReleaseZeroAlloc pins the tentpole property: steady-
 // state exclusive acquire + release on a precomputed (interned) key
 // performs zero allocations. AllocsPerRun's warm-up call absorbs the
-// one-time entry allocation; afterwards entries recycle via the shard
-// free list.
+// one-time entry allocation; afterwards the resident entry is reused
+// forever.
 func TestLockAcquireReleaseZeroAlloc(t *testing.T) {
 	lt := newLockTable()
 	key := NewResourceKey("orders/o-000042")
-	held := []ResourceKey{key}
+	_, _, e, err := lt.acquire(1, key, lockExclusive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := []heldLock{{key: key, entry: e, mode: lockExclusive}}
+	lt.release(1, held, false)
 	allocs := testing.AllocsPerRun(1000, func() {
-		if _, _, err := lt.acquire(1, key, lockExclusive); err != nil {
+		if _, _, _, err := lt.acquire(1, key, lockExclusive, nil); err != nil {
 			t.Fatal(err)
 		}
 		lt.release(1, held, false)
@@ -46,12 +51,13 @@ func TestLockAcquireReleaseZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("acquire+release on interned key allocated %.1f times per run, want 0", allocs)
 	}
-	// Shared mode too.
+	// Shared mode (slow path) too.
+	heldShared := []heldLock{{key: key, entry: e, mode: lockShared}}
 	allocs = testing.AllocsPerRun(1000, func() {
-		if _, _, err := lt.acquire(1, key, lockShared); err != nil {
+		if _, _, _, err := lt.acquire(1, key, lockShared, nil); err != nil {
 			t.Fatal(err)
 		}
-		lt.release(1, held, false)
+		lt.release(1, heldShared, false)
 	})
 	if allocs != 0 {
 		t.Errorf("shared acquire+release allocated %.1f times per run, want 0", allocs)
@@ -225,10 +231,15 @@ func BenchmarkLockAcquireRelease(b *testing.B) {
 	b.Run("interned", func(b *testing.B) {
 		lt := newLockTable()
 		key := NewResourceKey("orders/o-000042")
-		held := []ResourceKey{key}
+		_, _, e, err := lt.acquire(1, key, lockExclusive, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		held := []heldLock{{key: key, entry: e, mode: lockExclusive}}
+		lt.release(1, held, false)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := lt.acquire(1, key, lockExclusive); err != nil {
+			if _, _, _, err := lt.acquire(1, key, lockExclusive, nil); err != nil {
 				b.Fatal(err)
 			}
 			lt.release(1, held, false)
@@ -240,10 +251,11 @@ func BenchmarkLockAcquireRelease(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			key := NewResourceKey(store + "/" + id)
-			if _, _, err := lt.acquire(1, key, lockExclusive); err != nil {
+			_, _, e, err := lt.acquire(1, key, lockExclusive, nil)
+			if err != nil {
 				b.Fatal(err)
 			}
-			lt.release(1, []ResourceKey{key}, false)
+			lt.release(1, []heldLock{{key: key, entry: e, mode: lockExclusive}}, false)
 		}
 	})
 }

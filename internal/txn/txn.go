@@ -13,8 +13,9 @@ package txn
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // TS is a logical timestamp issued by the Oracle.
@@ -67,6 +68,13 @@ func (s Status) String() string {
 	}
 }
 
+// commitWindow bounds how far the commit sequence may run ahead of the
+// published watermark (i.e. how many commits can be stamping versions
+// concurrently). Must be a power of two. 1024 is far beyond any
+// realistic in-flight transaction count, so the window guard in Commit
+// effectively never spins.
+const commitWindow = 1024
+
 // Manager coordinates transactions across any number of stores. All
 // stores attached to the same Manager share one lock space and one
 // commit point, which is what makes UDBMS cross-model transactions
@@ -77,12 +85,19 @@ type Manager struct {
 	nextID atomic.Uint64
 	active atomic.Int64
 
-	// commitMu makes the commit point atomic with respect to snapshot
-	// acquisition: Commit stamps every written version chain while
-	// holding the write side, and Begin reads the oracle under the
-	// read side. Without it a reader beginning between two stamp hooks
-	// of one commit would see a torn cross-store state.
-	commitMu sync.RWMutex
+	// Epoch-based commit protocol: commits stamp their versions at a
+	// timestamp allocated from the oracle, then *publish* it by raising
+	// the watermark below — but only once every smaller commit
+	// timestamp has also finished stamping, so the prefix [1,published]
+	// is always fully stamped. Begin snapshots at the published
+	// watermark with a single atomic load: there is no commit mutex,
+	// and a reader can never observe a torn (half-stamped) commit.
+	//
+	// commitSlots is a ring: slot ts%commitWindow holds ts once the
+	// commit at ts has stamped all its versions. advancePublished walks
+	// the contiguous prefix of finished slots.
+	published   atomic.Uint64
+	commitSlots [commitWindow]atomic.Uint64
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
@@ -93,14 +108,13 @@ func NewManager() *Manager {
 	return &Manager{locks: newLockTable()}
 }
 
-// Begin starts a transaction with a snapshot at the current timestamp.
+// Begin starts a transaction with a snapshot at the published commit
+// watermark. This is the epoch-commit read side: one atomic load, no
+// mutex, regardless of how many commits are in flight.
 func (m *Manager) Begin() *Tx {
-	m.commitMu.RLock()
-	beginTS := m.oracle.Current()
-	m.commitMu.RUnlock()
 	tx := &Tx{
 		id:      m.nextID.Add(1),
-		beginTS: beginTS,
+		beginTS: TS(m.published.Load()),
 		mgr:     m,
 	}
 	m.active.Add(1)
@@ -109,7 +123,37 @@ func (m *Manager) Begin() *Tx {
 
 // Oracle exposes the manager's timestamp oracle (used by replication
 // and consistency metrics to relate events to commit timestamps).
+// Current may run ahead of the published snapshot watermark while
+// commits are stamping; callers comparing record stamps to it are
+// unaffected because a record's own stamps are always complete while
+// its lock is held. Next is reserved for the commit protocol — issuing
+// timestamps from a manager-attached oracle outside Commit would stall
+// the publish watermark.
 func (m *Manager) Oracle() *Oracle { return &m.oracle }
+
+// SetDetectorInterval overrides the background deadlock-detector sweep
+// cadence (default DefaultDetectorInterval). Shorter intervals bound
+// victim latency tighter at the cost of more sweeps under contention;
+// non-positive durations reset to the default.
+func (m *Manager) SetDetectorInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultDetectorInterval
+	}
+	det := &m.locks.det
+	det.mu.Lock()
+	det.interval = d
+	det.mu.Unlock()
+}
+
+// DetectorInterval returns the background deadlock-detector sweep
+// cadence.
+func (m *Manager) DetectorInterval() time.Duration {
+	det := &m.locks.det
+	det.mu.Lock()
+	d := det.interval
+	det.mu.Unlock()
+	return d
+}
 
 // Stats reports cumulative commit and abort counts.
 func (m *Manager) Stats() (commits, aborts uint64) {
@@ -119,6 +163,20 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 // ActiveCount returns the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
 	return int(m.active.Load())
+}
+
+// advancePublished raises the watermark over the contiguous prefix of
+// finished commits. Any committer may carry the watermark forward on
+// behalf of others; a failed CAS just means someone else advanced it.
+func (m *Manager) advancePublished() {
+	for {
+		p := m.published.Load()
+		next := p + 1
+		if m.commitSlots[next&(commitWindow-1)].Load() != next {
+			return
+		}
+		m.published.CompareAndSwap(p, next)
+	}
 }
 
 // Tx is a single transaction. A Tx is not safe for concurrent use by
@@ -131,7 +189,17 @@ type Tx struct {
 
 	undo       []func()
 	commitHook []func(TS)
-	heldLocks  []ResourceKey
+	// heldLocks records every lock this transaction holds — at most one
+	// record per resource (upgrades update the record in place). The
+	// records carry the entry pointer and grant path so release and
+	// fast-hold promotion never re-hash a key.
+	heldLocks []heldLock
+	// heldIndex maps resource name -> heldLocks slot once the
+	// transaction holds more than heldIndexThreshold locks, keeping the
+	// per-acquire reentrancy lookup O(1) for lock-heavy transactions.
+	// Nil below the threshold: a linear scan of a small slice beats a
+	// map and keeps the common path allocation-free.
+	heldIndex map[string]int
 	// waited records whether any acquire ever blocked; only then does
 	// transaction end need to visit the deadlock detector.
 	waited bool
@@ -166,7 +234,9 @@ func (tx *Tx) LockExclusiveKey(key ResourceKey) error {
 
 // LockShared acquires a shared lock on the named resource. Shared locks
 // are only used by the optional serializable read mode; snapshot reads
-// do not lock.
+// do not lock. When the resource has no exclusive holder and no queued
+// waiter, the acquire is a single CAS on the entry's reader count — no
+// shard mutex, no allocation.
 func (tx *Tx) LockShared(resource string) error {
 	return tx.lock(NewResourceKey(resource), lockShared)
 }
@@ -176,11 +246,80 @@ func (tx *Tx) LockSharedKey(key ResourceKey) error {
 	return tx.lock(key, lockShared)
 }
 
+// heldIndexThreshold is the held-lock count past which Tx builds the
+// name->slot index instead of linearly scanning heldLocks per acquire.
+const heldIndexThreshold = 16
+
+// findHeld returns this transaction's record for the named resource,
+// or nil.
+func (tx *Tx) findHeld(name string) *heldLock {
+	if tx.heldIndex != nil {
+		if i, ok := tx.heldIndex[name]; ok {
+			return &tx.heldLocks[i]
+		}
+		return nil
+	}
+	for i := range tx.heldLocks {
+		if tx.heldLocks[i].key.name == name {
+			return &tx.heldLocks[i]
+		}
+	}
+	return nil
+}
+
+// recordHeld appends a held-lock record, upgrading to the indexed
+// lookup once the transaction is lock-heavy.
+func (tx *Tx) recordHeld(h heldLock) {
+	tx.heldLocks = append(tx.heldLocks, h)
+	if tx.heldIndex != nil {
+		tx.heldIndex[h.key.name] = len(tx.heldLocks) - 1
+	} else if len(tx.heldLocks) > heldIndexThreshold {
+		tx.heldIndex = make(map[string]int, 2*len(tx.heldLocks))
+		for i := range tx.heldLocks {
+			tx.heldIndex[tx.heldLocks[i].key.name] = i
+		}
+	}
+}
+
 func (tx *Tx) lock(key ResourceKey, mode lockMode) error {
 	if tx.status != StatusActive {
 		return ErrTxClosed
 	}
-	granted, waited, err := tx.mgr.locks.acquire(tx.id, key, mode)
+	// Reentrancy and upgrade routing over our own held set. Fast-path
+	// shared holds are anonymous in the lock table, so the table cannot
+	// recognize a re-acquire or an upgrade — the transaction's own
+	// records are the source of truth.
+	if h := tx.findHeld(key.name); h != nil {
+		if h.mode == lockExclusive || mode == lockShared {
+			return nil // already sufficient
+		}
+		// Upgrade S -> X. An anonymous fast ref must first become a
+		// named holders-map entry, otherwise the exclusive grant would
+		// wait for its own reader count to drain.
+		if h.fast {
+			tx.mgr.locks.promoteFastShared(tx.id, h.key, h.entry)
+			h.fast = false
+		}
+		granted, waited, _, err := tx.mgr.locks.acquire(tx.id, key, lockExclusive, tx)
+		if waited {
+			tx.waited = true
+		}
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if granted {
+			h.mode = lockExclusive
+		}
+		return nil
+	}
+	if mode == lockShared {
+		if e := tx.mgr.locks.acquireSharedFast(key); e != nil {
+			tx.recordHeld(heldLock{key: key, entry: e, mode: lockShared, fast: true})
+			return nil
+		}
+	}
+	granted, waited, e, err := tx.mgr.locks.acquire(tx.id, key, mode, tx)
 	if waited {
 		tx.waited = true
 	}
@@ -189,9 +328,37 @@ func (tx *Tx) lock(key ResourceKey, mode lockMode) error {
 		return err
 	}
 	if granted {
-		tx.heldLocks = append(tx.heldLocks, key)
+		tx.recordHeld(heldLock{key: key, entry: e, mode: mode})
 	}
 	return nil
+}
+
+// hasFastHolds reports whether any held lock is an anonymous fast-path
+// shared grant. The lock table asks before paying the promotion mutex
+// round trip; only this transaction's goroutine touches heldLocks, so
+// the scan is safe from inside a blocked acquire.
+func (tx *Tx) hasFastHolds() bool {
+	for i := range tx.heldLocks {
+		if tx.heldLocks[i].fast {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteFastHolds converts every anonymous fast-path shared hold into
+// a named holders-map entry. The lock table calls it (via the
+// fastHoldPromoter interface) once before this transaction first
+// sleeps, so the deadlock detector can see the shared locks a sleeping
+// transaction holds.
+func (tx *Tx) promoteFastHolds() {
+	for i := range tx.heldLocks {
+		h := &tx.heldLocks[i]
+		if h.fast {
+			tx.mgr.locks.promoteFastShared(tx.id, h.key, h.entry)
+			h.fast = false
+		}
+	}
 }
 
 // OnUndo registers fn to run (in reverse order) if the transaction
@@ -203,24 +370,46 @@ func (tx *Tx) OnUndo(fn func()) { tx.undo = append(tx.undo, fn) }
 func (tx *Tx) OnCommit(fn func(TS)) { tx.commitHook = append(tx.commitHook, fn) }
 
 // Commit atomically installs all writes at a single new commit
-// timestamp and releases all locks. The commit point (timestamp
-// assignment plus version stamping) is atomic with respect to Begin,
-// so snapshot readers see either all of a transaction's writes or
-// none of them, across every store on this manager.
+// timestamp and releases all locks.
+//
+// The commit point is epoch-based: the commit timestamp is allocated
+// from the oracle's atomic sequence, every written version chain is
+// stamped (safe without a global mutex — the transaction still holds
+// the exclusive locks on everything it stamps), and the timestamp is
+// then published by raising the snapshot watermark once all smaller
+// timestamps have published too. Snapshot readers begin at the
+// watermark, so they see either all of a transaction's writes or none
+// of them, across every store on this manager — and Commit only
+// returns once its timestamp is published, so a subsequent Begin
+// anywhere observes the commit (read-your-writes).
 func (tx *Tx) Commit() (TS, error) {
 	if tx.status != StatusActive {
 		return 0, ErrTxClosed
 	}
-	tx.mgr.commitMu.Lock()
-	commitTS := tx.mgr.oracle.Next()
-	for _, fn := range tx.commitHook {
-		fn(commitTS)
+	m := tx.mgr
+	commitTS := uint64(m.oracle.Next())
+	// Window guard: never lap the publish ring. Needs commitWindow
+	// commits in flight at once to trip.
+	for commitTS-m.published.Load() > commitWindow {
+		runtime.Gosched()
 	}
-	tx.mgr.commitMu.Unlock()
+	for _, fn := range tx.commitHook {
+		fn(TS(commitTS))
+	}
+	m.commitSlots[commitTS&(commitWindow-1)].Store(commitTS)
+	m.advancePublished()
+	// Wait until our commit is visible; predecessors are actively
+	// stamping, so this resolves in the time their hooks take. The
+	// advance call inside the loop lets us carry the watermark if a
+	// predecessor marked its slot but lost the CAS race.
+	for m.published.Load() < commitTS {
+		runtime.Gosched()
+		m.advancePublished()
+	}
 	tx.status = StatusCommitted
 	tx.finish()
-	tx.mgr.commits.Add(1)
-	return commitTS, nil
+	m.commits.Add(1)
+	return TS(commitTS), nil
 }
 
 // Abort rolls back all writes and releases all locks. Abort on a closed
@@ -240,6 +429,7 @@ func (tx *Tx) Abort() {
 func (tx *Tx) finish() {
 	tx.mgr.locks.release(tx.id, tx.heldLocks, tx.waited)
 	tx.heldLocks = nil
+	tx.heldIndex = nil
 	tx.undo = nil
 	tx.commitHook = nil
 	tx.mgr.active.Add(-1)

@@ -28,12 +28,15 @@ var goldenSummaryFields = []string{
 	"intended_p99_ns",
 	"lock_stats.acquires",
 	"lock_stats.detector.cycles",
-	"lock_stats.detector.searches",
+	"lock_stats.detector.interval_ns",
+	"lock_stats.detector.sweeps",
 	"lock_stats.detector.victims",
 	"lock_stats.shards[].acquires",
 	"lock_stats.shards[].shard",
+	"lock_stats.shards[].shared_fast",
 	"lock_stats.shards[].wait_ns",
 	"lock_stats.shards[].waits",
+	"lock_stats.shared_fast",
 	"lock_stats.wait_ns",
 	"lock_stats.waits",
 	"mode",

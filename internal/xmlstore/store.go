@@ -93,6 +93,19 @@ func (s *Store) Get(tx *txn.Tx, id string) (*Node, bool) {
 	return chain.Read(tx.BeginTS(), tx.ID())
 }
 
+// GetShared is the serializable read mode: it takes a shared lock on
+// the document (held to commit) and returns the latest committed tree,
+// which the lock keeps stable until tx ends. A transaction is
+// required. See txn.SharedRead for the protocol.
+func (s *Store) GetShared(tx *txn.Tx, id string) (*Node, bool, error) {
+	if tx == nil {
+		return nil, false, fmt.Errorf("xmlstore %s: GetShared requires a transaction", s.name)
+	}
+	return txn.SharedRead(tx, s.mgr,
+		func() string { return s.resource(id) },
+		func() (*txn.Chain[*Node], bool) { return s.docs.Get(id) })
+}
+
 // Update applies fn to a clone of the current document and stores the
 // result.
 func (s *Store) Update(tx *txn.Tx, id string, fn func(doc *Node) (*Node, error)) error {
