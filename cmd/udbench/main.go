@@ -20,10 +20,12 @@ import (
 
 	"udbench/internal/core"
 	"udbench/internal/datagen"
+	"udbench/internal/durable"
 	"udbench/internal/federation"
 	"udbench/internal/metrics"
 	"udbench/internal/udbms"
 	"udbench/internal/uql"
+	"udbench/internal/wal"
 	"udbench/internal/workload"
 )
 
@@ -84,6 +86,10 @@ mix flags (plus -sf/-seed/-hop/-json):
   -arrival A   open-loop arrival process: poisson (default) or fixed
   -duration D  open-loop time bound, e.g. 30s (replaces -ops; arrivals
                generate lazily and the backlog drains under a deadline)
+  -wal DIR     attach a write-ahead log (group-commit WAL + recovery)
+               to the unified engine, rooted at DIR; an existing log is
+               recovered instead of re-loading the dataset
+  -fsync P     fsync policy with -wal: always, group (default), async
 `)
 }
 
@@ -197,6 +203,8 @@ func cmdMix(args []string) error {
 	rate := fs.Float64("rate", 1000, "open-loop target arrival rate (ops/s)")
 	arrival := fs.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
 	duration := fs.Duration("duration", 0, "open-loop time bound (e.g. 30s); replaces the -ops count")
+	walDir := fs.String("wal", "", "attach a write-ahead log rooted at this directory (unified engine)")
+	fsync := fs.String("fsync", "group", "fsync policy with -wal: always, group, or async")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -232,11 +240,43 @@ func cmdMix(args []string) error {
 		arrivalName = arrivalProc.String()
 	}
 	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
-	db := udbms.Open()
-	if err := ds.Load(datagen.Target{
-		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
-	}); err != nil {
-		return err
+	var db *udbms.DB
+	uniEngine := func(db *udbms.DB) *workload.UDBMSEngine { return workload.NewUDBMSEngine(db) }
+	loadUnified := true
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return fmt.Errorf("mix: %w", err)
+		}
+		d, err := durable.Open(*walDir, durable.Options{Policy: policy})
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		if rec := d.Recovery; rec.WatermarkTS > 0 {
+			// The directory already holds a history (same -sf/-seed runs
+			// append to it): recover instead of re-loading.
+			fmt.Printf("recovered %s from %d log records + %d snapshot ops (%d KiB) in %v%s\n",
+				*walDir, rec.Records, rec.SnapshotOps, rec.LogBytes/1024,
+				rec.Elapsed.Round(time.Microsecond),
+				map[bool]string{true: ", torn tail truncated", false: ""}[rec.Truncated])
+			loadUnified = false
+		}
+		db = d.DB
+		uniEngine = func(db *udbms.DB) *workload.UDBMSEngine {
+			e := workload.NewUDBMSEngine(db)
+			e.Durable = d
+			return e
+		}
+	} else {
+		db = udbms.Open()
+	}
+	if loadUnified {
+		if err := ds.Load(datagen.Target{
+			Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+		}); err != nil {
+			return err
+		}
 	}
 	f := federation.Open()
 	f.HopLatency = *hop
@@ -264,7 +304,9 @@ func cmdMix(args []string) error {
 		"engine", "op", "count", "mean", "p50", "p95", "p99", "int p99", "ops/s", "aborts")
 	lt := metrics.NewTable("Lock-table telemetry",
 		"engine", "acquires", "shared fast", "waits", "wait%", "wait time", "sweeps", "cycles", "victims")
-	for _, e := range []workload.Engine{workload.NewUDBMSEngine(db), workload.NewFederationEngine(f)} {
+	dt := metrics.NewTable("Durability telemetry",
+		"engine", "policy", "commits logged", "ops", "batches", "commits/batch", "fsyncs", "log KiB", "sealed")
+	for _, e := range []workload.Engine{uniEngine(db), workload.NewFederationEngine(f)} {
 		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
 		s := res.Summary()
 		summaries = append(summaries, s)
@@ -288,6 +330,14 @@ func cmdMix(args []string) error {
 				fmt.Sprintf("%.2f%%", 100*ls.WaitRate()), ls.WaitNS,
 				ls.Detector.Sweeps, ls.Detector.Cycles, ls.Detector.Victims)
 		}
+		if d := res.Durability; d != nil {
+			perBatch := "-"
+			if d.Batches > 0 {
+				perBatch = fmt.Sprintf("%.1f", float64(d.Appends)/float64(d.Batches))
+			}
+			dt.AddRow(s.Engine, d.Policy, d.Appends, d.OpsLogged, d.Batches,
+				perBatch, d.Fsyncs, d.Bytes/1024, d.Sealed)
+		}
 		if driverMode == workload.ModeOpen {
 			note := ""
 			if s.Dropped > 0 {
@@ -300,6 +350,9 @@ func cmdMix(args []string) error {
 	fmt.Print(t.String())
 	if lt.NumRows() > 0 {
 		fmt.Print(lt.String())
+	}
+	if dt.NumRows() > 0 {
+		fmt.Print(dt.String())
 	}
 	if *jsonPath != "" {
 		out := struct {

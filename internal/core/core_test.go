@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"a1", "f1", "f2", "f3", "f4", "f5", "t2", "t3", "t4", "t5"}
+	want := []string{"a1", "f1", "f2", "f3", "f4", "f5", "f6", "t2", "t3", "t4", "t5"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -226,6 +226,90 @@ func TestF5LatencyVsRate(t *testing.T) {
 	uni := byEngine["udbms"]
 	if topU, topF := uni[len(uni)-1].Offered, lastFed.Offered; topU < topF {
 		t.Errorf("udbms ladder stopped at %.0f ops/s, below the federation knee %.0f", topU, topF)
+	}
+}
+
+func TestF6RecoverySweep(t *testing.T) {
+	cfg := QuickConfig()
+	p := f6ConfigFor(cfg)
+	p.opsLadder = p.opsLadder[:2] // two rungs keep the test fast
+	rows, err := f6RecoverySweep(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byMode := map[string][]f6RecoveryRow{}
+	for _, r := range rows {
+		if r.Records == 0 || r.LogBytes == 0 || r.Elapsed <= 0 {
+			t.Errorf("empty recovery row: %+v", r)
+		}
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	// The snapshot skips the load's records, so at equal write counts
+	// the snapshot+tail recovery replays strictly fewer log records.
+	for i, lo := range byMode["log"] {
+		st := byMode["snapshot+tail"][i]
+		if st.SnapOps == 0 {
+			t.Errorf("snapshot+tail rung %d applied no snapshot ops", i)
+		}
+		if st.Records >= lo.Records {
+			t.Errorf("rung %d: snapshot+tail replayed %d records, log-only %d — snapshot saved nothing",
+				i, st.Records, lo.Records)
+		}
+	}
+}
+
+func TestF6PolicySweep(t *testing.T) {
+	cfg := QuickConfig()
+	p := f6ConfigFor(cfg)
+	p.sweep.maxSteps = 3 // the knee ordering shows within three rungs
+	rows, err := f6PolicySweep(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Engine] = true
+		if r.Durability == nil {
+			t.Errorf("%s @ %.0f: no durability telemetry", r.Engine, r.Offered)
+			continue
+		}
+		if r.Durability.Appends == 0 {
+			t.Errorf("%s @ %.0f: no commit records logged", r.Engine, r.Offered)
+		}
+		if r.Durability.Sealed {
+			t.Errorf("%s @ %.0f: log sealed during a fault-free sweep", r.Engine, r.Offered)
+		}
+	}
+	for _, policy := range []string{"always", "group", "async"} {
+		if !seen[policy] {
+			t.Errorf("sweep has no %s rows", policy)
+		}
+	}
+	// SyncAlways pays one barrier per commit (structural: the policy
+	// syncs per record); group and async must amortize. Which rung each
+	// policy's ladder ends on is timing-dependent, so compare barrier
+	// cost summed over each policy's whole sweep.
+	total := func(policy string) (appends, fsyncs uint64) {
+		for _, r := range rows {
+			if r.Engine == policy && r.Durability != nil {
+				appends += r.Durability.Appends
+				fsyncs += r.Durability.Fsyncs
+			}
+		}
+		return
+	}
+	aApp, aSync := total("always")
+	if aApp == 0 || aApp != aSync {
+		t.Errorf("always policy: %d fsyncs for %d commits, want exactly one per commit", aSync, aApp)
+	}
+	for _, policy := range []string{"group", "async"} {
+		app, sync := total(policy)
+		if app == 0 || sync >= app {
+			t.Errorf("%s policy did not amortize barriers: %d fsyncs for %d commits", policy, sync, app)
+		}
 	}
 }
 

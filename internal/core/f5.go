@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"udbench/internal/metrics"
+	"udbench/internal/wal"
 	"udbench/internal/workload"
 )
 
@@ -38,6 +39,9 @@ type f5Row struct {
 	LockWait  time.Duration
 	Dropped   int64
 	Saturated bool // achieved/offered < f5KneeThreshold
+	// Durability is the run's write-ahead-log telemetry delta; nil for
+	// engines without a log (all of f5, the baseline rows of f6).
+	Durability *wal.Stats
 }
 
 // f5Config sizes the rate ladder.
@@ -60,8 +64,16 @@ func f5ConfigFor(cfg Config) f5Config {
 		warmup: time.Second, measure: 3 * time.Second}
 }
 
-// f5Sweep drives the standard mix open-loop at a geometric ladder of
-// offered rates against both engines. Per rung it runs an unmeasured
+// sweepEngine is one system under test in a rate sweep: the engine and
+// the label its rows carry (an engine name for f5, a fsync policy for
+// f6's durable variants).
+type sweepEngine struct {
+	label string
+	e     workload.Engine
+}
+
+// rateSweep drives the standard mix open-loop at a geometric ladder of
+// offered rates against each engine. Per rung it runs an unmeasured
 // warm-up (populating caches and the freshly counted lock telemetry is
 // delta-scoped per run anyway), then one duration-bounded measured run,
 // and climbs until the achieved rate drops below f5KneeThreshold of
@@ -69,38 +81,35 @@ func f5ConfigFor(cfg Config) f5Config {
 // rung itself is kept (it is the most interesting row: intended
 // latency there is backlog, not service), so each engine's sweep ends
 // with at most one saturated row.
-func f5Sweep(cfg Config) ([]f5Row, error) {
-	p := f5ConfigFor(cfg)
-	tb, err := newTestbed(cfg.SF, cfg.Seed, cfg.HopLatency)
-	if err != nil {
-		return nil, err
-	}
+func rateSweep(p f5Config, info workload.Info, seed uint64, engines []sweepEngine) []f5Row {
 	var rows []f5Row
-	for _, e := range []workload.Engine{tb.uni, tb.fed} {
+	for _, se := range engines {
+		e := se.e
 		rate := p.baseRate
 		for step := 0; step < p.maxSteps; step++ {
 			dc := workload.DriverConfig{
-				Clients: p.clients, Theta: p.theta, Seed: cfg.Seed,
+				Clients: p.clients, Theta: p.theta, Seed: seed,
 				Mode: workload.ModeOpen, RateOpsPerSec: rate,
 				Arrival: workload.ArrivalPoisson, Duration: p.measure,
 			}
 			warm := dc
 			warm.Duration = p.warmup
-			workload.RunMix(e, tb.info, workload.StandardMix(e), warm)
-			res := workload.RunMix(e, tb.info, workload.StandardMix(e), dc)
+			workload.RunMix(e, info, workload.StandardMix(e), warm)
+			res := workload.RunMix(e, info, workload.StandardMix(e), dc)
 			row := f5Row{
-				Engine:    e.Name(),
-				Offered:   rate,
-				Achieved:  res.Rate.Achieved,
-				SvcP50:    res.Latency.Percentile(50),
-				SvcP99:    res.Latency.Percentile(99),
-				IntP50:    res.Intended.Percentile(50),
-				IntP99:    res.Intended.Percentile(99),
-				IntMax:    res.Intended.Max(),
-				Aborts:    res.Aborts,
-				Errors:    res.Errors,
-				Dropped:   res.Dropped,
-				Saturated: res.Rate.Achievement() < f5KneeThreshold,
+				Engine:     se.label,
+				Offered:    rate,
+				Achieved:   res.Rate.Achieved,
+				SvcP50:     res.Latency.Percentile(50),
+				SvcP99:     res.Latency.Percentile(99),
+				IntP50:     res.Intended.Percentile(50),
+				IntP99:     res.Intended.Percentile(99),
+				IntMax:     res.Intended.Max(),
+				Aborts:     res.Aborts,
+				Errors:     res.Errors,
+				Dropped:    res.Dropped,
+				Saturated:  res.Rate.Achievement() < f5KneeThreshold,
+				Durability: res.Durability,
 			}
 			if res.Ops > 0 {
 				row.AbortRate = float64(res.Aborts) / float64(res.Ops)
@@ -115,7 +124,35 @@ func f5Sweep(cfg Config) ([]f5Row, error) {
 			rate *= p.factor
 		}
 	}
-	return rows, nil
+	return rows
+}
+
+// kneeOf digests one engine's sweep rows: the saturated knee row (nil
+// if the ladder never saturated) and the last unsaturated row before it
+// (the engine's demonstrated capacity).
+func kneeOf(rows []f5Row, label string) (knee, last *f5Row) {
+	for i := range rows {
+		if rows[i].Engine != label {
+			continue
+		}
+		if rows[i].Saturated {
+			return &rows[i], last
+		}
+		last = &rows[i]
+	}
+	return nil, last
+}
+
+// f5Sweep runs the rate ladder over the two baseline engines.
+func f5Sweep(cfg Config) ([]f5Row, error) {
+	p := f5ConfigFor(cfg)
+	tb, err := newTestbed(cfg.SF, cfg.Seed, cfg.HopLatency)
+	if err != nil {
+		return nil, err
+	}
+	return rateSweep(p, tb.info, cfg.Seed, []sweepEngine{
+		{tb.uni.Name(), tb.uni}, {tb.fed.Name(), tb.fed},
+	}), nil
 }
 
 // runF5 is the latency-vs-offered-rate experiment: the classic
@@ -145,29 +182,19 @@ func runF5(cfg Config) ([]*metrics.Table, error) {
 			100*f5KneeThreshold),
 		"engine", "knee ops/s", "capacity ops/s", "int p99 @ knee", "svc p99 @ knee", "int/svc")
 	for _, eng := range []string{"udbms", "federation"} {
-		var last *f5Row
-		found := false
-		for i := range rows {
-			if rows[i].Engine != eng {
-				continue
+		k, last := kneeOf(rows, eng)
+		switch {
+		case k != nil:
+			// Capacity is the last achieved rate before the knee — or
+			// the knee rung's own achieved rate when even the first
+			// rung saturated.
+			capacity := k.Achieved
+			if last != nil {
+				capacity = last.Achieved
 			}
-			r := &rows[i]
-			if r.Saturated {
-				// Capacity is the last achieved rate before the knee —
-				// or the knee rung's own achieved rate when even the
-				// first rung saturated.
-				capacity := r.Achieved
-				if last != nil {
-					capacity = last.Achieved
-				}
-				knee.AddRow(eng, r.Offered, capacity, r.IntP99, r.SvcP99,
-					ratio(r.SvcP99, r.IntP99))
-				found = true
-				break
-			}
-			last = r
-		}
-		if !found && last != nil {
+			knee.AddRow(eng, k.Offered, capacity, k.IntP99, k.SvcP99,
+				ratio(k.SvcP99, k.IntP99))
+		case last != nil:
 			// Never saturated within the ladder: report the top rung as
 			// a capacity lower bound with no knee.
 			knee.AddRow(eng, "> "+fmt.Sprintf("%.0f", last.Offered), last.Achieved,

@@ -15,6 +15,7 @@ import (
 	"udbench/internal/mmvalue"
 	"udbench/internal/ordmap"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // IDField is the reserved document identifier field.
@@ -193,7 +194,30 @@ func (c *Collection) CreateIndex(path string) error {
 		}
 		return true
 	})
+	// DDL is durable too: log the index creation through an auto-commit
+	// transaction so recovery rebuilds it before replaying documents.
+	if c.store.mgr.CommitLogAttached() {
+		return c.store.mgr.RunWith(3, func(tx *txn.Tx) error {
+			if tx.Logging() {
+				tx.LogOp(wal.NewOp(wal.OpDocCreateIndex).String(c.name).String(path).Build())
+			}
+			return nil
+		})
+	}
 	return nil
+}
+
+// IndexPaths lists the dotted paths with an index, in sorted order
+// (used by snapshot encoding).
+func (c *Collection) IndexPaths() []string {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	paths := make([]string, 0, len(c.indexes))
+	for p := range c.indexes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // UsesIndex reports whether Find/Stream would serve the filter from a
@@ -260,6 +284,43 @@ func (c *Collection) Insert(tx *txn.Tx, doc mmvalue.Value) error {
 			chain.CommitStamp(tx.ID(), ts)
 			c.indexDoc(id, stored)
 		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpDocPut).String(c.name).String(id).
+				Bytes(mmvalue.AppendBinary(nil, stored)).Build())
+		}
+		return nil
+	})
+}
+
+// ApplyPut is the replay path: it upserts doc under its _id without the
+// duplicate-id check, so recovery can reapply a logged put whether or
+// not a snapshot already holds the document.
+func (c *Collection) ApplyPut(tx *txn.Tx, doc mmvalue.Value) error {
+	obj, ok := doc.AsObject()
+	if !ok {
+		return fmt.Errorf("document %s: document must be an object", c.name)
+	}
+	idv, _ := obj.Get(IDField)
+	id, ok := idv.AsString()
+	if !ok || id == "" {
+		return fmt.Errorf("document %s: %s must be a non-empty string", c.name, IDField)
+	}
+	return c.run(tx, func(tx *txn.Tx) error {
+		chain := c.chainOf(id)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
+			return err
+		}
+		stored := doc.Clone()
+		chain.Write(tx.ID(), stored, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			c.indexDoc(id, stored)
+		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpDocPut).String(c.name).String(id).
+				Bytes(mmvalue.AppendBinary(nil, stored)).Build())
+		}
 		return nil
 	})
 }
@@ -322,6 +383,10 @@ func (c *Collection) Update(tx *txn.Tx, id string, fn func(doc mmvalue.Value) (m
 			chain.CommitStamp(tx.ID(), ts)
 			c.indexDoc(id, next)
 		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpDocPut).String(c.name).String(id).
+				Bytes(mmvalue.AppendBinary(nil, next)).Build())
+		}
 		return nil
 	})
 }
@@ -355,6 +420,9 @@ func (c *Collection) Delete(tx *txn.Tx, id string) error {
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpDocDelete).String(c.name).String(id).Build())
+		}
 		return nil
 	})
 }

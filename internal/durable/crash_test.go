@@ -1,0 +1,213 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"udbench/internal/consistency"
+	"udbench/internal/wal"
+)
+
+// crashTrial is one randomized kill point: run a stream of cross-model
+// transactions against a durable database on a fault-injecting
+// filesystem, kill the "process" at a random byte offset or mid-fsync,
+// lose the unsynced page cache, recover, and check the two durability
+// invariants:
+//
+//   - zero lost committed: every acknowledged commit is fully visible
+//     after recovery (checked per model with a consistency.Checker);
+//   - zero resurrected aborted: no transaction whose commit was refused
+//     by the sealed log reappears.
+//
+// The first transaction to observe ErrSealed is ambiguous: the seal may
+// have fired in its post-publish durability wait, which means it was
+// applied in memory but never acknowledged — recovery may keep or drop
+// it (its record may sit in the torn tail). Every later ErrSealed is a
+// provable Append refusal (the seal is permanent and checked before any
+// version is stamped), so those transactions must be absent. Both kinds
+// still register with the atomicity checker: whatever recovery decides,
+// it must be all-or-nothing per transaction.
+func crashTrial(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	policies := []wal.SyncPolicy{wal.SyncGroup, wal.SyncGroup, wal.SyncAlways, wal.SyncAsync}
+	policy := policies[rng.Intn(len(policies))]
+	relaxedAcks := policy == wal.SyncAsync // acks precede fsync: loss allowed
+
+	mem := wal.NewMemFS()
+	ffs := wal.NewFailFS(mem)
+	opts := Options{FS: ffs, Policy: policy, AsyncInterval: 200 * time.Microsecond}
+	d, err := Open("crash", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Relational.CreateTable("items", itemsSchema()); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	// Arm one of the two kill modes at a random position. The byte
+	// range spans roughly the whole run, so every prefix is a reachable
+	// kill point; overshooting just means a clean (no-crash) trial.
+	const txns = 40
+	midFsync := rng.Intn(2) == 1
+	if midFsync {
+		ffs.CrashAtSync(2 + rng.Intn(txns))
+	} else {
+		ffs.CrashAtByte(int64(rng.Intn(16 * 1024)))
+	}
+
+	checker := consistency.NewChecker()
+	atom := consistency.NewAtomicityChecker()
+	acked := make(map[int]bool)   // tx index -> commit acknowledged
+	refused := make(map[int]bool) // tx index -> aborted by the sealed log
+	sealedSeen := false
+	snapAt := -1
+	if rng.Intn(2) == 0 {
+		snapAt = 5 + rng.Intn(txns/2)
+	}
+	for i := 0; i < txns; i++ {
+		if i == snapAt {
+			// A checkpoint racing the kill point exercises
+			// snapshot+tail recovery; under injection it may fail,
+			// leaving the previous snapshot (or none) in place.
+			if _, err := d.Checkpoint(); err != nil {
+				t.Logf("seed %d: checkpoint: %v", seed, err)
+			}
+		}
+		err := seedAll(d, i)
+		writes := make(map[string]uint64, len(models))
+		for _, m := range models {
+			writes[m+"/"+fmt.Sprint(i)] = uint64(i) + 1
+		}
+		switch {
+		case err == nil:
+			acked[i] = true
+			for key, seq := range writes {
+				checker.RecordWrite(0, key, seq)
+			}
+			atom.RegisterTxn(fmt.Sprint(i), writes)
+		case errors.Is(err, wal.ErrSealed):
+			if sealedSeen {
+				refused[i] = true
+			}
+			sealedSeen = true
+			atom.RegisterTxn(fmt.Sprint(i), writes)
+		default:
+			t.Fatalf("seed %d: tx %d: unexpected error: %v", seed, i, err)
+		}
+		if ffs.Crashed() && len(refused) > 2 {
+			break // process is dead; a few refusals prove sealing
+		}
+	}
+	// Kill: stop the process, lose the unsynced page cache.
+	d.Close()
+	mem.Crash(rng)
+
+	// Recover on the surviving bytes (no fault injection: the new
+	// process's disk works).
+	r, err := Open("crash", Options{FS: mem, Policy: policy})
+	if err != nil {
+		t.Fatalf("seed %d: recovery failed: %v", seed, err)
+	}
+	defer r.Close()
+
+	now := time.Now()
+	observed := make(map[string]uint64)
+	for i := 0; i < txns; i++ {
+		for _, m := range models {
+			got := readSeq(r, m, i)
+			key := m + "/" + fmt.Sprint(i)
+			if got >= 0 {
+				observed[key] = uint64(got) + 1
+			}
+			if refused[i] && got >= 0 {
+				t.Errorf("seed %d: resurrected aborted tx %d in %s", seed, i, m)
+			}
+			if acked[i] && !relaxedAcks {
+				var seq uint64
+				if got >= 0 {
+					seq = uint64(got) + 1
+				}
+				checker.RecordRead(0, key, seq, now, uint64(i)+1, now)
+			}
+		}
+	}
+	if !relaxedAcks {
+		rep := checker.Report()
+		if rep.RYWViolations != 0 || rep.MissingReads != 0 {
+			t.Errorf("seed %d (policy %v, midFsync %v): lost committed writes: %+v",
+				seed, policy, midFsync, rep)
+		}
+	}
+	if torn := atom.ObserveSnapshot(observed); len(torn) > 0 {
+		t.Errorf("seed %d: torn transactions after recovery: %v", seed, torn)
+	}
+}
+
+// TestCrashMatrix runs ≥50 randomized kill points covering both kill
+// modes (byte offset and mid-fsync), all three fsync policies, and
+// snapshot-present and log-only recoveries.
+func TestCrashMatrix(t *testing.T) {
+	const trials = 56
+	for s := 0; s < trials; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed%02d", s), func(t *testing.T) {
+			crashTrial(t, int64(s))
+		})
+	}
+}
+
+// TestCrashTornFinalRecord pins the specific torn-tail case: the file
+// ends mid-record, recovery truncates exactly the torn suffix and keeps
+// every whole record.
+func TestCrashTornFinalRecord(t *testing.T) {
+	mem := wal.NewMemFS()
+	d, err := Open("crash", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Relational.CreateTable("items", itemsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := seedAll(d, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	// Tear the final record by hand: chop a few bytes off the log.
+	data, err := mem.ReadFile("crash/" + LogName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Truncate("crash/"+LogName, int64(len(data)-3)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open("crash", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Recovery.Truncated {
+		t.Fatal("torn tail not detected")
+	}
+	// Transactions 0..6 must be intact; 7 was torn and dropped.
+	for i := 0; i < 7; i++ {
+		for _, m := range models {
+			if got := readSeq(r, m, i); got != int64(i) {
+				t.Errorf("%s[%d] = %d, want %d", m, i, got, i)
+			}
+		}
+	}
+	for _, m := range models {
+		if got := readSeq(r, m, 7); got != -1 {
+			t.Errorf("torn record resurrected: %s[7] = %d", m, got)
+		}
+	}
+	// The truncated log accepts new appends cleanly.
+	if err := seedAll(r, 8); err != nil {
+		t.Fatal(err)
+	}
+}

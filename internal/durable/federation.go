@@ -1,0 +1,123 @@
+package durable
+
+import (
+	"fmt"
+
+	"udbench/internal/federation"
+	"udbench/internal/wal"
+)
+
+// Federation is a polyglot federation with per-store durability: each
+// of the five single-model stores keeps its own log (and snapshots) in
+// a subdirectory, mirroring how a real federation's members each manage
+// their own recovery. There is no cross-store commit record — after a
+// crash each store recovers independently, so a 2PC transaction that
+// committed in some stores and not others stays torn. That atomicity
+// gap is part of what the benchmark measures.
+type Federation struct {
+	*federation.Federation
+
+	dir  string
+	opts Options
+	logs map[string]*wal.Log
+
+	// Recovery holds per-store recovery stats keyed by store name.
+	Recovery map[string]RecoveryStats
+}
+
+// federationStores lists the five member stores of a federation, each
+// with its recovery target and durable subdirectory name.
+func federationStores(f *federation.Federation) map[string]target {
+	return map[string]target{
+		"relational": {rel: f.Relational, mgr: f.Relational.Manager()},
+		"doc":        {docs: f.Docs, mgr: f.Docs.Manager()},
+		"graph":      {graph: f.Graph, mgr: f.Graph.Manager()},
+		"kv":         {kv: f.KV, mgr: f.KV.Manager()},
+		"xml":        {xml: f.XML, mgr: f.XML.Manager()},
+	}
+}
+
+// OpenFederation opens (or recovers) a durable federation rooted at
+// dir, one subdirectory per member store.
+func OpenFederation(dir string, opts Options) (*Federation, error) {
+	fsys := opts.fs()
+	f := federation.Open()
+	out := &Federation{
+		Federation: f,
+		dir:        dir,
+		opts:       opts,
+		logs:       make(map[string]*wal.Log),
+		Recovery:   make(map[string]RecoveryStats),
+	}
+	for name, tgt := range federationStores(f) {
+		sub := dir + "/" + name
+		if err := fsys.MkdirAll(sub); err != nil {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		rec, err := recoverDir(fsys, sub, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("durable: store %s: %w", name, err)
+		}
+		log, err := wal.OpenLog(sub+"/"+LogName, wal.Options{
+			FS: fsys, Policy: opts.Policy, AsyncInterval: opts.AsyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("durable: store %s: %w", name, err)
+		}
+		log.SetDurableFloor(rec.WatermarkTS)
+		tgt.mgr.SetCommitLog(log)
+		out.logs[name] = log
+		out.Recovery[name] = rec
+	}
+	return out, nil
+}
+
+// Checkpoint snapshots every member store and returns the snapshot
+// timestamp per store. Each snapshot is consistent within its store;
+// there is no federation-wide cut (the federation has no global
+// snapshot to cut at).
+func (d *Federation) Checkpoint() (map[string]uint64, error) {
+	fsys := d.opts.fs()
+	out := make(map[string]uint64)
+	for name, tgt := range federationStores(d.Federation) {
+		ts, err := checkpoint(fsys, d.dir+"/"+name, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("durable: store %s: %w", name, err)
+		}
+		out[name] = ts
+	}
+	return out, nil
+}
+
+// DurabilityStats sums log telemetry across the five member stores.
+// Policy and Sealed reflect the combined view: all logs share one
+// policy; Sealed is true if any member log sealed.
+func (d *Federation) DurabilityStats() *wal.Stats {
+	var sum wal.Stats
+	for _, log := range d.logs {
+		s := log.Stats()
+		sum.Policy = s.Policy
+		sum.Appends += s.Appends
+		sum.OpsLogged += s.OpsLogged
+		sum.Batches += s.Batches
+		sum.Fsyncs += s.Fsyncs
+		sum.Bytes += s.Bytes
+		if s.DurableTS > sum.DurableTS {
+			sum.DurableTS = s.DurableTS
+		}
+		sum.Sealed = sum.Sealed || s.Sealed
+	}
+	return &sum
+}
+
+// Close detaches and closes every member log.
+func (d *Federation) Close() error {
+	var first error
+	for name, tgt := range federationStores(d.Federation) {
+		tgt.mgr.SetCommitLog(nil)
+		if err := d.logs[name].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -21,6 +21,7 @@ import (
 
 	"udbench/internal/mmvalue"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // VID identifies a vertex; EID identifies an edge.
@@ -162,6 +163,40 @@ func (s *Store) AddVertex(tx *txn.Tx, id VID, label string, props mmvalue.Value)
 		rec.chain.Write(tx.ID(), props.Clone(), false)
 		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphVertex).String(string(id)).String(label).
+				Bytes(mmvalue.AppendBinary(nil, props)).Build())
+		}
+		return nil
+	})
+}
+
+// ApplyVertex is the replay path: it upserts the vertex without the
+// duplicate-id check, so recovery can reapply a logged add whether or
+// not a snapshot already holds the vertex.
+func (s *Store) ApplyVertex(tx *txn.Tx, id VID, label string, props mmvalue.Value) error {
+	if id == "" {
+		return fmt.Errorf("graph %s: empty vertex id", s.name)
+	}
+	props = normalizeProps(props)
+	if props.Kind() != mmvalue.KindObject {
+		return fmt.Errorf("graph %s: vertex props must be an object", s.name)
+	}
+	return s.run(tx, func(tx *txn.Tx) error {
+		rec := s.getOrCreateVertex(id, label)
+		if err := tx.LockExclusiveKey(rec.chain.Res); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		rec.label = label
+		s.mu.Unlock()
+		rec.chain.Write(tx.ID(), props.Clone(), false)
+		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphVertex).String(string(id)).String(label).
+				Bytes(mmvalue.AppendBinary(nil, props)).Build())
+		}
 		return nil
 	})
 }
@@ -220,6 +255,68 @@ func (s *Store) AddEdge(tx *txn.Tx, id EID, label string, from, to VID, props mm
 			}
 		})
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphEdge).String(string(id)).String(label).
+				String(string(from)).String(string(to)).
+				Bytes(mmvalue.AppendBinary(nil, props)).Build())
+		}
+		return nil
+	})
+}
+
+// ApplyEdge is the replay path: it upserts the edge without the
+// duplicate-id check (relinking if the endpoints changed), so recovery
+// can reapply a logged add whether or not a snapshot already holds the
+// edge. The endpoint vertices must exist, which replay guarantees
+// because their ops precede the edge op in the log.
+func (s *Store) ApplyEdge(tx *txn.Tx, id EID, label string, from, to VID, props mmvalue.Value) error {
+	if id == "" {
+		return fmt.Errorf("graph %s: empty edge id", s.name)
+	}
+	props = normalizeProps(props)
+	if props.Kind() != mmvalue.KindObject {
+		return fmt.Errorf("graph %s: edge props must be an object", s.name)
+	}
+	return s.run(tx, func(tx *txn.Tx) error {
+		if err := tx.LockExclusiveKey(s.eLockKey(id)); err != nil {
+			return err
+		}
+		if _, ok := s.GetVertex(tx, from); !ok {
+			return fmt.Errorf("graph %s: edge %q: no vertex %q", s.name, id, from)
+		}
+		if _, ok := s.GetVertex(tx, to); !ok {
+			return fmt.Errorf("graph %s: edge %q: no vertex %q", s.name, id, to)
+		}
+		s.mu.Lock()
+		rec := s.edges[id]
+		fresh := rec == nil
+		if fresh {
+			rec = &edgeRec{label: label, from: from, to: to}
+			rec.chain.Res = txn.NewResourceKey(s.eResource(id))
+			s.edges[id] = rec
+			s.link(id, label, from, to)
+		} else if rec.from != from || rec.to != to || rec.label != label {
+			s.unlink(id, rec.label, rec.from, rec.to)
+			rec.label, rec.from, rec.to = label, from, to
+			s.link(id, label, from, to)
+		}
+		s.mu.Unlock()
+		rec.chain.Write(tx.ID(), props.Clone(), false)
+		tx.OnUndo(func() {
+			rec.chain.Rollback(tx.ID())
+			if fresh && rec.chain.Empty() {
+				s.mu.Lock()
+				s.unlink(id, label, from, to)
+				delete(s.edges, id)
+				s.mu.Unlock()
+			}
+		})
+		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphEdge).String(string(id)).String(label).
+				String(string(from)).String(string(to)).
+				Bytes(mmvalue.AppendBinary(nil, props)).Build())
+		}
 		return nil
 	})
 }
@@ -350,6 +447,10 @@ func (s *Store) SetVertexProps(tx *txn.Tx, id VID, update func(props mmvalue.Val
 		rec.chain.Write(tx.ID(), next, false)
 		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphVertexProps).String(string(id)).
+				Bytes(mmvalue.AppendBinary(nil, next)).Build())
+		}
 		return nil
 	})
 }
@@ -369,6 +470,9 @@ func (s *Store) RemoveEdge(tx *txn.Tx, id EID) error {
 		rec.chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphRemoveEdge).String(string(id)).Build())
+		}
 		return nil
 	})
 }
@@ -399,6 +503,9 @@ func (s *Store) RemoveVertex(tx *txn.Tx, id VID) error {
 		rec.chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { rec.chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { rec.chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpGraphRemoveVertex).String(string(id)).Build())
+		}
 		return nil
 	})
 }

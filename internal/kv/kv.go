@@ -13,6 +13,7 @@ import (
 	"udbench/internal/mmvalue"
 	"udbench/internal/ordmap"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // Store is an ordered transactional key-value store. All operations
@@ -74,6 +75,10 @@ func (s *Store) Put(tx *txn.Tx, key string, value mmvalue.Value) error {
 		chain.Write(tx.ID(), value, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpKVPut).String(key).
+				Bytes(mmvalue.AppendBinary(nil, value)).Build())
+		}
 		return nil
 	})
 }
@@ -125,6 +130,9 @@ func (s *Store) Delete(tx *txn.Tx, key string) error {
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpKVDelete).String(key).Build())
+		}
 		return nil
 	})
 }

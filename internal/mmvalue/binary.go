@@ -1,0 +1,169 @@
+package mmvalue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for Value: a compact, kind-exact encoding used by the
+// write-ahead log. Unlike the JSON round trip — which collapses
+// integral floats into ints and re-parses strings — the binary form
+// preserves every Kind and object key order bit-for-bit, so a value
+// replayed from the log is indistinguishable from the original. That
+// exactness is what lets recovery-idempotence tests compare serialized
+// store state byte for byte.
+
+// ErrBinary is the root of every binary-decode failure. The decoder
+// never panics on corrupt input; it wraps ErrBinary with detail.
+var ErrBinary = errors.New("mmvalue: corrupt binary value")
+
+// binaryMaxDepth bounds nesting so adversarial input (fuzzed WAL
+// records) cannot overflow the decoder's stack.
+const binaryMaxDepth = 512
+
+// AppendBinary appends the binary encoding of v to buf and returns the
+// extended slice.
+func AppendBinary(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		if v.b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.i)
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	case KindArray:
+		buf = binary.AppendUvarint(buf, uint64(len(v.arr)))
+		for _, e := range v.arr {
+			buf = AppendBinary(buf, e)
+		}
+	case KindObject:
+		if v.obj == nil {
+			buf = binary.AppendUvarint(buf, 0)
+			break
+		}
+		buf = binary.AppendUvarint(buf, uint64(v.obj.Len()))
+		for i, k := range v.obj.keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			buf = AppendBinary(buf, v.obj.at(i))
+		}
+	}
+	return buf
+}
+
+// DecodeBinary decodes one value from the front of data and returns it
+// with the remaining bytes. Corrupt input yields an error wrapping
+// ErrBinary; the decoder never panics.
+func DecodeBinary(data []byte) (Value, []byte, error) {
+	return decodeBinary(data, 0)
+}
+
+func binErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBinary, fmt.Sprintf(format, args...))
+}
+
+func decodeBinary(data []byte, depth int) (Value, []byte, error) {
+	if depth > binaryMaxDepth {
+		return Value{}, nil, binErr("nesting exceeds %d", binaryMaxDepth)
+	}
+	if len(data) == 0 {
+		return Value{}, nil, binErr("truncated: missing kind byte")
+	}
+	kind, rest := Kind(data[0]), data[1:]
+	switch kind {
+	case KindNull:
+		return Value{}, rest, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, nil, binErr("truncated bool")
+		}
+		return Bool(rest[0] != 0), rest[1:], nil
+	case KindInt:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return Value{}, nil, binErr("bad int varint")
+		}
+		return Int(i), rest[n:], nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, nil, binErr("truncated float")
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(rest))), rest[8:], nil
+	case KindString:
+		s, rest, err := decodeBinaryString(rest)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return String(s), rest, nil
+	case KindArray:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return Value{}, nil, binErr("bad array length")
+		}
+		rest = rest[w:]
+		if n > uint64(len(rest)) { // each element takes >= 1 byte
+			return Value{}, nil, binErr("array length %d exceeds input", n)
+		}
+		elems := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e Value
+			var err error
+			e, rest, err = decodeBinary(rest, depth+1)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			elems = append(elems, e)
+		}
+		return Array(elems...), rest, nil
+	case KindObject:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return Value{}, nil, binErr("bad object length")
+		}
+		rest = rest[w:]
+		if 2*n > uint64(len(rest))+1 { // each pair takes >= 2 bytes
+			return Value{}, nil, binErr("object length %d exceeds input", n)
+		}
+		obj := NewObject()
+		for i := uint64(0); i < n; i++ {
+			var k string
+			var v Value
+			var err error
+			k, rest, err = decodeBinaryString(rest)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			v, rest, err = decodeBinary(rest, depth+1)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			obj.Set(k, v)
+		}
+		return FromObject(obj), rest, nil
+	default:
+		return Value{}, nil, binErr("unknown kind byte 0x%02x", byte(kind))
+	}
+}
+
+func decodeBinaryString(data []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return "", nil, binErr("bad string length")
+	}
+	data = data[w:]
+	if n > uint64(len(data)) {
+		return "", nil, binErr("string length %d exceeds input", n)
+	}
+	return string(data[:n]), data[n:], nil
+}

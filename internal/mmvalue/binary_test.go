@@ -1,0 +1,79 @@
+package mmvalue
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBinaryRoundTripExact(t *testing.T) {
+	vals := []Value{
+		Null,
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(-1234567),
+		Float(2.0), // must stay Float — JSON would collapse it to Int
+		Float(19.99),
+		String(""),
+		String("héllo \x00 world"),
+		Array(),
+		Array(Int(1), String("two"), Array(Bool(false))),
+		ObjectOf("b", 2, "a", 1, "nested", ObjectOf("x", Array(Float(1.5)))),
+	}
+	for _, v := range vals {
+		buf := AppendBinary(nil, v)
+		got, rest, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d leftover bytes", v, len(rest))
+		}
+		if got.Kind() != v.Kind() || !Equal(got, v) {
+			t.Fatalf("round trip %s (%s) -> %s (%s)", v, v.Kind(), got, got.Kind())
+		}
+		// Re-encoding must be byte-identical (key order preserved).
+		if !bytes.Equal(buf, AppendBinary(nil, got)) {
+			t.Fatalf("%s: re-encoding differs", v)
+		}
+	}
+}
+
+func TestBinaryObjectKeyOrderPreserved(t *testing.T) {
+	v := ObjectOf("zeta", 1, "alpha", 2, "mid", 3)
+	got, _, err := DecodeBinary(AppendBinary(nil, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := got.MustObject()
+	want := []string{"zeta", "alpha", "mid"}
+	for i, k := range obj.Keys() {
+		if k != want[i] {
+			t.Fatalf("key %d = %q, want %q", i, k, want[i])
+		}
+	}
+}
+
+func TestBinaryDecodeCorrupt(t *testing.T) {
+	good := AppendBinary(nil, ObjectOf("k", Array(Int(1), Float(2.5), String("s"))))
+	// Every truncation must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeBinary(good[:cut]); err != nil && !errors.Is(err, ErrBinary) {
+			t.Fatalf("cut %d: unwrapped error %v", cut, err)
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{0xee}); !errors.Is(err, ErrBinary) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	// Huge claimed array length must not allocate or succeed.
+	huge := []byte{byte(KindArray), 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, _, err := DecodeBinary(huge); !errors.Is(err, ErrBinary) {
+		t.Fatalf("huge array: %v", err)
+	}
+	// Deep nesting is bounded.
+	deep := bytes.Repeat([]byte{byte(KindArray), 1}, binaryMaxDepth+8)
+	if _, _, err := DecodeBinary(deep); !errors.Is(err, ErrBinary) {
+		t.Fatalf("deep nesting: %v", err)
+	}
+}

@@ -284,6 +284,18 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	}
 	t := NewTable(name, schema, db.mgr)
 	db.tables[name] = t
+	// DDL is durable too: log the schema through an auto-commit
+	// transaction so recovery recreates the table before its rows.
+	if db.mgr.CommitLogAttached() {
+		if err := db.mgr.RunWith(3, func(tx *txn.Tx) error {
+			if tx.Logging() {
+				tx.LogOp(EncodeCreateTable(name, schema))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"udbench/internal/mmvalue"
+	"udbench/internal/wal"
 )
 
 // ColumnType is the declared type of a relational column.
@@ -222,5 +223,47 @@ func DecodeIntKey(key string) (int64, bool) {
 // string that two Equal values share. Numerics are normalized so
 // Int(1) and Float(1) share a bucket, in line with mmvalue.Equal.
 func indexKey(v mmvalue.Value) string { return v.Key() }
+
+// EncodeCreateTable renders a CreateTable as a WAL op: table name,
+// primary key, then each column as (name, type byte, nullable).
+func EncodeCreateTable(name string, s Schema) []byte {
+	e := wal.NewOp(wal.OpRelCreateTable).String(name).String(s.PrimaryKey).
+		Uvarint(uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		e.String(c.Name).Byte(byte(c.Type)).Bool(c.Nullable)
+	}
+	return e.Build()
+}
+
+// DecodeCreateTable parses an OpRelCreateTable op body from d (which
+// must already be positioned past the op code, i.e. fresh from
+// wal.DecodeOp). It validates the schema through NewSchema.
+func DecodeCreateTable(d *wal.OpDecoder) (string, Schema, error) {
+	name := d.String()
+	pk := d.String()
+	n := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return "", Schema{}, err
+	}
+	if n > 1<<16 {
+		return "", Schema{}, fmt.Errorf("relational: create-table op claims %d columns", n)
+	}
+	cols := make([]Column, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cols = append(cols, Column{
+			Name:     d.String(),
+			Type:     ColumnType(d.Byte()),
+			Nullable: d.Bool(),
+		})
+	}
+	if err := d.Done(); err != nil {
+		return "", Schema{}, err
+	}
+	s, err := NewSchema(pk, cols...)
+	if err != nil {
+		return "", Schema{}, err
+	}
+	return name, s, nil
+}
 
 func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -8,6 +8,7 @@ import (
 	"udbench/internal/mmvalue"
 	"udbench/internal/ordmap"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // Table is a transactional relational table: multi-versioned rows keyed
@@ -113,7 +114,30 @@ func (t *Table) CreateIndex(column string) error {
 		}
 		return true
 	})
+	// DDL is durable too: log the index creation through an auto-commit
+	// transaction so recovery rebuilds it before replaying rows.
+	if t.mgr.CommitLogAttached() {
+		return t.mgr.RunWith(3, func(tx *txn.Tx) error {
+			if tx.Logging() {
+				tx.LogOp(wal.NewOp(wal.OpRelCreateIndex).String(t.name).String(column).Build())
+			}
+			return nil
+		})
+	}
 	return nil
+}
+
+// IndexedColumns lists the columns with a secondary index, in sorted
+// order (used by snapshot encoding).
+func (t *Table) IndexedColumns() []string {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	cols := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
 }
 
 // UsesIndex reports whether Stream would serve the predicate from the
@@ -212,6 +236,41 @@ func (t *Table) Insert(tx *txn.Tx, row mmvalue.Value) error {
 			chain.CommitStamp(tx.ID(), ts)
 			t.indexRow(pk, stored)
 		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpRelPut).String(t.name).
+				Bytes(mmvalue.AppendBinary(nil, stored)).Build())
+		}
+		return nil
+	})
+}
+
+// ApplyPut is the replay path: it upserts row by its primary key
+// without the duplicate-key check, so recovery can reapply a logged put
+// whether or not a snapshot already holds the row.
+func (t *Table) ApplyPut(tx *txn.Tx, row mmvalue.Value) error {
+	if err := t.schema.ValidateRow(row); err != nil {
+		return err
+	}
+	pk, err := t.pkOf(row)
+	if err != nil {
+		return err
+	}
+	return t.run(tx, func(tx *txn.Tx) error {
+		chain := t.chainOf(pk)
+		if err := tx.LockExclusiveKey(chain.Res); err != nil {
+			return err
+		}
+		stored := row.Clone()
+		chain.Write(tx.ID(), stored, false)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) {
+			chain.CommitStamp(tx.ID(), ts)
+			t.indexRow(pk, stored)
+		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpRelPut).String(t.name).
+				Bytes(mmvalue.AppendBinary(nil, stored)).Build())
+		}
 		return nil
 	})
 }
@@ -294,6 +353,10 @@ func (t *Table) Update(tx *txn.Tx, pkValue any, fn func(row mmvalue.Value) (mmva
 			chain.CommitStamp(tx.ID(), ts)
 			t.indexRow(pk, next)
 		})
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpRelPut).String(t.name).
+				Bytes(mmvalue.AppendBinary(nil, next)).Build())
+		}
 		return nil
 	})
 }
@@ -316,6 +379,34 @@ func (t *Table) Delete(tx *txn.Tx, pkValue any) error {
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpRelDelete).String(t.name).String(pk).Build())
+		}
+		return nil
+	})
+}
+
+// ApplyDelete is the replay path: it tombstones the row stored under an
+// already-encoded primary key (as logged by Delete). Missing rows are a
+// no-op, which makes replay idempotent.
+func (t *Table) ApplyDelete(tx *txn.Tx, pk string) error {
+	return t.run(tx, func(tx *txn.Tx) error {
+		chain, ok, err := t.lockRow(tx, pk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if _, live := chain.Read(t.mgr.Oracle().Current(), tx.ID()); !live {
+			return nil
+		}
+		chain.Write(tx.ID(), mmvalue.Null, true)
+		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
+		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpRelDelete).String(t.name).String(pk).Build())
+		}
 		return nil
 	})
 }

@@ -1,0 +1,189 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// recordingLog captures the CommitLog protocol for assertions.
+type recordingLog struct {
+	mu        sync.Mutex
+	appends   []uint64
+	commits   []uint64
+	appendErr error
+	commitErr error
+	// publishedAtAppend records the manager's watermark at each Append,
+	// to pin the Append-before-publish ordering.
+	publishedAtAppend []uint64
+	mgr               *Manager
+}
+
+func (l *recordingLog) Append(ts uint64, ops [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.appendErr != nil {
+		return l.appendErr
+	}
+	l.appends = append(l.appends, ts)
+	if l.mgr != nil {
+		l.publishedAtAppend = append(l.publishedAtAppend, uint64(l.mgr.Published()))
+	}
+	return nil
+}
+
+func (l *recordingLog) Commit(ts uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.commitErr != nil {
+		return l.commitErr
+	}
+	l.commits = append(l.commits, ts)
+	return nil
+}
+
+func TestCommitLogOrdering(t *testing.T) {
+	m := NewManager()
+	log := &recordingLog{mgr: m}
+	m.SetCommitLog(log)
+
+	for i := 0; i < 5; i++ {
+		tx := m.Begin()
+		if !tx.Logging() {
+			t.Fatal("Logging() false with commit log attached")
+		}
+		tx.LogOp([]byte{0x10, byte(i)})
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(ts) != log.appends[i] || uint64(ts) != log.commits[i] {
+			t.Fatalf("ts %d: append %d commit %d", ts, log.appends[i], log.commits[i])
+		}
+		// Append must run before ts published.
+		if log.publishedAtAppend[i] >= uint64(ts) {
+			t.Fatalf("append at ts %d saw watermark %d (not pre-publish)", ts, log.publishedAtAppend[i])
+		}
+	}
+	// A read-only commit (no ops) never touches the log.
+	tx := m.Begin()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.appends) != 5 {
+		t.Fatalf("read-only commit reached the log: %v", log.appends)
+	}
+}
+
+func TestCommitLogAppendRefusalAborts(t *testing.T) {
+	m := NewManager()
+	sealed := errors.New("sealed")
+	log := &recordingLog{appendErr: sealed}
+	m.SetCommitLog(log)
+
+	tx := m.Begin()
+	if err := tx.LockExclusive("r"); err != nil {
+		t.Fatal(err)
+	}
+	undone := false
+	tx.OnUndo(func() { undone = true })
+	stamped := false
+	tx.OnCommit(func(TS) { stamped = true })
+	tx.LogOp([]byte{1})
+	_, err := tx.Commit()
+	if !errors.Is(err, sealed) {
+		t.Fatalf("commit = %v, want sealed", err)
+	}
+	if stamped || !undone {
+		t.Fatalf("stamped=%v undone=%v: refused commit must roll back unstamped", stamped, undone)
+	}
+	if tx.Status() != StatusAborted {
+		t.Fatalf("status = %v", tx.Status())
+	}
+	// The abandoned timestamp must not stall the watermark: a following
+	// commit still publishes.
+	tx2 := m.Begin()
+	tx2.LogOp([]byte{2})
+	log.mu.Lock()
+	log.appendErr = nil
+	log.mu.Unlock()
+	ts, err := tx2.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Published() != ts {
+		t.Fatalf("published %d != committed %d", m.Published(), ts)
+	}
+	// The lock from the aborted commit was released.
+	tx3 := m.Begin()
+	if err := tx3.LockExclusive("r"); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Abort()
+}
+
+func TestCommitLogWaitFailureReportsNotDurable(t *testing.T) {
+	m := NewManager()
+	notDurable := errors.New("flush failed")
+	log := &recordingLog{commitErr: notDurable}
+	m.SetCommitLog(log)
+
+	tx := m.Begin()
+	stampedAt := TS(0)
+	tx.OnCommit(func(ts TS) { stampedAt = ts })
+	tx.LogOp([]byte{1})
+	_, err := tx.Commit()
+	if !errors.Is(err, notDurable) {
+		t.Fatalf("commit = %v", err)
+	}
+	// The commit applied in memory (stamped, published, status
+	// committed) — only durability failed.
+	if stampedAt == 0 || tx.Status() != StatusCommitted || m.Published() != stampedAt {
+		t.Fatalf("stamped=%d status=%v published=%d", stampedAt, tx.Status(), m.Published())
+	}
+}
+
+func TestPublishedLagsDuringStamping(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	sawLag := false
+	tx.OnCommit(func(ts TS) {
+		// Inside the stamping window the watermark has not published ts.
+		if m.Published() < ts {
+			sawLag = true
+		}
+	})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawLag {
+		t.Fatal("watermark published before stamping finished")
+	}
+	if m.Published() != m.Oracle().Current() {
+		t.Fatalf("idle: published %d != current %d", m.Published(), m.Oracle().Current())
+	}
+}
+
+func TestRestoreWatermark(t *testing.T) {
+	m := NewManager()
+	m.RestoreWatermark(100)
+	if m.Published() != 100 || m.Oracle().Current() != 100 {
+		t.Fatalf("restore: published %d current %d", m.Published(), m.Oracle().Current())
+	}
+	if got := m.Begin().BeginTS(); got != 100 {
+		t.Fatalf("begin after restore = %d", got)
+	}
+	tx := m.Begin()
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 101 || m.Published() != 101 {
+		t.Fatalf("commit after restore: ts %d published %d", ts, m.Published())
+	}
+	// Restoring below the current state is a no-op.
+	m.RestoreWatermark(5)
+	if m.Published() != 101 {
+		t.Fatalf("restore went backwards: %d", m.Published())
+	}
+}

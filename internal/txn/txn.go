@@ -101,6 +101,48 @@ type Manager struct {
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+
+	// commitLog, when set, is the durability hook: Commit hands it the
+	// transaction's logical op records before publishing and waits on it
+	// after. Stored behind an atomic pointer so the hot-path nil check
+	// is one load.
+	commitLog atomic.Pointer[commitLogBox]
+}
+
+// CommitLog is the durability hook a write-ahead log implements.
+// Append is called with the commit timestamp and the transaction's
+// logical op records after the timestamp is allocated but before it is
+// stored in the publish ring — so "ts published" always implies "every
+// record <= ts handed to the log", which is what lets the log flush
+// one ordered batch per watermark advance. Commit is called after the
+// watermark has published ts and must block until ts is durable per
+// the log's policy (or return its typed error, e.g. a sealed log).
+type CommitLog interface {
+	Append(ts uint64, ops [][]byte) error
+	Commit(ts uint64) error
+}
+
+type commitLogBox struct{ log CommitLog }
+
+// SetCommitLog attaches (or, with nil, detaches) the durability hook.
+// It must be called before transactions that should be logged begin;
+// recovery attaches it after replay, before serving traffic.
+func (m *Manager) SetCommitLog(l CommitLog) {
+	if l == nil {
+		m.commitLog.Store(nil)
+		return
+	}
+	m.commitLog.Store(&commitLogBox{log: l})
+}
+
+// CommitLogAttached reports whether a durability hook is set.
+func (m *Manager) CommitLogAttached() bool { return m.commitLog.Load() != nil }
+
+func (m *Manager) commitLogRef() CommitLog {
+	if box := m.commitLog.Load(); box != nil {
+		return box.log
+	}
+	return nil
 }
 
 // NewManager returns a ready Manager.
@@ -155,6 +197,27 @@ func (m *Manager) DetectorInterval() time.Duration {
 	return d
 }
 
+// Published returns the commit watermark: every commit with timestamp
+// at or below it is fully stamped and visible to new snapshots. While
+// commits are stamping, Oracle().Current() runs ahead of Published();
+// the watermark is the tight safe bound for version GC — see
+// udbms.Compact.
+func (m *Manager) Published() TS { return TS(m.published.Load()) }
+
+// RestoreWatermark fast-forwards the oracle and the published
+// watermark to ts. Recovery calls it once after replaying a log whose
+// records carry pre-crash timestamps, so post-recovery commits are
+// stamped strictly after every replayed record. It must be called
+// before any concurrent transaction activity on this manager.
+func (m *Manager) RestoreWatermark(ts TS) {
+	if m.oracle.counter.Load() < uint64(ts) {
+		m.oracle.counter.Store(uint64(ts))
+	}
+	if m.published.Load() < uint64(ts) {
+		m.published.Store(uint64(ts))
+	}
+}
+
 // Stats reports cumulative commit and abort counts.
 func (m *Manager) Stats() (commits, aborts uint64) {
 	return m.commits.Load(), m.aborts.Load()
@@ -189,6 +252,10 @@ type Tx struct {
 
 	undo       []func()
 	commitHook []func(TS)
+	// walOps collects the transaction's logical op records for the
+	// commit log. Stores append via LogOp only when Logging() is true,
+	// so with no log attached the write hot path stays untouched.
+	walOps [][]byte
 	// heldLocks records every lock this transaction holds — at most one
 	// record per resource (upgrades update the record in place). The
 	// records carry the entry pointer and grant path so release and
@@ -361,6 +428,18 @@ func (tx *Tx) promoteFastHolds() {
 	}
 }
 
+// Logging reports whether this transaction's mutations should be
+// recorded for the commit log. Stores check it before building an op
+// record, keeping the non-durable configuration allocation-free.
+func (tx *Tx) Logging() bool {
+	return tx.status == StatusActive && tx.mgr.commitLog.Load() != nil
+}
+
+// LogOp appends one logical op record to the transaction's commit-log
+// payload. Ops replay in append order; an aborted transaction's ops
+// are discarded without ever reaching the log.
+func (tx *Tx) LogOp(op []byte) { tx.walOps = append(tx.walOps, op) }
+
 // OnUndo registers fn to run (in reverse order) if the transaction
 // aborts. Stores use this to remove uncommitted versions.
 func (tx *Tx) OnUndo(fn func()) { tx.undo = append(tx.undo, fn) }
@@ -382,20 +461,41 @@ func (tx *Tx) OnCommit(fn func(TS)) { tx.commitHook = append(tx.commitHook, fn) 
 // of them, across every store on this manager — and Commit only
 // returns once its timestamp is published, so a subsequent Begin
 // anywhere observes the commit (read-your-writes).
+// When a commit log is attached, durability brackets the publish: the
+// op records are handed to the log *before* the slot store (so the
+// watermark ring doubles as the log's ordering barrier) and the commit
+// waits for the log *after* publishing. A refusal from Append — e.g. a
+// sealed log — aborts the commit before any version is stamped; a
+// failure from the post-publish wait means the commit is applied in
+// memory but NOT durable, which Commit reports by returning the log's
+// typed error (recovery will not replay it).
 func (tx *Tx) Commit() (TS, error) {
 	if tx.status != StatusActive {
 		return 0, ErrTxClosed
 	}
 	m := tx.mgr
+	var clog CommitLog
+	if len(tx.walOps) > 0 {
+		clog = m.commitLogRef()
+	}
 	commitTS := uint64(m.oracle.Next())
 	// Window guard: never lap the publish ring. Needs commitWindow
 	// commits in flight at once to trip.
 	for commitTS-m.published.Load() > commitWindow {
 		runtime.Gosched()
 	}
-	for _, fn := range tx.commitHook {
-		fn(TS(commitTS))
+	var logErr error
+	if clog != nil {
+		logErr = clog.Append(commitTS, tx.walOps)
 	}
+	if logErr == nil {
+		for _, fn := range tx.commitHook {
+			fn(TS(commitTS))
+		}
+	}
+	// The slot must be stored even when the log refused the commit:
+	// the published watermark only advances over a contiguous prefix,
+	// so an abandoned timestamp would stall every later commit.
 	m.commitSlots[commitTS&(commitWindow-1)].Store(commitTS)
 	m.advancePublished()
 	// Wait until our commit is visible; predecessors are actively
@@ -406,9 +506,26 @@ func (tx *Tx) Commit() (TS, error) {
 		runtime.Gosched()
 		m.advancePublished()
 	}
+	if logErr != nil {
+		// Nothing was stamped: roll back like Abort and surface the
+		// log's refusal (typically wal.ErrSealed).
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			tx.undo[i]()
+		}
+		tx.status = StatusAborted
+		tx.finish()
+		m.aborts.Add(1)
+		return 0, logErr
+	}
+	if clog != nil {
+		logErr = clog.Commit(commitTS)
+	}
 	tx.status = StatusCommitted
 	tx.finish()
 	m.commits.Add(1)
+	if logErr != nil {
+		return 0, logErr
+	}
 	return TS(commitTS), nil
 }
 
@@ -432,6 +549,7 @@ func (tx *Tx) finish() {
 	tx.heldIndex = nil
 	tx.undo = nil
 	tx.commitHook = nil
+	tx.walOps = nil
 	tx.mgr.active.Add(-1)
 }
 

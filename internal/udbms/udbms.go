@@ -73,12 +73,17 @@ type Stats struct {
 }
 
 // Compact garbage-collects old record versions across every model.
-// The horizon defaults to the current timestamp when zero. Compact
-// must not run concurrently with transactions that read below the
-// horizon; in the benchmark it runs between workload phases.
+// When zero, the horizon defaults to the published commit watermark
+// plus one — the tight correct bound under epoch commit: a version at
+// or below the watermark is fully stamped and visible, so the versions
+// it shadows can never be read by a new snapshot. Oracle().Current()
+// would run ahead of the watermark while commits are mid-stamp and
+// could GC versions still needed by a snapshot begun at the watermark.
+// Compact must not run concurrently with transactions that read below
+// the horizon; in the benchmark it runs between workload phases.
 func (db *DB) Compact(horizon txn.TS) int {
 	if horizon == 0 {
-		horizon = db.mgr.Oracle().Current() + 1
+		horizon = db.mgr.Published() + 1
 	}
 	dropped := 0
 	for _, name := range db.Relational.TableNames() {

@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file layout:
+// [8B magic][8B covered timestamp][8B payload length][4B payload CRC][payload]
+// Installed atomically: written to a .tmp name, fsynced, then renamed
+// to snap-<ts>.snap. Loaders validate the CRC and fall back to the
+// next-newest snapshot when the newest is torn or corrupt, so a crash
+// during checkpointing can never lose the previous good snapshot.
+// (Directory-entry durability of the rename is assumed, as MemFS
+// documents.)
+
+const snapMagic = 0x31_50_41_4e_53_42_44_55 // "UDBSNAP1" little-endian
+
+const snapHeader = 8 + 8 + 8 + 4
+
+const snapPrefix = "snap-"
+const snapSuffix = ".snap"
+
+// SnapshotName returns the file name a snapshot covering ts installs as.
+func SnapshotName(ts uint64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, ts, snapSuffix)
+}
+
+// WriteSnapshot atomically installs a snapshot covering commit
+// timestamp ts into dir and prunes older snapshot files, keeping the
+// previous one as a fallback. Returns the installed path.
+func WriteSnapshot(fsys FS, dir string, ts uint64, payload []byte) (string, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return "", fmt.Errorf("wal: snapshot dir %s: %w", dir, err)
+	}
+	head := make([]byte, 0, snapHeader)
+	head = binary.LittleEndian.AppendUint64(head, snapMagic)
+	head = binary.LittleEndian.AppendUint64(head, ts)
+	head = binary.LittleEndian.AppendUint64(head, uint64(len(payload)))
+	head = binary.LittleEndian.AppendUint32(head, crc32.Checksum(payload, crcTable))
+
+	tmp := filepath.Join(dir, SnapshotName(ts)+".tmp")
+	final := filepath.Join(dir, SnapshotName(ts))
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("wal: create snapshot %s: %w", tmp, err)
+	}
+	if _, err := f.Write(head); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: write snapshot %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: install snapshot %s: %w", final, err)
+	}
+	pruneSnapshots(fsys, dir, ts)
+	return final, nil
+}
+
+// pruneSnapshots removes stale snapshot and tmp files, keeping the
+// snapshot just installed at ts plus the newest older one as fallback.
+func pruneSnapshots(fsys FS, dir string, ts uint64) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return
+	}
+	var older []string
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, snapPrefix) {
+			fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		sts, ok := snapshotTS(name)
+		if ok && sts < ts {
+			older = append(older, name)
+		}
+	}
+	sort.Strings(older)
+	for _, name := range older[:max(0, len(older)-1)] {
+		fsys.Remove(filepath.Join(dir, name))
+	}
+}
+
+func snapshotTS(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	ts, err := strconv.ParseUint(name[len(snapPrefix):len(name)-len(snapSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ts, true
+}
+
+// LatestSnapshot loads the newest valid snapshot in dir, skipping torn
+// or corrupt candidates. ok is false when no valid snapshot exists.
+func LatestSnapshot(fsys FS, dir string) (ts uint64, payload []byte, ok bool, err error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := fsys.List(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	// names sort ascending; walk newest first.
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, isSnap := snapshotTS(names[i]); !isSnap {
+			continue
+		}
+		data, rerr := fsys.ReadFile(filepath.Join(dir, names[i]))
+		if rerr != nil {
+			continue
+		}
+		ts, payload, derr := decodeSnapshot(data)
+		if derr != nil {
+			continue // torn/corrupt: fall back to an older snapshot
+		}
+		return ts, payload, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+func decodeSnapshot(data []byte) (uint64, []byte, error) {
+	if len(data) < snapHeader {
+		return 0, nil, fmt.Errorf("%w: snapshot shorter than header", ErrTorn)
+	}
+	if binary.LittleEndian.Uint64(data) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	ts := binary.LittleEndian.Uint64(data[8:])
+	size := binary.LittleEndian.Uint64(data[16:])
+	want := binary.LittleEndian.Uint32(data[24:])
+	if size > uint64(len(data)-snapHeader) {
+		return 0, nil, fmt.Errorf("%w: snapshot payload cut short", ErrTorn)
+	}
+	payload := data[snapHeader : snapHeader+int(size)]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return 0, nil, fmt.Errorf("%w: snapshot crc %08x != %08x", ErrCorrupt, got, want)
+	}
+	return ts, payload, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -10,6 +10,7 @@ import (
 	"udbench/internal/federation"
 	"udbench/internal/metrics"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // MixItem is one operation class in a workload mix.
@@ -70,6 +71,9 @@ type Result struct {
 	// LockStats is the engine's lock-table telemetry accrued during the
 	// run (nil when the engine exposes none, e.g. synthetic mixes).
 	LockStats *txn.LockStats
+	// Durability is the engine's write-ahead-log telemetry accrued
+	// during the run (nil when the engine runs without a log).
+	Durability *wal.Stats
 }
 
 // DriverMode selects the driver's load model.
@@ -151,6 +155,14 @@ type DriverConfig struct {
 // telemetry; RunMix snapshots it around the run and reports the delta.
 type LockStatsProvider interface {
 	LockStats() txn.LockStats
+}
+
+// DurabilityProvider is implemented by engines with a write-ahead log
+// attached; RunMix snapshots the log telemetry around the run and
+// reports the delta. A nil return means no log is attached for this
+// run (the same engine type can run with or without durability).
+type DurabilityProvider interface {
+	DurabilityStats() *wal.Stats
 }
 
 // mixWeight sums the mix's weights.
@@ -290,6 +302,11 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if hasLock {
 		lockBase = lsp.LockStats()
 	}
+	var durBase *wal.Stats
+	dp, _ := e.(DurabilityProvider)
+	if dp != nil {
+		durBase = dp.DurabilityStats()
+	}
 	nonce := runSeq.Add(1)
 	recs := make([]workerRecorder, cfg.Clients)
 	if cfg.Mode == ModeOpen {
@@ -317,6 +334,12 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if hasLock {
 		delta := lsp.LockStats().Delta(lockBase)
 		res.LockStats = &delta
+	}
+	if durBase != nil {
+		if end := dp.DurabilityStats(); end != nil {
+			delta := end.Delta(*durBase)
+			res.Durability = &delta
+		}
 	}
 	return res
 }

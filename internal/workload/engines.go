@@ -4,6 +4,7 @@ import (
 	"udbench/internal/federation"
 	"udbench/internal/txn"
 	"udbench/internal/udbms"
+	"udbench/internal/wal"
 )
 
 // UDBMSEngine adapts the unified multi-model engine to the workload
@@ -11,6 +12,10 @@ import (
 // all five models; writes run under one ACID transaction.
 type UDBMSEngine struct {
 	DB *udbms.DB
+	// Durable, when set, exposes the write-ahead-log telemetry of the
+	// durable wrapper the DB runs inside (see internal/durable); the
+	// driver then reports a durability delta per run.
+	Durable DurabilityProvider
 }
 
 // NewUDBMSEngine wraps db.
@@ -22,6 +27,15 @@ func (e *UDBMSEngine) Name() string { return "udbms" }
 // LockStats implements LockStatsProvider: the unified engine has one
 // shared lock table, so its snapshot is the manager's directly.
 func (e *UDBMSEngine) LockStats() txn.LockStats { return e.DB.Manager().LockStats() }
+
+// DurabilityStats implements DurabilityProvider; nil when the engine
+// runs without a write-ahead log.
+func (e *UDBMSEngine) DurabilityStats() *wal.Stats {
+	if e.Durable == nil {
+		return nil
+	}
+	return e.Durable.DurabilityStats()
+}
 
 func (e *UDBMSEngine) stores() stores {
 	return stores{rel: e.DB.Relational, docs: e.DB.Docs, gr: e.DB.Graph, kv: e.DB.KV, xml: e.DB.XML}

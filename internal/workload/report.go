@@ -6,6 +6,7 @@ import (
 
 	"udbench/internal/metrics"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // OpSummary is the machine-readable digest of one operation class in a
@@ -62,6 +63,10 @@ type RunSummary struct {
 	// (per-shard wait counts plus deadlock-detector counters); absent
 	// for engines without a lock table.
 	LockStats *txn.LockStats `json:"lock_stats,omitempty"`
+	// Durability is the engine's write-ahead-log telemetry for this
+	// run (fsync policy, group-commit batching, durable watermark,
+	// seal state); absent for runs without a log attached.
+	Durability *wal.Stats `json:"durability,omitempty"`
 }
 
 func opSummary(name string, d *metrics.DualHistogram) OpSummary {
@@ -100,6 +105,7 @@ func (r Result) Summary() RunSummary {
 		P95NS:         r.Latency.Percentile(95),
 		P99NS:         r.Latency.Percentile(99),
 		LockStats:     r.LockStats,
+		Durability:    r.Durability,
 	}
 	if r.Intended != nil && r.Intended.Count() > 0 {
 		s.IntendedP50NS = r.Intended.Percentile(50)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // goldenSummaryFields is the frozen `udbench mix -json` per-result
@@ -19,6 +20,14 @@ var goldenSummaryFields = []string{
 	"achieved_rate",
 	"clients",
 	"dropped",
+	"durability.appends",
+	"durability.batches",
+	"durability.bytes",
+	"durability.durable_ts",
+	"durability.fsyncs",
+	"durability.ops_logged",
+	"durability.policy",
+	"durability.sealed",
 	"elapsed_ns",
 	"engine",
 	"errors",
@@ -92,6 +101,9 @@ func TestRunSummaryGoldenFields(t *testing.T) {
 	s.LockStats = &txn.LockStats{
 		Shards: []txn.ShardLockStats{{Shard: 1, Acquires: 2, Waits: 1, WaitNS: 3}},
 	}
+	// Same for the durability block: synthetic mixes have no log, so
+	// populate it by hand to pin its nested keys.
+	s.Durability = &wal.Stats{Policy: "group", Appends: 1, OpsLogged: 2, Batches: 1, Fsyncs: 1, Bytes: 64}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)

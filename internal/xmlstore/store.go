@@ -5,6 +5,7 @@ import (
 
 	"udbench/internal/ordmap"
 	"udbench/internal/txn"
+	"udbench/internal/wal"
 )
 
 // Store is a transactional registry of XML documents keyed by id.
@@ -76,6 +77,9 @@ func (s *Store) Put(tx *txn.Tx, id string, doc *Node) error {
 		chain.Write(tx.ID(), doc.Clone(), false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpXMLPut).String(id).Bytes(Marshal(doc)).Build())
+		}
 		return nil
 	})
 }
@@ -131,6 +135,9 @@ func (s *Store) Update(tx *txn.Tx, id string, fn func(doc *Node) (*Node, error))
 		chain.Write(tx.ID(), next, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpXMLPut).String(id).Bytes(Marshal(next)).Build())
+		}
 		return nil
 	})
 }
@@ -148,6 +155,9 @@ func (s *Store) Delete(tx *txn.Tx, id string) error {
 		chain.Write(tx.ID(), nil, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		if tx.Logging() {
+			tx.LogOp(wal.NewOp(wal.OpXMLDelete).String(id).Build())
+		}
 		return nil
 	})
 }
