@@ -1,0 +1,52 @@
+package udbench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"udbench/internal/workload"
+)
+
+// TestBenchSmokeVectorizedQ8 is an env-gated performance regression
+// guard: it measures Q8 (the relational⋈document revenue join) and Q4
+// on the unified engine at SF 0.1 and fails if either is slower than
+// the row-at-a-time executor's numbers recorded in CHANGES.md for
+// PR 1 (Q4 66µs, Q8 170µs on the reference machine). The vectorized
+// executor typically lands well under half of both bounds (Q4 ~10µs,
+// Q8 ~70µs), so the test tolerates slow shared CI hardware while
+// still catching a fallback to per-row execution or a broken join
+// cache.
+//
+// Gated behind UDBENCH_BENCH_SMOKE=1 because wall-clock assertions
+// are meaningless under -race or on heavily loaded machines.
+func TestBenchSmokeVectorizedQ8(t *testing.T) {
+	if os.Getenv("UDBENCH_BENCH_SMOKE") != "1" {
+		t.Skip("set UDBENCH_BENCH_SMOKE=1 to run the benchmark smoke test")
+	}
+	bounds := []struct {
+		q   workload.QueryID
+		max time.Duration
+	}{
+		{workload.Q4, 66 * time.Microsecond},
+		{workload.Q8, 170 * time.Microsecond},
+	}
+	for _, bd := range bounds {
+		bd := bd
+		res := testing.Benchmark(func(b *testing.B) {
+			uni, _, info := loadedEngines(b, 0.1, 0)
+			p := workload.NewParamGen(info, 42, 0).Next()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := uni.RunQuery(bd.q, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		got := time.Duration(res.NsPerOp())
+		t.Logf("%s: %v/op (%d iters), bound %v", bd.q, got, res.N, bd.max)
+		if got > bd.max {
+			t.Errorf("%s took %v/op, slower than the PR 1 row-at-a-time baseline %v", bd.q, got, bd.max)
+		}
+	}
+}

@@ -63,7 +63,7 @@ func BenchmarkF1DatasetGen(b *testing.B) {
 	}
 }
 
-// BenchmarkT2Queries measures Q1–Q10 latency on both engines
+// BenchmarkT2Queries measures Q1–Q13 latency on both engines
 // (experiment T2). The federation pays a simulated 50µs hop per store
 // request.
 func BenchmarkT2Queries(b *testing.B) {

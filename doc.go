@@ -19,7 +19,7 @@
 //	internal/txn         timestamps, 2PL + deadlock detection, version chains
 //	internal/replica     primary/replica lag simulator (consistency substrate)
 //	internal/datagen     deterministic Figure-1 dataset generator
-//	internal/workload    Q1–Q10 queries, T1–T4 transactions, drivers
+//	internal/workload    Q1–Q13 queries, T1–T4 transactions, drivers
 //	internal/mmschema    schema inference, evolution ops, query compatibility
 //	internal/convert     model conversions with gold-standard fidelity
 //	internal/consistency staleness / RYW / monotonic / atomicity metrics
@@ -37,21 +37,41 @@
 //
 // # Query execution model
 //
-// Cross-model queries execute through udbms.Pipeline, a streaming
-// (volcano-style, push-based) operator chain built lazily and pulled
-// only by a terminal (Rows, Count, Each):
+// Cross-model queries execute through udbms.Pipeline, a vectorized
+// push-based operator chain built lazily and pulled only by a terminal
+// (Rows, Count, Each). Operators exchange column batches — up to 1024
+// row references plus a selection vector — not single rows, so dynamic
+// dispatch costs one virtual call per batch and the inner loops are
+// monomorphic:
 //
-//   - Source operators stream shared store memory — no row is cloned
-//     during execution; Rows copies on collect, Count/Each never copy.
-//   - Filter/Map fuse into the stream; Limit short-circuits upstream
-//     operators, including the store scans themselves.
-//   - JoinDocuments/JoinRelational are build-once hash joins keyed by
-//     mmvalue hashes with exact Equal verification. When the probe set
-//     turns out small and the build side has a path/column index (or
-//     the join column is the primary key), the executor falls back to
-//     per-row index probes instead of scanning the build side.
-//   - Parallel(n) partitions full-scan seeds into contiguous key
-//     ranges scanned concurrently and merged in order.
+//   - Source operators emit batches straight out of shared store
+//     memory through pooled scratch buffers — no row is cloned during
+//     execution; Rows copies on collect, Count/Each never copy.
+//   - Filter narrows a batch by rewriting its selection vector in
+//     place; Limit short-circuits upstream operators, including the
+//     store scans themselves. Sort and join keys are extracted into
+//     typed vectors (int64/float64/string) when a column is
+//     kind-homogeneous, falling back to generic mmvalue comparisons
+//     for mixed columns.
+//   - JoinDocuments/JoinRelational are hash joins keyed by mmvalue
+//     hashes with exact Equal verification. Build-side hash tables are
+//     memoized across queries in a version-keyed cache: stores bump a
+//     version counter before a commit's rows become visible, so an
+//     unchanged counter certifies an unchanged build side. When the
+//     probe set turns out small and the build side has a path/column
+//     index (or the join column is the primary key), the executor
+//     falls back to per-row index probes instead of scanning the
+//     build side.
+//   - GroupBy/Aggregate folds batches into a hash of accumulators
+//     (sum/count/min/max/avg) keyed by any row expression.
+//   - Parallel(n) scans full-scan seeds with morsel-driven
+//     parallelism: workers claim ~256-row key-range morsels from a
+//     shared atomic cursor (skew cannot straggle one worker), run
+//     leading filters in-scan, and the survivors merge in key order —
+//     results are bit-identical to the sequential scan, which a
+//     randomized equivalence property test pins against a reference
+//     row-at-a-time interpreter. A shared atomic row budget lets a
+//     downstream Limit stop all workers early.
 //
 // The UQL layer (internal/uql) compiles leading FILTER clauses into
 // native store predicates (document.Filter / relational.Expr) pushed

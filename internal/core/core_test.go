@@ -49,8 +49,8 @@ func TestT2QueryLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab := tables[0]
-	if tab.NumRows() != 10 {
-		t.Fatalf("T2 rows = %d, want 10", tab.NumRows())
+	if tab.NumRows() != 13 {
+		t.Fatalf("T2 rows = %d, want 13", tab.NumRows())
 	}
 	// Expected shape: the federation pays hop latency, so on
 	// multi-request queries the speedup column should mostly be > 1.

@@ -21,7 +21,7 @@ func mmvalueEqual(a, b mmvalue.Value) bool { return mmvalue.Equal(a, b) }
 func init() {
 	register(Experiment{ID: "f1", Name: "Dataset statistics (Figure 1 reproduction)",
 		Pillar: "multi-model data", Run: runF1})
-	register(Experiment{ID: "t2", Name: "Multi-model query latency Q1-Q10",
+	register(Experiment{ID: "t2", Name: "Multi-model query latency Q1-Q13",
 		Pillar: "multi-model data", Run: runT2})
 	register(Experiment{ID: "f2", Name: "Throughput vs clients (mixed workload)",
 		Pillar: "multi-model transactions", Run: runF2})
@@ -438,7 +438,7 @@ func runF4(cfg Config) ([]*metrics.Table, error) {
 		sfs = []float64{0.02, 0.05}
 		reps = 2
 	}
-	probes := []workload.QueryID{workload.Q1, workload.Q4, workload.Q10}
+	probes := []workload.QueryID{workload.Q1, workload.Q4, workload.Q10, workload.Q11, workload.Q12, workload.Q13}
 	headers := []string{"SF", "customers", "orders"}
 	for _, q := range probes {
 		headers = append(headers, q.String())

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"udbench/internal/mmvalue"
 	"udbench/internal/ordmap"
@@ -83,6 +84,11 @@ type Collection struct {
 	name  string
 	docs  *ordmap.Map[*txn.Chain[mmvalue.Value]]
 
+	// version counts committed writes: every commit hook that stamps a
+	// doc version bumps it before stamping, so the counter changes no
+	// later than the moment new data becomes visible to readers.
+	version atomic.Uint64
+
 	idxMu   sync.RWMutex
 	indexes map[string]*pathIndex
 }
@@ -130,6 +136,16 @@ func (ix *pathIndex) drop(id string) {
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
+
+// Manager returns the transaction manager the collection is attached to.
+func (c *Collection) Manager() *txn.Manager { return c.store.mgr }
+
+// Version counts committed writes to the collection. It is bumped
+// inside the commit hook, immediately before the corresponding doc
+// version is stamped visible, so a snapshot-derived structure (e.g.
+// the executor's join-build cache) tagged with a Version observation
+// stays valid as long as the value is unchanged.
+func (c *Collection) Version() uint64 { return c.version.Load() }
 
 func (c *Collection) resource(id string) string {
 	return c.store.name + "/" + c.name + "/" + id
@@ -281,6 +297,7 @@ func (c *Collection) Insert(tx *txn.Tx, doc mmvalue.Value) error {
 		chain.Write(tx.ID(), stored, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			c.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			c.indexDoc(id, stored)
 		})
@@ -314,6 +331,7 @@ func (c *Collection) ApplyPut(tx *txn.Tx, doc mmvalue.Value) error {
 		chain.Write(tx.ID(), stored, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			c.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			c.indexDoc(id, stored)
 		})
@@ -380,6 +398,7 @@ func (c *Collection) Update(tx *txn.Tx, id string, fn func(doc mmvalue.Value) (m
 		chain.Write(tx.ID(), next, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			c.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			c.indexDoc(id, next)
 		})
@@ -419,7 +438,10 @@ func (c *Collection) Delete(tx *txn.Tx, id string) error {
 		}
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
-		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		tx.OnCommit(func(ts txn.TS) {
+			c.version.Add(1)
+			chain.CommitStamp(tx.ID(), ts)
+		})
 		if tx.Logging() {
 			tx.LogOp(wal.NewOp(wal.OpDocDelete).String(c.name).String(id).Build())
 		}
@@ -505,6 +527,68 @@ func (c *Collection) Stream(tx *txn.Tx, filter Filter, fn func(doc mmvalue.Value
 		}
 		return fn(doc)
 	})
+}
+
+// StreamBatch is the vectorized form of Stream: matching documents are
+// gathered into buf and fn is called once per full buffer (batch size
+// = cap(buf)) plus once for the final remainder, amortizing the
+// per-document callback dispatch of Stream to one call per batch. The
+// delivered slice is reused between calls and its documents are shared
+// with the store: consume (or copy) within the callback, do not retain
+// or mutate. fn returning false stops the scan. Index routes delegate
+// to Stream and still batch.
+func (c *Collection) StreamBatch(tx *txn.Tx, filter Filter, buf []mmvalue.Value, fn func(docs []mmvalue.Value) bool) {
+	if cap(buf) == 0 {
+		buf = make([]mmvalue.Value, 0, 1024)
+	}
+	buf = buf[:0]
+	stopped := false
+	c.Stream(tx, filter, func(doc mmvalue.Value) bool {
+		buf = append(buf, doc)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stopped && len(buf) > 0 {
+		fn(buf)
+	}
+}
+
+// StreamRangeBatch is the vectorized form of StreamRange, with the
+// same batched-callback contract as StreamBatch. It always scans the
+// id range directly off store memory — the morsel primitive for
+// parallel executors.
+func (c *Collection) StreamRangeBatch(tx *txn.Tx, from, to string, filter Filter, buf []mmvalue.Value, fn func(docs []mmvalue.Value) bool) {
+	if cap(buf) == 0 {
+		buf = make([]mmvalue.Value, 0, 1024)
+	}
+	buf = buf[:0]
+	if filter == nil {
+		filter = Everything()
+	}
+	stopped := false
+	c.scanRange(tx, from, to, func(_ string, doc mmvalue.Value) bool {
+		if !filter.Match(doc) {
+			return true
+		}
+		buf = append(buf, doc)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stopped && len(buf) > 0 {
+		fn(buf)
+	}
 }
 
 // StreamRange is Stream restricted to ids in [from, to) (empty to =

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"udbench/internal/mmvalue"
 	"udbench/internal/ordmap"
@@ -25,9 +26,22 @@ type Table struct {
 	mgr    *txn.Manager
 	rows   *ordmap.Map[*txn.Chain[mmvalue.Value]]
 
+	// version counts committed writes: every commit hook that stamps a
+	// row version bumps it before stamping, so the counter changes no
+	// later than the moment new data becomes visible to readers.
+	version atomic.Uint64
+
 	idxMu   sync.RWMutex
 	indexes map[string]*hashIndex // column name -> index
 }
+
+// Version counts committed writes to the table. It is bumped inside
+// the commit hook, immediately before the corresponding row version is
+// stamped visible, so a snapshot-derived structure (e.g. the
+// executor's join-build cache) tagged with a Version observation stays
+// valid as long as the value is unchanged: any write that could alter
+// what readers see bumps the counter first.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // hashIndex maps indexKey(value) -> set of primary-key strings.
 type hashIndex struct {
@@ -233,6 +247,7 @@ func (t *Table) Insert(tx *txn.Tx, row mmvalue.Value) error {
 		chain.Write(tx.ID(), stored, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			t.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			t.indexRow(pk, stored)
 		})
@@ -264,6 +279,7 @@ func (t *Table) ApplyPut(tx *txn.Tx, row mmvalue.Value) error {
 		chain.Write(tx.ID(), stored, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			t.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			t.indexRow(pk, stored)
 		})
@@ -350,6 +366,7 @@ func (t *Table) Update(tx *txn.Tx, pkValue any, fn func(row mmvalue.Value) (mmva
 		chain.Write(tx.ID(), next, false)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
 		tx.OnCommit(func(ts txn.TS) {
+			t.version.Add(1)
 			chain.CommitStamp(tx.ID(), ts)
 			t.indexRow(pk, next)
 		})
@@ -378,7 +395,10 @@ func (t *Table) Delete(tx *txn.Tx, pkValue any) error {
 		}
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
-		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		tx.OnCommit(func(ts txn.TS) {
+			t.version.Add(1)
+			chain.CommitStamp(tx.ID(), ts)
+		})
 		if tx.Logging() {
 			tx.LogOp(wal.NewOp(wal.OpRelDelete).String(t.name).String(pk).Build())
 		}
@@ -403,7 +423,10 @@ func (t *Table) ApplyDelete(tx *txn.Tx, pk string) error {
 		}
 		chain.Write(tx.ID(), mmvalue.Null, true)
 		tx.OnUndo(func() { chain.Rollback(tx.ID()) })
-		tx.OnCommit(func(ts txn.TS) { chain.CommitStamp(tx.ID(), ts) })
+		tx.OnCommit(func(ts txn.TS) {
+			t.version.Add(1)
+			chain.CommitStamp(tx.ID(), ts)
+		})
 		if tx.Logging() {
 			tx.LogOp(wal.NewOp(wal.OpRelDelete).String(t.name).String(pk).Build())
 		}
@@ -496,6 +519,68 @@ func (t *Table) Stream(tx *txn.Tx, where Expr, fn func(row mmvalue.Value) bool) 
 		}
 		return fn(row)
 	})
+}
+
+// StreamBatch is the vectorized form of Stream: matching rows are
+// gathered into buf and fn is called once per full buffer (batch size
+// = cap(buf)) plus once for the final remainder, amortizing the
+// per-row callback dispatch of Stream to one call per batch. The
+// delivered slice is reused between calls and its rows are shared with
+// the store: consume (or copy) within the callback, do not retain or
+// mutate. fn returning false stops the scan. Index routes (primary-key
+// or secondary-index equality) delegate to Stream and still batch.
+func (t *Table) StreamBatch(tx *txn.Tx, where Expr, buf []mmvalue.Value, fn func(rows []mmvalue.Value) bool) {
+	if cap(buf) == 0 {
+		buf = make([]mmvalue.Value, 0, 1024)
+	}
+	buf = buf[:0]
+	stopped := false
+	t.Stream(tx, where, func(row mmvalue.Value) bool {
+		buf = append(buf, row)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stopped && len(buf) > 0 {
+		fn(buf)
+	}
+}
+
+// StreamRangeBatch is the vectorized form of StreamRange, with the
+// same batched-callback contract as StreamBatch. It always scans the
+// key range directly off store memory — the morsel primitive for
+// parallel executors.
+func (t *Table) StreamRangeBatch(tx *txn.Tx, from, to string, where Expr, buf []mmvalue.Value, fn func(rows []mmvalue.Value) bool) {
+	if cap(buf) == 0 {
+		buf = make([]mmvalue.Value, 0, 1024)
+	}
+	buf = buf[:0]
+	if where == nil {
+		where = TrueExpr{}
+	}
+	stopped := false
+	t.scanRange(tx, from, to, func(_ string, row mmvalue.Value) bool {
+		if !where.Eval(row) {
+			return true
+		}
+		buf = append(buf, row)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stopped && len(buf) > 0 {
+		fn(buf)
+	}
 }
 
 // StreamRange is Stream restricted to encoded primary keys in

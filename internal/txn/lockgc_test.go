@@ -1,0 +1,135 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A storm of shared-lock probes on names that are never locked again
+// (the GetShared-miss pattern) must not grow the lock table forever:
+// a sweep at a GC point reclaims every idle entry.
+func TestSweepReclaimsMissStorm(t *testing.T) {
+	m := NewManager()
+	base := m.LockEntryCount()
+
+	const misses = 5000
+	for i := 0; i < misses; i++ {
+		tx := m.Begin()
+		if err := tx.LockShared(fmt.Sprintf("ghost/%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		tx.Abort()
+	}
+	if got := m.LockEntryCount(); got < base+misses {
+		t.Fatalf("expected >= %d resident entries after miss storm, got %d", base+misses, got)
+	}
+
+	removed := m.SweepLockEntries()
+	if removed < misses {
+		t.Fatalf("sweep removed %d entries, want >= %d", removed, misses)
+	}
+	if got := m.LockEntryCount(); got > base {
+		t.Fatalf("%d entries survive the sweep, want <= %d", got, base)
+	}
+
+	// Swept names remain fully lockable: entries are recreated on use.
+	tx := m.Begin()
+	if err := tx.LockExclusive("ghost/7"); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := m.Begin()
+	if err := tx2.LockShared("ghost/8"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	tx2.Abort()
+}
+
+// Entries with a live holder — named or anonymous fast-path — must
+// survive the sweep, and their locks must keep excluding.
+func TestSweepSkipsHeldEntries(t *testing.T) {
+	m := NewManager()
+
+	wr := m.Begin()
+	if err := wr.LockExclusive("held/x"); err != nil {
+		t.Fatal(err)
+	}
+	rd := m.Begin()
+	if err := rd.LockShared("held/s"); err != nil { // fast path: anonymous count
+		t.Fatal(err)
+	}
+
+	m.SweepLockEntries()
+
+	// The exclusive lock still excludes after the sweep: a second
+	// writer must conflict, not be granted on a fresh orphan entry.
+	blocked := make(chan struct{})
+	go func() {
+		tx := m.Begin()
+		defer tx.Abort()
+		_ = tx.LockExclusive("held/x") // blocks until wr aborts
+		close(blocked)
+	}()
+	wr.Abort()
+	<-blocked
+
+	// The fast-path shared hold kept its entry alive too: releasing it
+	// must not touch freed state (the race detector would flag it).
+	rd.Abort()
+
+	if removed := m.SweepLockEntries(); removed < 2 {
+		t.Fatalf("post-release sweep removed %d, want >= 2", removed)
+	}
+}
+
+// Sweeps racing fast-path readers and writers must never grant two
+// owners or lose a release: the flagDead tombstone protocol forces a
+// raced reader onto the slow path where it re-resolves the name. Run
+// under -race, this is the memory-safety gate for the GC.
+func TestSweepRacesLockTraffic(t *testing.T) {
+	m := NewManager()
+	const (
+		workers = 8
+		rounds  = 400
+	)
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	sweeper.Add(1)
+	go func() { // continuous sweeper
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.SweepLockEntries()
+			}
+		}
+	}()
+
+	var traffic sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			for i := 0; i < rounds; i++ {
+				tx := m.Begin()
+				name := fmt.Sprintf("hot/%d", i%7)
+				var err error
+				if w%2 == 0 {
+					err = tx.LockShared(name)
+				} else {
+					err = tx.LockExclusive(name)
+				}
+				if err != nil && err != ErrDeadlock {
+					t.Errorf("worker %d: %v", w, err)
+				}
+				tx.Abort()
+			}
+		}(w)
+	}
+	traffic.Wait()
+	close(stop)
+	sweeper.Wait()
+}

@@ -64,6 +64,13 @@ const (
 	// entry. New fast-path readers back off to the slow path while it is
 	// set, so a storm of readers cannot starve a blocked writer.
 	flagWaiters uint64 = 1 << 33
+	// flagDead marks an entry removed from its shard's index by
+	// sweepEntries. It is only ever CAS-set from an exactly-zero state
+	// word under the shard mutex, in the same critical section as the
+	// index delete, and is never cleared: a raced fast-path reader
+	// backs off to the slow path, which re-resolves the name to a
+	// fresh entry under the mutex.
+	flagDead uint64 = 1 << 34
 )
 
 // DefaultDetectorInterval is the cadence of the background deadlock
@@ -82,10 +89,14 @@ const DefaultDetectorInterval = time.Millisecond
 // entry has no exclusive holder and no sleeping waiter, a reader
 // CAS-increments the entry's fast reader count and never touches the
 // shard mutex. Entries are therefore *resident*: once created for a
-// resource they stay in the shard's lock-free index forever (the table
-// grows with the set of resources ever locked, exactly like the record
-// version chains themselves), which is what makes a raced fast-path
-// pointer permanently safe to CAS against.
+// resource they stay in the shard's lock-free index (the table grows
+// with the set of resources ever locked — including names merely
+// probed by a GetShared miss), which is what makes a raced fast-path
+// pointer safe to CAS against. Residency is bounded by sweepEntries:
+// at a GC point (udbms Compact, keyed off the published watermark) an
+// entry with no holders and no waiters is tombstoned with flagDead and
+// removed; the flag makes a raced CAS fail so the reader re-resolves
+// the name through the slow path.
 //
 // Deadlock detection is batched: a blocked acquire only records its
 // wait-for edges; a background sweeper goroutine — spawned when the
@@ -215,7 +226,8 @@ func (s *lockShard) getOrCreate(name string) *lockEntry {
 // entry exists and has no exclusive holder and no sleeping waiter, a
 // single CAS increments the reader count and the acquire is done — no
 // shard mutex, no allocation. It returns nil when the caller must take
-// the slow path (entry missing, writer present, or waiters queued).
+// the slow path (entry missing or swept, writer present, or waiters
+// queued).
 func (lt *lockTable) acquireSharedFast(key ResourceKey) *lockEntry {
 	s := &lt.shards[key.shard]
 	v, ok := s.entries.Load(key.name)
@@ -225,7 +237,7 @@ func (lt *lockTable) acquireSharedFast(key ResourceKey) *lockEntry {
 	e := v.(*lockEntry)
 	for {
 		st := e.state.Load()
-		if st&(flagExclusive|flagWaiters) != 0 {
+		if st&(flagExclusive|flagWaiters|flagDead) != 0 {
 			return nil
 		}
 		if e.state.CompareAndSwap(st, st+1) {
@@ -286,6 +298,15 @@ func (lt *lockTable) acquire(txID uint64, key ResourceKey, mode lockMode, pr fas
 	promoted := pr == nil
 
 	for {
+		// The entry may have been fetched outside the mutex (before the
+		// Lock above, or across the promotion window below, which drops
+		// it): a concurrent sweep may have tombstoned and removed it in
+		// between. Dead entries are marked and deleted in one critical
+		// section under this mutex, so re-resolving under the mutex
+		// yields a live entry.
+		for e.state.Load()&flagDead != 0 {
+			e = s.getOrCreate(key.name)
+		}
 		if waited {
 			// Refresh our wait edges each retry so released blockers do
 			// not linger in the graph and cause spurious victims, and

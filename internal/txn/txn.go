@@ -284,6 +284,23 @@ func (tx *Tx) Status() Status { return tx.status }
 // Active reports whether the transaction can still be used.
 func (tx *Tx) Active() bool { return tx.status == StatusActive }
 
+// ReadOnly reports whether the transaction has performed no writes so
+// far: no exclusive locks, no undo actions, no logged ops. Read-side
+// caches use it to rule out uncommitted own-writes that a shared
+// (committed-state) structure could not reflect. The answer is only
+// about the past — the transaction may still write afterwards.
+func (tx *Tx) ReadOnly() bool {
+	if len(tx.undo) > 0 || len(tx.walOps) > 0 {
+		return false
+	}
+	for i := range tx.heldLocks {
+		if tx.heldLocks[i].mode == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
 // LockExclusive acquires an exclusive lock on the named resource,
 // blocking until granted. If waiting would close a cycle in the
 // wait-for graph the transaction is aborted and ErrDeadlock returned.

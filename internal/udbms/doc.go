@@ -1,0 +1,47 @@
+// Package udbms is the unified multi-model database engine of UDBench —
+// the system-under-test that the paper's benchmark targets. It binds
+// the five UDBMS data models (relational, JSON document, property
+// graph, key-value, XML) to one transaction manager, giving:
+//
+//   - cross-model ACID transactions: one lock space, one commit point,
+//     so an order update can atomically touch JSON Orders, key-value
+//     Feedback and XML Invoice (the paper's running example);
+//   - cross-model snapshot reads: a single begin timestamp covers all
+//     five models, so analytical queries see one consistent cut;
+//   - a pipeline API for multi-model queries that hop between models.
+//
+// # Vectorized executor
+//
+// Pipeline queries compile into a push-based chain of operators that
+// exchange column batches instead of single rows. A Batch (batch.go)
+// carries up to 1024 row values plus an optional selection vector;
+// filters narrow a batch by rewriting the selection vector in place —
+// no row is copied or re-pushed — so a scan→filter→count pipeline does
+// one interface dispatch per 1024 rows rather than per row. Sorts and
+// joins extract key columns once per batch; group-by aggregates
+// (sum/count/min/max/avg) fold batches into a hash of accumulators.
+//
+// Seed scans stream rows straight out of store memory in batches,
+// using pooled scratch buffers so a steady-state query allocates a
+// near-constant few hundred bytes regardless of rows scanned. Rows
+// stay shared with the store until a stage needs ownership (the
+// rowState protocol in exec.go); Rows() clones on the way out, while
+// Count/Each and rows dropped by Limit never pay for a clone.
+//
+// Parallel(n) switches the seed scan to morsel-driven parallelism: the
+// key space is pre-split into ~256-row morsels and n workers claim
+// them from a shared atomic cursor, so skew cannot straggle a worker.
+// Leading Filter stages execute inside the workers; surviving rows
+// merge in key order, making results bit-identical to the sequential
+// scan. A shared atomic row budget derived from a downstream Limit —
+// plus a stop flag raised when the merged chain refuses a batch —
+// short-circuits workers across the whole scan (see runMorsels).
+//
+// Equality joins between models build a hash table over the build side
+// and probe it per batch; small probe sets fall back to store indexes.
+// Build-side hash tables are memoized across queries in a version-
+// keyed cache (joincache.go): every committed write bumps a per-store
+// version counter before it becomes visible, so an unchanged counter
+// certifies an unchanged build side and read-heavy workloads skip the
+// rebuild entirely.
+package udbms

@@ -1,8 +1,9 @@
 package udbms
 
 import (
-	"sort"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"udbench/internal/document"
 	"udbench/internal/graph"
@@ -11,9 +12,9 @@ import (
 	"udbench/internal/txn"
 )
 
-// This file is the streaming execution engine behind Pipeline: a
-// push-based operator chain that is only evaluated when a terminal
-// (Rows, Count, Each) pulls it.
+// This file is the vectorized execution engine behind Pipeline: a
+// push-based operator chain exchanging column batches (see batch.go),
+// only evaluated when a terminal (Rows, Count, Each) pulls it.
 //
 // Ownership model. Source operators emit rows that are *shared* with
 // the underlying stores — no clone is taken during execution. Each
@@ -29,6 +30,17 @@ import (
 // clones anything not already rowOwned on the way out, so the public
 // contract ("returned rows are yours to mutate") is unchanged while
 // Count/Each and dropped rows (Limit) never pay for a clone.
+//
+// Parallelism model. Parallel(n) runs the seed scan with morsel-driven
+// parallelism: the key space is pre-split into ~morselSize-row morsels
+// and n workers claim them from a shared atomic cursor, so a skewed
+// predicate cannot straggle one worker. Leading Filter stages execute
+// inside the workers (they only rewrite selection vectors, so pushing
+// them below the merge is safe); the surviving rows of completed
+// morsels then stream through the rest of the chain in key order (an
+// ordered merge — results are identical to the sequential scan). A
+// shared row budget derived from a downstream Limit stops workers
+// from scanning morsels the limit can never consume.
 
 type rowState uint8
 
@@ -38,26 +50,6 @@ const (
 	rowOwned
 )
 
-// sink consumes a row stream. push reports false to stop the upstream
-// producer early (limit short-circuit); flush signals end-of-input so
-// buffering stages (sorts, adaptive joins) can drain downstream.
-type sink interface {
-	push(row mmvalue.Value) bool
-	flush()
-}
-
-type funcSink struct {
-	fn func(mmvalue.Value) bool
-	fl func()
-}
-
-func (s *funcSink) push(row mmvalue.Value) bool { return s.fn(row) }
-func (s *funcSink) flush() {
-	if s.fl != nil {
-		s.fl()
-	}
-}
-
 // stage is one compiled pipeline operator.
 type stage interface {
 	// outState reports the ownership of rows this stage emits, given
@@ -66,21 +58,98 @@ type stage interface {
 	// retains reports whether the stage may hold on to pushed rows
 	// beyond the push call (buffering sorts and adaptive joins do).
 	// When nothing downstream retains, upstream attach stages recycle
-	// a scratch row object instead of shallow-cloning per row.
+	// scratch row objects instead of shallow-cloning per row.
 	retains() bool
-	// wire builds this stage's sink in front of down. transient is
-	// true when no downstream consumer retains pushed rows.
-	wire(in rowState, transient bool, down sink) sink
+	// wire builds this stage's batch sink in front of down. transient
+	// is true when no downstream consumer retains pushed rows.
+	wire(in rowState, transient bool, down batchSink) batchSink
 }
 
-// source produces the seed row stream.
+// source produces the seed batch stream.
 type source interface {
 	state() rowState
-	run(emit func(mmvalue.Value) bool)
-	// partitions splits the scan into independent ranges for parallel
-	// execution; nil means the source does not support partitioning
-	// (index routes and graph scans).
-	partitions(n int) []func(emit func(mmvalue.Value) bool)
+	run(emit func(*Batch) bool)
+	// morsels splits the scan into fixed-size key-range morsels for
+	// parallel execution; nil means the source does not support it
+	// (index routes and graph scans). workers hints the parallelism
+	// degree so tiny stores still yield one morsel per worker.
+	morsels(workers int) *morselScan
+}
+
+// morselScan is a partitioned scan: ranges lists contiguous [from, to)
+// key ranges in key order; scan streams one range's matching rows in
+// batches of shared rows gathered into scratch — callers hand each
+// worker one reusable scratch buffer instead of allocating per morsel.
+type morselScan struct {
+	ranges [][2]string
+	scan   func(from, to string, scratch []mmvalue.Value, fn func(rows []mmvalue.Value) bool)
+}
+
+// morselRanges turns split-point boundaries into [from, to) ranges.
+func morselRanges(bounds []string) [][2]string {
+	if len(bounds) == 0 {
+		return nil
+	}
+	edges := append(append(make([]string, 0, len(bounds)+2), ""), bounds...)
+	edges = append(edges, "")
+	ranges := make([][2]string, len(edges)-1)
+	for i := 0; i < len(edges)-1; i++ {
+		ranges[i] = [2]string{edges[i], edges[i+1]}
+	}
+	return ranges
+}
+
+// morselCount sizes the morsel set for a store with n row slots.
+func morselCount(n, workers int) int {
+	m := n / morselSize
+	if m < workers {
+		m = workers
+	}
+	if m > maxMorsels {
+		m = maxMorsels
+	}
+	return m
+}
+
+// rowBufPool recycles the executor's row buffers — seed scan batches,
+// morsel scratch, join probe buffers — across queries. These buffers
+// peak at a few KB to a few tens of KB each; allocating them fresh per
+// query dominated the allocation profile of small and mid-size
+// queries. Buffers are cleared before going back so pooled slots never
+// pin store rows.
+var rowBufPool = sync.Pool{New: func() any { return &rowBuf{} }}
+
+type rowBuf struct{ rows []mmvalue.Value }
+
+func getRowBuf(capHint int) *rowBuf {
+	rb := rowBufPool.Get().(*rowBuf)
+	if cap(rb.rows) < capHint {
+		rb.rows = make([]mmvalue.Value, 0, capHint)
+	}
+	return rb
+}
+
+// putRowBuf clears rows (the buffer's current backing array, possibly
+// regrown since getRowBuf) and returns it to the pool.
+func putRowBuf(rb *rowBuf, rows []mmvalue.Value) {
+	rows = rows[:cap(rows)]
+	clear(rows)
+	rb.rows = rows[:0]
+	rowBufPool.Put(rb)
+}
+
+// seedBufCap sizes a seed scan's batch buffer: full batches for large
+// stores, right-sized ones for small stores — a fixed batchCap buffer
+// (batchCap rows of 72-byte values) would dwarf the per-query
+// allocations of every small and mid-size query.
+func seedBufCap(n int) int {
+	if n > batchCap {
+		return batchCap
+	}
+	if n < 16 {
+		return 16
+	}
+	return n
 }
 
 // ---- sources ----
@@ -93,17 +162,27 @@ type relSource struct {
 
 func (s *relSource) state() rowState { return rowShared }
 
-func (s *relSource) run(emit func(mmvalue.Value) bool) {
-	s.t.Stream(s.tx, s.where, emit)
+func (s *relSource) run(emit func(*Batch) bool) {
+	b := &Batch{}
+	rb := getRowBuf(seedBufCap(s.t.Len()))
+	s.t.StreamBatch(s.tx, s.where, rb.rows, func(rows []mmvalue.Value) bool {
+		b.rows, b.sel = rows, nil
+		return emit(b)
+	})
+	putRowBuf(rb, rb.rows)
 }
 
-func (s *relSource) partitions(n int) []func(emit func(mmvalue.Value) bool) {
+func (s *relSource) morsels(workers int) *morselScan {
 	if s.where != nil && s.t.UsesIndex(s.where) {
 		return nil // index route: already sub-linear, not worth splitting
 	}
-	return rangeParts(s.t.SplitPoints(n), func(from, to string, emit func(mmvalue.Value) bool) {
-		s.t.StreamRange(s.tx, from, to, s.where, emit)
-	})
+	ranges := morselRanges(s.t.SplitPoints(morselCount(s.t.Len(), workers)))
+	if ranges == nil {
+		return nil
+	}
+	return &morselScan{ranges: ranges, scan: func(from, to string, scratch []mmvalue.Value, fn func([]mmvalue.Value) bool) {
+		s.t.StreamRangeBatch(s.tx, from, to, s.where, scratch, fn)
+	}}
 }
 
 type docSource struct {
@@ -114,31 +193,27 @@ type docSource struct {
 
 func (s *docSource) state() rowState { return rowShared }
 
-func (s *docSource) run(emit func(mmvalue.Value) bool) {
-	s.c.Stream(s.tx, s.filter, emit)
+func (s *docSource) run(emit func(*Batch) bool) {
+	b := &Batch{}
+	rb := getRowBuf(seedBufCap(s.c.Len()))
+	s.c.StreamBatch(s.tx, s.filter, rb.rows, func(rows []mmvalue.Value) bool {
+		b.rows, b.sel = rows, nil
+		return emit(b)
+	})
+	putRowBuf(rb, rb.rows)
 }
 
-func (s *docSource) partitions(n int) []func(emit func(mmvalue.Value) bool) {
+func (s *docSource) morsels(workers int) *morselScan {
 	if s.filter != nil && s.c.UsesIndex(s.filter) {
 		return nil
 	}
-	return rangeParts(s.c.SplitPoints(n), func(from, to string, emit func(mmvalue.Value) bool) {
-		s.c.StreamRange(s.tx, from, to, s.filter, emit)
-	})
-}
-
-// rangeParts turns split boundaries into per-range scan closures.
-func rangeParts(bounds []string, scan func(from, to string, emit func(mmvalue.Value) bool)) []func(emit func(mmvalue.Value) bool) {
-	if len(bounds) == 0 {
+	ranges := morselRanges(s.c.SplitPoints(morselCount(s.c.Len(), workers)))
+	if ranges == nil {
 		return nil
 	}
-	edges := append(append([]string{""}, bounds...), "")
-	parts := make([]func(emit func(mmvalue.Value) bool), len(edges)-1)
-	for i := 0; i < len(edges)-1; i++ {
-		from, to := edges[i], edges[i+1]
-		parts[i] = func(emit func(mmvalue.Value) bool) { scan(from, to, emit) }
-	}
-	return parts
+	return &morselScan{ranges: ranges, scan: func(from, to string, scratch []mmvalue.Value, fn func([]mmvalue.Value) bool) {
+		s.c.StreamRangeBatch(s.tx, from, to, s.filter, scratch, fn)
+	}}
 }
 
 type graphSource struct {
@@ -152,7 +227,10 @@ type graphSource struct {
 // they are owned from the start.
 func (s *graphSource) state() rowState { return rowOwned }
 
-func (s *graphSource) run(emit func(mmvalue.Value) bool) {
+func (s *graphSource) run(emit func(*Batch) bool) {
+	rb := getRowBuf(seedBufCap(batchCap))
+	b := &Batch{rows: rb.rows}
+	stopped := false
 	s.g.Vertices(s.tx, func(v graph.Vertex) bool {
 		if s.label != "" && v.Label != s.label {
 			return true
@@ -163,341 +241,23 @@ func (s *graphSource) run(emit func(mmvalue.Value) bool) {
 		row := v.Props.Clone().MustObject()
 		row.Set("_vid", mmvalue.String(string(v.ID)))
 		row.Set("_label", mmvalue.String(v.Label))
-		return emit(mmvalue.FromObject(row))
-	})
-}
-
-func (s *graphSource) partitions(int) []func(emit func(mmvalue.Value) bool) { return nil }
-
-// ---- simple stages ----
-
-type filterStage struct {
-	keep func(mmvalue.Value) bool
-}
-
-func (st *filterStage) outState(in rowState) rowState { return in }
-func (st *filterStage) retains() bool                 { return false }
-
-func (st *filterStage) wire(_ rowState, _ bool, down sink) sink {
-	return &funcSink{
-		fn: func(r mmvalue.Value) bool {
-			if !st.keep(r) {
-				return true
-			}
-			return down.push(r)
-		},
-		fl: down.flush,
-	}
-}
-
-type mapStage struct {
-	fn func(mmvalue.Value) mmvalue.Value
-}
-
-func (st *mapStage) outState(rowState) rowState { return rowOwned }
-func (st *mapStage) retains() bool              { return false }
-
-func (st *mapStage) wire(in rowState, _ bool, down sink) sink {
-	return &funcSink{
-		fn: func(r mmvalue.Value) bool {
-			if in != rowOwned {
-				r = r.Clone()
-			}
-			return down.push(st.fn(r))
-		},
-		fl: down.flush,
-	}
-}
-
-type limitStage struct {
-	n int
-}
-
-func (st *limitStage) outState(in rowState) rowState { return in }
-func (st *limitStage) retains() bool                 { return false }
-
-func (st *limitStage) wire(_ rowState, _ bool, down sink) sink {
-	if st.n < 0 {
-		return down
-	}
-	remaining := st.n
-	return &funcSink{
-		fn: func(r mmvalue.Value) bool {
-			if remaining <= 0 {
+		b.rows = append(b.rows, mmvalue.FromObject(row))
+		if len(b.rows) == batchCap {
+			if !emit(b) {
+				stopped = true
 				return false
 			}
-			remaining--
-			return down.push(r) && remaining > 0
-		},
-		fl: down.flush,
-	}
-}
-
-// sortStage is a blocking operator: it buffers the whole input, sorts
-// it, and re-streams on flush. Rows stay shared — sorting reorders
-// references only.
-type sortStage struct {
-	path mmvalue.Path
-	desc bool
-}
-
-func (st *sortStage) outState(in rowState) rowState { return in }
-func (st *sortStage) retains() bool                 { return true }
-
-func (st *sortStage) wire(_ rowState, _ bool, down sink) sink {
-	var buf []mmvalue.Value
-	return &funcSink{
-		fn: func(r mmvalue.Value) bool {
-			buf = append(buf, r)
-			return true
-		},
-		fl: func() {
-			sort.SliceStable(buf, func(i, j int) bool {
-				a := st.path.LookupOr(buf[i], mmvalue.Null)
-				b := st.path.LookupOr(buf[j], mmvalue.Null)
-				if st.desc {
-					return mmvalue.Compare(a, b) > 0
-				}
-				return mmvalue.Compare(a, b) < 0
-			})
-			for _, r := range buf {
-				if !down.push(r) {
-					break
-				}
-			}
-			down.flush()
-		},
-	}
-}
-
-// ---- hash join machinery ----
-
-// hashTable buckets build-side records by mmvalue.Hash of their join
-// key — an allocation-free hash consistent with mmvalue.Equal. Probes
-// re-verify with mmvalue.Equal, so hash collisions cannot produce
-// wrong matches: the join is exactly equality in the mmvalue.Compare
-// sense, like the nested-loop predicates it replaces.
-type hashTable struct {
-	buckets map[uint64][]*hashGroup
-}
-
-type hashGroup struct {
-	key  mmvalue.Value
-	vals []mmvalue.Value
-}
-
-func newHashTable(sizeHint int) *hashTable {
-	return &hashTable{buckets: make(map[uint64][]*hashGroup, sizeHint)}
-}
-
-func (h *hashTable) add(key, val mmvalue.Value) {
-	k := key.Hash()
-	for _, g := range h.buckets[k] {
-		if mmvalue.Equal(g.key, key) {
-			g.vals = append(g.vals, val)
-			return
+			b.reset()
 		}
+		return true
+	})
+	if !stopped && len(b.rows) > 0 {
+		emit(b)
 	}
-	h.buckets[k] = append(h.buckets[k], &hashGroup{key: key, vals: []mmvalue.Value{val}})
+	putRowBuf(rb, b.rows)
 }
 
-func (h *hashTable) get(key mmvalue.Value) []mmvalue.Value {
-	for _, g := range h.buckets[key.Hash()] {
-		if mmvalue.Equal(g.key, key) {
-			return g.vals
-		}
-	}
-	return nil
-}
-
-// joinSpec abstracts the build side of an equality join (document
-// collection or relational table).
-type joinSpec struct {
-	// rowField is the flat field of the pipeline row holding the key.
-	rowField string
-	// asField receives the match array.
-	asField string
-	// buildLen approximates the build-side size (for strategy choice).
-	buildLen int
-	// build scans the build side once into a hash table.
-	build func() *hashTable
-	// indexProbe fetches matches for one key through a store index;
-	// nil when the build side has no usable index.
-	indexProbe func(key mmvalue.Value) []mmvalue.Value
-}
-
-// hashJoinStage joins the row stream against a build side. It is a
-// blocking operator: probe rows are buffered (shared references, no
-// copies) until the input ends, then the strategy is picked from the
-// exact probe count — a small probe set against an indexed build side
-// uses per-row index lookups, anything else scans the build side once
-// into a hash table. Deferring the build-side scan to flush also
-// guarantees it never nests inside the still-open seed scan, so
-// self-joins cannot deadlock on the store's scan lock.
-type hashJoinStage struct {
-	spec joinSpec
-}
-
-func (st *hashJoinStage) outState(rowState) rowState {
-	// Matches are attached as shared store values, so the row is at
-	// most shallow-owned afterwards.
-	return rowShallow
-}
-
-// The adaptive strategy buffers probe rows before deciding.
-func (st *hashJoinStage) retains() bool { return true }
-
-func (st *hashJoinStage) wire(in rowState, transient bool, down sink) sink {
-	threshold := 0
-	if st.spec.indexProbe != nil {
-		threshold = st.spec.buildLen / 8
-		if threshold < 4 {
-			threshold = 4
-		}
-		if threshold > 1024 {
-			threshold = 1024
-		}
-	}
-	j := &joinSink{spec: st.spec, in: in, down: down, threshold: threshold}
-	if transient {
-		j.scratch = mmvalue.NewObject()
-	}
-	return j
-}
-
-type joinSink struct {
-	spec      joinSpec
-	in        rowState
-	down      sink
-	threshold int
-	buf       []mmvalue.Value
-	ht        *hashTable
-	stopped   bool
-	// scratch, when non-nil, is the recycled output row: downstream
-	// consumes rows transiently, so every emitted row may reuse the
-	// same object (zero allocations in steady state).
-	scratch *mmvalue.Object
-}
-
-// attach lands matches under asField without ever mutating a shared
-// store row: shared inputs are copied into the scratch object (when
-// downstream is transient) or shallow-cloned (when rows are retained).
-func (j *joinSink) attach(r mmvalue.Value, matches []mmvalue.Value) bool {
-	obj := r.MustObject()
-	if j.in == rowShared {
-		if j.scratch != nil {
-			j.scratch.CopyFrom(obj)
-			obj = j.scratch
-		} else {
-			obj = obj.ShallowClone()
-		}
-		r = mmvalue.FromObject(obj)
-	}
-	obj.Set(j.spec.asField, mmvalue.Array(matches...))
-	ok := j.down.push(r)
-	if !ok {
-		j.stopped = true
-	}
-	return ok
-}
-
-func (j *joinSink) emitHashed(r mmvalue.Value) bool {
-	key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
-	var matches []mmvalue.Value
-	if !key.IsNull() {
-		matches = j.ht.get(key)
-	}
-	return j.attach(r, matches)
-}
-
-func (j *joinSink) emitIndexed(r mmvalue.Value) bool {
-	key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
-	var matches []mmvalue.Value
-	if !key.IsNull() {
-		matches = j.spec.indexProbe(key)
-	}
-	return j.attach(r, matches)
-}
-
-func (j *joinSink) push(r mmvalue.Value) bool {
-	if j.stopped {
-		return false
-	}
-	j.buf = append(j.buf, r)
-	return true
-}
-
-func (j *joinSink) flush() {
-	if !j.stopped {
-		if j.spec.indexProbe != nil && len(j.buf) < j.threshold {
-			// Small probe set: index probes beat a full build-side
-			// scan.
-			for _, b := range j.buf {
-				if !j.emitIndexed(b) {
-					break
-				}
-			}
-		} else if len(j.buf) > 0 {
-			j.ht = j.spec.build()
-			for _, b := range j.buf {
-				if !j.emitHashed(b) {
-					break
-				}
-			}
-		}
-		j.buf = nil
-	}
-	j.down.flush()
-}
-
-// perRowStage covers the probe-only joins (KV prefix, XML, graph
-// expansion): each row triggers one bounded store lookup, and the
-// fetched values are attached under asField.
-type perRowStage struct {
-	// fetch returns the values to attach for the row. attached values
-	// may alias store memory (ownedVals=false) or be freshly built
-	// (ownedVals=true).
-	fetch     func(row mmvalue.Value) []mmvalue.Value
-	asField   string
-	ownedVals bool
-}
-
-func (st *perRowStage) outState(in rowState) rowState {
-	if !st.ownedVals {
-		return rowShallow
-	}
-	if in == rowShared {
-		return rowShallow
-	}
-	return in
-}
-
-func (st *perRowStage) retains() bool { return false }
-
-func (st *perRowStage) wire(in rowState, transient bool, down sink) sink {
-	var scratch *mmvalue.Object
-	if transient {
-		scratch = mmvalue.NewObject()
-	}
-	return &funcSink{
-		fn: func(r mmvalue.Value) bool {
-			vals := st.fetch(r)
-			obj := r.MustObject()
-			if in == rowShared {
-				if scratch != nil {
-					scratch.CopyFrom(obj)
-					obj = scratch
-				} else {
-					obj = obj.ShallowClone()
-				}
-				r = mmvalue.FromObject(obj)
-			}
-			obj.Set(st.asField, mmvalue.Array(vals...))
-			return down.push(r)
-		},
-		fl: down.flush,
-	}
-}
+func (s *graphSource) morsels(int) *morselScan { return nil }
 
 // ---- plan compilation and execution ----
 
@@ -523,10 +283,40 @@ func (p *Pipeline) execute(onRow func(mmvalue.Value) bool) error {
 	if p.src == nil {
 		return nil
 	}
-	var head sink = &funcSink{fn: onRow}
+	if p.par > 1 {
+		if ms := p.src.morsels(p.par); ms != nil && len(ms.ranges) > 1 {
+			// Leading filters run inside the scan workers: they only
+			// rewrite selection vectors (no ownership change, no
+			// reordering), so pushing them below the merge parallelizes
+			// predicate evaluation and shrinks the buffered morsels to
+			// the surviving rows. The merger runs the rest of the chain.
+			npref := 0
+			for npref < len(p.stages) {
+				if _, ok := p.stages[npref].(*filterStage); !ok {
+					break
+				}
+				npref++
+			}
+			head := p.wireChain(p.stages[npref:], onRow)
+			p.runMorsels(ms, p.stages[:npref], head)
+			head.flush()
+			return nil
+		}
+	}
+	head := p.wireChain(p.stages, onRow)
+	p.src.run(head.push)
+	head.flush()
+	return nil
+}
+
+// wireChain wires stages back-to-front into a rowSink terminal. The
+// input state is the source's: callers passing a stage suffix may only
+// drop state-preserving stages (filters) from the front.
+func (p *Pipeline) wireChain(stages []stage, onRow func(mmvalue.Value) bool) batchSink {
+	var head batchSink = &rowSink{fn: onRow}
 	st := p.src.state()
-	states := make([]rowState, len(p.stages))
-	for i, s := range p.stages {
+	states := make([]rowState, len(stages))
+	for i, s := range stages {
 		states[i] = st
 		st = s.outState(st)
 	}
@@ -534,45 +324,205 @@ func (p *Pipeline) execute(onRow func(mmvalue.Value) bool) error {
 	// never retain (Rows clones on collect), so the last stage always
 	// sees a transient downstream.
 	transient := true
-	for i := len(p.stages) - 1; i >= 0; i-- {
-		head = p.stages[i].wire(states[i], transient, head)
-		transient = transient && !p.stages[i].retains()
+	for i := len(stages) - 1; i >= 0; i-- {
+		head = stages[i].wire(states[i], transient, head)
+		transient = transient && !stages[i].retains()
 	}
-	if p.par > 1 {
-		if parts := p.src.partitions(p.par); len(parts) > 1 {
-			p.runParallel(parts, head)
-			head.flush()
-			return nil
-		}
-	}
-	p.src.run(head.push)
-	head.flush()
-	return nil
+	return head
 }
 
-// runParallel scans source partitions concurrently, buffering each
-// partition's (shared) rows, then streams the buffers through the
-// operator chain in partition order — an ordered merge, so results are
-// identical to the sequential scan.
-func (p *Pipeline) runParallel(parts []func(emit func(mmvalue.Value) bool), head sink) {
-	bufs := make([][]mmvalue.Value, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		wg.Add(1)
-		go func(i int, part func(emit func(mmvalue.Value) bool)) {
-			defer wg.Done()
-			part(func(r mmvalue.Value) bool {
-				bufs[i] = append(bufs[i], r)
-				return true
-			})
-		}(i, part)
-	}
-	wg.Wait()
-	for _, buf := range bufs {
-		for _, r := range buf {
-			if !head.push(r) {
-				return
+// seedBudget computes the shared row budget for a parallel scan: the
+// Limit bound, when every merger-side stage up to the first bounded
+// Limit is strictly one-to-one and order-preserving (maps and the
+// attach joins are; sorts reorder, group-by collapses). -1 means
+// unbudgeted — workers then rely on the stop flag alone. stages is the
+// chain the merger runs; leading filters executed inside the workers
+// are excluded, which is what makes Filter→Limit budgetable: the
+// budget counts post-filter rows, exactly what workers buffer.
+func seedBudget(stages []stage) int {
+	for _, s := range stages {
+		switch st := s.(type) {
+		case *limitStage:
+			if st.n >= 0 {
+				return st.n
 			}
+			// Unlimited Limit is a no-op: keep walking.
+		case *mapStage, *hashJoinStage, *perRowStage:
+			// 1:1 and order-preserving: the k-th seed row is the k-th
+			// output row.
+		default:
+			return -1
 		}
 	}
+	return -1
+}
+
+// morselGather terminates a worker's in-scan operator chain: it copies
+// the surviving rows of each batch into the current morsel's buffer
+// and refuses further input once the buffered count reaches the
+// worker's budget quota or the shared stop flag rises.
+type morselGather struct {
+	rb    *rowBuf
+	quota int64 // post-filter row cap for this morsel; -1 = unbudgeted
+	stop  *atomic.Bool
+}
+
+func (g *morselGather) push(b *Batch) bool {
+	if b.sel != nil {
+		for _, i := range b.sel {
+			g.rb.rows = append(g.rb.rows, b.rows[i])
+		}
+	} else {
+		g.rb.rows = append(g.rb.rows, b.rows...)
+	}
+	if g.quota > 0 && int64(len(g.rb.rows)) >= g.quota {
+		return false
+	}
+	return !g.stop.Load()
+}
+
+func (g *morselGather) flush() {}
+
+// runMorsels is the morsel-driven parallel scan. Workers claim morsel
+// indexes from a shared atomic cursor, run the chain's leading filters
+// in-scan, and buffer each morsel's surviving (shared) rows; the
+// caller streams completed morsels through the rest of the operator
+// chain in key order, so results are identical to the sequential scan.
+// Two shared atomics short-circuit the scan: stop is set as soon as
+// the merger chain refuses a batch (any downstream Limit satisfied),
+// and remaining — the row budget when a Limit is 1:1-reachable from
+// the merge point — caps how many rows a worker buffers before its
+// morsel is even merged. Because workers buffer post-filter rows, the
+// budget applies to Filter→Limit pipelines too.
+//
+// Claims are paced by a lookahead window over the merge frontier:
+// a worker does not start morsel i until the merger has consumed
+// morsel i-window. This bounds both the peak buffered memory
+// (window × morsel rows instead of the whole relation) and the wasted
+// scan work after an early Limit fires — without the window, fast
+// in-memory scans would finish every morsel before the first merged
+// batch could raise the stop flag.
+func (p *Pipeline) runMorsels(ms *morselScan, prefix []stage, head batchSink) {
+	nm := len(ms.ranges)
+	workers := p.par
+	if workers > nm {
+		workers = nm
+	}
+	budget := seedBudget(p.stages[len(prefix):])
+	window := int64(2 * workers)
+
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	var frontier atomic.Int64 // morsels the merger has consumed
+	var remaining atomic.Int64
+	remaining.Store(int64(budget))
+
+	bufs := make([]*rowBuf, nm)
+	done := make([]chan struct{}, nm)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker wires its own copy of the filter prefix (sink
+			// scratch is not shareable) over a gather terminal; filters
+			// preserve row state, so the state/transient inputs echo the
+			// source contract.
+			g := &morselGather{stop: &stop}
+			var chain batchSink = g
+			for i := len(prefix) - 1; i >= 0; i-- {
+				chain = prefix[i].wire(p.src.state(), true, chain)
+			}
+			srb := getRowBuf(morselSize)
+			defer func() { putRowBuf(srb, srb.rows) }()
+			var b Batch
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= nm {
+					return
+				}
+				// Pace the claim: wait for the merge frontier to come
+				// within window morsels. The merger is never more than
+				// one blocking push behind, so this spin is short; stop
+				// breaks it so abandoned scans are skipped outright.
+				for int64(i) >= frontier.Load()+window && !stop.Load() {
+					runtime.Gosched()
+				}
+				// Snapshot the budget: remaining only shrinks (the
+				// merger decrements it in morsel order), so it is a
+				// safe upper bound on the rows this morsel can
+				// contribute.
+				quota := int64(-1)
+				if budget >= 0 {
+					quota = remaining.Load()
+				}
+				if quota != 0 && !stop.Load() {
+					rb := getRowBuf(morselSize)
+					g.rb, g.quota = rb, quota
+					r := ms.ranges[i]
+					ms.scan(r[0], r[1], srb.rows, func(rows []mmvalue.Value) bool {
+						b.rows, b.sel = rows, nil
+						return chain.push(&b)
+					})
+					if len(rb.rows) > 0 {
+						bufs[i] = rb
+					} else {
+						putRowBuf(rb, rb.rows)
+					}
+					g.rb = nil
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	// Ordered streaming merge on the caller goroutine. Morsel buffers
+	// return to the pool as soon as they are consumed: retaining stages
+	// copy row structs out during push, so nothing downstream aliases
+	// the buffer afterwards (the sequential scan reuses its seed
+	// scratch the same way).
+	b := &Batch{}
+	for i := 0; i < nm; i++ {
+		<-done[i]
+		frontier.Store(int64(i + 1))
+		rb := bufs[i]
+		bufs[i] = nil
+		if stop.Load() {
+			if rb != nil {
+				putRowBuf(rb, rb.rows)
+			}
+			continue // drain the done channels; workers close them fast
+		}
+		if rb == nil {
+			continue
+		}
+		rows := rb.rows
+		if budget >= 0 {
+			if rem := remaining.Load(); int64(len(rows)) > rem {
+				rows = rows[:rem]
+			}
+		}
+		for start := 0; start < len(rows); start += batchCap {
+			end := start + batchCap
+			if end > len(rows) {
+				end = len(rows)
+			}
+			b.rows, b.sel = rows[start:end], nil
+			n := int64(b.Len())
+			ok := head.push(b)
+			if budget >= 0 {
+				remaining.Add(-n)
+			}
+			if !ok {
+				stop.Store(true)
+				break
+			}
+		}
+		putRowBuf(rb, rb.rows)
+	}
+	wg.Wait()
 }

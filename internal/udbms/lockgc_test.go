@@ -1,0 +1,65 @@
+package udbms
+
+import (
+	"testing"
+
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+)
+
+// A GetShared probe of a key that does not exist takes (and releases) a
+// shared lock on a name with no version chain, leaving a resident lock
+// entry behind. A storm of such misses — a point-read-miss workload, or
+// an analytic scan probing sparse keys — must not grow the lock table
+// unboundedly: Compact is the GC point that sweeps the idle entries.
+func TestCompactSweepsProbedLockEntries(t *testing.T) {
+	db := Open()
+	schema, err := relational.NewSchema("id", relational.Column{Name: "id", Type: relational.TypeInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Relational.CreateTable("sparse", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(nil, mmvalue.ObjectOf("id", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	base := db.Manager().LockEntryCount()
+
+	const misses = 2000
+	for i := 0; i < misses; i++ {
+		tx := db.Begin()
+		if _, ok, err := tbl.GetShared(tx, 1000000+i); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			t.Fatalf("probe %d unexpectedly found a row", i)
+		}
+		tx.Abort()
+	}
+	grown := db.Manager().LockEntryCount()
+	if grown < base+misses {
+		t.Fatalf("miss storm should leave >= %d resident entries, have %d (base %d)", misses, grown, base)
+	}
+
+	db.Compact(0)
+
+	after := db.Manager().LockEntryCount()
+	if after >= base+misses/10 {
+		t.Fatalf("Compact left %d lock entries resident (base %d): miss-storm entries were not swept", after, base)
+	}
+
+	// The store still works after the sweep: hits, misses and writes.
+	tx := db.Begin()
+	if _, ok, err := tbl.GetShared(tx, 1); err != nil || !ok {
+		t.Fatalf("GetShared hit after sweep: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := tbl.GetShared(tx, 424242); err != nil || ok {
+		t.Fatalf("GetShared miss after sweep: ok=%v err=%v", ok, err)
+	}
+	tx.Abort()
+	if err := tbl.Insert(nil, mmvalue.ObjectOf("id", 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,14 +16,17 @@ import (
 // snapshot, which is the core capability a unified engine offers over a
 // federation.
 //
-// Execution is lazy and streaming: stages build an operator tree that
-// is only evaluated when a terminal — Rows, Count or Each — pulls it.
-// Limit short-circuits upstream operators, filters run against shared
-// store memory without copying, and the cross-model joins build a hash
-// table over the smaller side (falling back to store indexes when the
-// probe set is small). Rows returned by Rows are deep copies and may be
-// mutated freely; Filter predicates and Each callbacks observe shared
-// rows and must not mutate them.
+// Execution is lazy, streaming and vectorized: stages build an
+// operator tree that is only evaluated when a terminal — Rows, Count
+// or Each — pulls it, and operators exchange column batches of up to
+// 1024 rows rather than single rows (see exec.go). Limit
+// short-circuits upstream operators, filters narrow batches through a
+// selection vector against shared store memory without copying, and
+// the cross-model joins build a hash table over the smaller side
+// (falling back to store indexes when the probe set is small). Rows
+// returned by Rows are deep copies and may be mutated freely; Filter
+// predicates and Each callbacks observe shared rows and must not
+// mutate them.
 //
 // Build errors (unknown table, bad XPath) are deferred to the
 // terminals and visible early via Err.
@@ -85,17 +88,22 @@ func (p *Pipeline) Each(fn func(row mmvalue.Value) bool) error {
 	return p.execute(fn)
 }
 
-// Parallel asks the terminal to partition the seed scan across n
-// goroutines with an ordered merge, so results are identical to the
-// sequential order. It applies to full-scan relational/document seeds;
-// index-served seeds and graph scans ignore it. Limit short-circuiting
-// does not cross partition boundaries: each partition is scanned fully.
-// The seed predicate (the relational.Expr or document.Filter passed to
-// From*) is evaluated concurrently from the partition goroutines, so
-// it must be safe for concurrent use — stateless predicates (all the
-// Eq/Lt/All/... constructors and the uql pushdown output) are; a
-// stateful Func closure is not. Later stages (Filter, Map, joins) run
-// sequentially after the merge and are unaffected.
+// Parallel runs the seed scan morsel-driven across n goroutines: the
+// key space is pre-split into fixed-size morsels and workers claim
+// them from a shared cursor, so a skewed predicate cannot straggle one
+// worker. Completed morsels merge in key order — results are identical
+// to the sequential scan. It applies to full-scan relational/document
+// seeds; index-served seeds and graph scans ignore it. Limit
+// short-circuits across workers: a shared atomic row budget (or, for
+// limits behind filters/sorts, a shared stop flag) halts morsel
+// claiming as soon as the limit is satisfied, so unneeded morsels are
+// never scanned. The seed predicate (the relational.Expr or
+// document.Filter passed to From*) is evaluated concurrently from the
+// worker goroutines, so it must be safe for concurrent use — stateless
+// predicates (all the Eq/Lt/All/... constructors and the uql pushdown
+// output) are; a stateful Func closure is not. Later stages (Filter,
+// Map, joins, GroupBy) run sequentially after the merge and are
+// unaffected.
 func (p *Pipeline) Parallel(n int) *Pipeline {
 	p.par = n
 	return p
@@ -182,6 +190,22 @@ func (p *Pipeline) SortBy(path string, descending bool) *Pipeline {
 	return p
 }
 
+// GroupBy folds the row stream into one row per distinct value at
+// keyPath (missing values group under null), computing the given
+// aggregates per group — see Sum, Count, Min, Max, Avg. Each output
+// row is fully owned and has the shape {asKey: key, <agg fields>...};
+// rows stream out in ascending key order (mmvalue.Compare), so results
+// are deterministic. GroupBy is a blocking stage like SortBy: it
+// buffers accumulators until the input ends, then a following Filter
+// acts as a HAVING clause and SortBy+Limit as top-N over aggregates.
+func (p *Pipeline) GroupBy(keyPath, asKey string, aggs ...Agg) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	p.stages = append(p.stages, &groupStage{key: mmvalue.ParsePath(keyPath), asKey: asKey, aggs: aggs})
+	return p
+}
+
 // JoinDocuments extends each row with the documents of collection
 // whose docPath value equals the row's rowField value; matches land as
 // an array under asField. Rows without matches keep an empty array;
@@ -196,19 +220,25 @@ func (p *Pipeline) JoinDocuments(collection, rowField, docPath, asField string) 
 	}
 	coll := p.db.Docs.Collection(collection)
 	pp := mmvalue.ParsePath(docPath)
+	scan := func(tx *txn.Tx) *hashTable {
+		ht := newHashTable(coll.Len())
+		coll.Stream(tx, nil, func(doc mmvalue.Value) bool {
+			if v, ok := pp.Lookup(doc); ok && !v.IsNull() {
+				ht.add(v, doc)
+			}
+			return true
+		})
+		return ht
+	}
+	key := joinCacheKey{store: coll, field: docPath}
 	spec := joinSpec{
 		rowField: rowField,
 		asField:  asField,
 		buildLen: coll.Len(),
-		build: func() *hashTable {
-			ht := newHashTable(coll.Len())
-			coll.Stream(p.tx, nil, func(doc mmvalue.Value) bool {
-				if v, ok := pp.Lookup(doc); ok && !v.IsNull() {
-					ht.add(v, doc)
-				}
-				return true
-			})
-			return ht
+		build:    func() *hashTable { return scan(p.tx) },
+		cacheGet: func() *hashTable { return p.db.joins.get(key, coll.Version(), p.tx) },
+		cachePut: func() *hashTable {
+			return p.db.joins.put(key, coll.Manager(), coll.Version, p.tx, scan)
 		},
 	}
 	if coll.HasIndex(docPath) {
@@ -238,19 +268,25 @@ func (p *Pipeline) JoinRelational(table, rowField, column, asField string) *Pipe
 		p.err = fmt.Errorf("udbms: no table %q", table)
 		return p
 	}
+	scan := func(tx *txn.Tx) *hashTable {
+		ht := newHashTable(t.Len())
+		t.Stream(tx, nil, func(row mmvalue.Value) bool {
+			if v, ok := row.MustObject().Get(column); ok && !v.IsNull() {
+				ht.add(v, row)
+			}
+			return true
+		})
+		return ht
+	}
+	key := joinCacheKey{store: t, field: column}
 	spec := joinSpec{
 		rowField: rowField,
 		asField:  asField,
 		buildLen: t.Len(),
-		build: func() *hashTable {
-			ht := newHashTable(t.Len())
-			t.Stream(p.tx, nil, func(row mmvalue.Value) bool {
-				if v, ok := row.MustObject().Get(column); ok && !v.IsNull() {
-					ht.add(v, row)
-				}
-				return true
-			})
-			return ht
+		build:    func() *hashTable { return scan(p.tx) },
+		cacheGet: func() *hashTable { return p.db.joins.get(key, t.Version(), p.tx) },
+		cachePut: func() *hashTable {
+			return p.db.joins.put(key, t.Manager(), t.Version, p.tx, scan)
 		},
 	}
 	if t.UsesIndex(relational.Col(column).Eq(0)) {

@@ -1,14 +1,3 @@
-// Package udbms is the unified multi-model database engine of UDBench —
-// the system-under-test that the paper's benchmark targets. It binds
-// the five UDBMS data models (relational, JSON document, property
-// graph, key-value, XML) to one transaction manager, giving:
-//
-//   - cross-model ACID transactions: one lock space, one commit point,
-//     so an order update can atomically touch JSON Orders, key-value
-//     Feedback and XML Invoice (the paper's running example);
-//   - cross-model snapshot reads: a single begin timestamp covers all
-//     five models, so analytical queries see one consistent cut;
-//   - a pipeline API for multi-model queries that hop between models.
 package udbms
 
 import (
@@ -34,6 +23,10 @@ type DB struct {
 	KV *kv.Store
 	// XML is the XML document model.
 	XML *xmlstore.Store
+
+	// joins caches build-side hash tables for the pipeline executor's
+	// equality joins, keyed by store version (see joincache.go).
+	joins joinCache
 }
 
 // Open creates an empty unified database. All five models share one
@@ -81,6 +74,12 @@ type Stats struct {
 // could GC versions still needed by a snapshot begun at the watermark.
 // Compact must not run concurrently with transactions that read below
 // the horizon; in the benchmark it runs between workload phases.
+//
+// Compact also sweeps idle lock-table entries: names merely probed
+// (a GetShared miss on a key that never existed) leave resident lock
+// entries with no version chain, and this is the watermark-keyed GC
+// point that reclaims them. The sweep itself is safe against running
+// transactions (busy entries are skipped); see txn.SweepLockEntries.
 func (db *DB) Compact(horizon txn.TS) int {
 	if horizon == 0 {
 		horizon = db.mgr.Published() + 1
@@ -95,6 +94,7 @@ func (db *DB) Compact(horizon txn.TS) int {
 	}
 	dropped += db.KV.Compact(horizon)
 	dropped += db.XML.Compact(horizon)
+	db.mgr.SweepLockEntries()
 	return dropped
 }
 

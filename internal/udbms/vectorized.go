@@ -1,0 +1,775 @@
+package udbms
+
+import (
+	"sort"
+	"sync"
+
+	"udbench/internal/mmvalue"
+)
+
+// This file holds the vectorized operator implementations: every stage
+// consumes and produces a *Batch per call. Filters rewrite the
+// selection vector in place, sorts and joins extract key columns once
+// per batch, and group-by aggregates into a hash of accumulators —
+// there is exactly one interface dispatch per batch, not per row.
+
+// batchSink consumes a batch stream. push reports false to stop the
+// upstream producer early (limit short-circuit); flush signals
+// end-of-input so blocking stages (sort, join, group-by) can drain.
+type batchSink interface {
+	push(b *Batch) bool
+	flush()
+}
+
+// rowSink adapts a per-row terminal callback to the batch protocol.
+type rowSink struct {
+	fn func(mmvalue.Value) bool
+}
+
+func (s *rowSink) push(b *Batch) bool {
+	if b.sel != nil {
+		for _, i := range b.sel {
+			if !s.fn(b.rows[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, r := range b.rows {
+		if !s.fn(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *rowSink) flush() {}
+
+// ---- filter ----
+
+type filterStage struct {
+	keep func(mmvalue.Value) bool
+}
+
+func (st *filterStage) outState(in rowState) rowState { return in }
+func (st *filterStage) retains() bool                 { return false }
+
+func (st *filterStage) wire(_ rowState, _ bool, down batchSink) batchSink {
+	return &filterSink{keep: st.keep, down: down, sel: make([]int32, 0, batchCap)}
+}
+
+// filterSink narrows each batch by rewriting its selection vector: no
+// row is copied or re-pushed, survivors are named by index.
+type filterSink struct {
+	keep func(mmvalue.Value) bool
+	down batchSink
+	sel  []int32
+}
+
+func (s *filterSink) push(b *Batch) bool {
+	sel := s.sel[:0]
+	if b.sel != nil {
+		for _, i := range b.sel {
+			if s.keep(b.rows[i]) {
+				sel = append(sel, i)
+			}
+		}
+	} else {
+		for i, r := range b.rows {
+			if s.keep(r) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	s.sel = sel
+	if len(sel) == 0 {
+		return true // empty batch: skip the downstream call entirely
+	}
+	b.sel = sel
+	return s.down.push(b)
+}
+
+func (s *filterSink) flush() { s.down.flush() }
+
+// ---- map ----
+
+type mapStage struct {
+	fn func(mmvalue.Value) mmvalue.Value
+}
+
+func (st *mapStage) outState(rowState) rowState { return rowOwned }
+func (st *mapStage) retains() bool              { return false }
+
+func (st *mapStage) wire(in rowState, _ bool, down batchSink) batchSink {
+	return &mapSink{fn: st.fn, in: in, down: down,
+		out: Batch{rows: make([]mmvalue.Value, 0, batchCap)}}
+}
+
+type mapSink struct {
+	fn   func(mmvalue.Value) mmvalue.Value
+	in   rowState
+	down batchSink
+	out  Batch
+}
+
+func (s *mapSink) push(b *Batch) bool {
+	s.out.reset()
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		if s.in != rowOwned {
+			r = r.Clone()
+		}
+		s.out.rows = append(s.out.rows, s.fn(r))
+	}
+	return s.down.push(&s.out)
+}
+
+func (s *mapSink) flush() { s.down.flush() }
+
+// ---- limit ----
+
+type limitStage struct {
+	n int
+}
+
+func (st *limitStage) outState(in rowState) rowState { return in }
+func (st *limitStage) retains() bool                 { return false }
+
+func (st *limitStage) wire(_ rowState, _ bool, down batchSink) batchSink {
+	if st.n < 0 {
+		return down
+	}
+	return &limitSink{remaining: st.n, down: down}
+}
+
+type limitSink struct {
+	remaining int
+	down      batchSink
+}
+
+func (s *limitSink) push(b *Batch) bool {
+	if s.remaining <= 0 {
+		return false
+	}
+	if n := b.Len(); n > s.remaining {
+		b.truncate(s.remaining)
+	}
+	s.remaining -= b.Len()
+	return s.down.push(b) && s.remaining > 0
+}
+
+func (s *limitSink) flush() { s.down.flush() }
+
+// ---- sort ----
+
+// sortStage is a blocking operator: it buffers the input rows together
+// with a sort-key column extracted once per batch, then re-streams in
+// order on flush. When every key shares one scalar kind the comparison
+// loop runs over a typed int64/float64/string vector; mixed keys fall
+// back to mmvalue.Compare. Rows stay shared — sorting reorders
+// references only.
+type sortStage struct {
+	path mmvalue.Path
+	desc bool
+}
+
+func (st *sortStage) outState(in rowState) rowState { return in }
+func (st *sortStage) retains() bool                 { return true }
+
+func (st *sortStage) wire(_ rowState, _ bool, down batchSink) batchSink {
+	return &sortSink{st: st, down: down}
+}
+
+type sortSink struct {
+	st   *sortStage
+	down batchSink
+	rows []mmvalue.Value
+	keys colVec
+}
+
+func (s *sortSink) push(b *Batch) bool {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		s.rows = append(s.rows, r)
+		s.keys.append(s.st.path.LookupOr(r, mmvalue.Null))
+	}
+	return true
+}
+
+func (s *sortSink) flush() {
+	perm := make([]int32, len(s.rows))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	desc := s.st.desc
+	var less func(a, b int32) bool
+	switch kind, _ := s.keys.homogeneous(); kind {
+	case mmvalue.KindInt:
+		ints := s.keys.ints(nil)
+		less = func(a, b int32) bool { return ints[a] < ints[b] }
+	case mmvalue.KindFloat:
+		floats := s.keys.floats(nil)
+		less = func(a, b int32) bool { return floats[a] < floats[b] }
+	case mmvalue.KindString:
+		strs := s.keys.strs(nil)
+		less = func(a, b int32) bool { return strs[a] < strs[b] }
+	default:
+		vals := s.keys.vals
+		less = func(a, b int32) bool { return mmvalue.Compare(vals[a], vals[b]) < 0 }
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		if desc {
+			return less(perm[j], perm[i])
+		}
+		return less(perm[i], perm[j])
+	})
+	out := Batch{rows: make([]mmvalue.Value, 0, batchCap)}
+	for _, i := range perm {
+		out.rows = append(out.rows, s.rows[i])
+		if len(out.rows) == batchCap {
+			if !s.down.push(&out) {
+				s.rows, s.keys.vals = nil, nil
+				s.down.flush()
+				return
+			}
+			out.reset()
+		}
+	}
+	if len(out.rows) > 0 {
+		s.down.push(&out)
+	}
+	s.rows, s.keys.vals = nil, nil
+	s.down.flush()
+}
+
+// ---- attach machinery (joins) ----
+
+// attachCap bounds the attacher's output batch. Every row of a pushed
+// batch is alive at once, so the scratch ring must hold one object per
+// batch position: a full 1024-row batch would mean ~1024 scratch
+// objects allocated per query, which dwarfs small and mid-size joins
+// (GC time, not dispatch, dominates them). 64 rows still amortizes the
+// per-batch interface call to noise while keeping the warm-up cost of
+// the ring negligible.
+const attachCap = 64
+
+// attachScratch is an attacher's pooled working memory: the output
+// batch backing plus the scratch-object ring. Warming a fresh ring —
+// 64 objects, each growing a keys and a vals array — costs on the
+// order of 100KB of allocation, which dwarfed everything else in
+// mid-size join queries; the pool amortizes it across queries. Ring
+// objects keep their field storage between queries (that is the
+// point); out is cleared on release so pooled slots never pin rows.
+type attachScratch struct {
+	objs []*mmvalue.Object
+	out  []mmvalue.Value
+}
+
+var attachScratchPool = sync.Pool{New: func() any {
+	return &attachScratch{out: make([]mmvalue.Value, 0, attachCap)}
+}}
+
+// attacher builds output batches for the attaching stages (hash join,
+// per-row joins): it lands a match array under asField without ever
+// mutating a shared store row, recycling a ring of scratch objects when
+// downstream consumes rows transiently — one scratch object per batch
+// position, reused across batches, zero allocations in steady state.
+type attacher struct {
+	down    batchSink
+	asField string
+	in      rowState
+	useScr  bool
+	scr     *attachScratch
+	out     Batch
+	stopped bool
+}
+
+func newAttacher(down batchSink, asField string, in rowState, transient bool) *attacher {
+	scr := attachScratchPool.Get().(*attachScratch)
+	return &attacher{
+		down:    down,
+		asField: asField,
+		in:      in,
+		useScr:  transient && in == rowShared,
+		scr:     scr,
+		out:     Batch{rows: scr.out},
+	}
+}
+
+// release returns the scratch to the pool. Callers invoke it after the
+// final emit: output rows are consumed synchronously by the downstream
+// push, so recycling cannot alias live rows.
+func (a *attacher) release() {
+	if a.scr == nil {
+		return
+	}
+	out := a.out.rows[:cap(a.out.rows)]
+	clear(out)
+	a.scr.out = out[:0]
+	attachScratchPool.Put(a.scr)
+	a.scr = nil
+	a.out.rows = nil
+}
+
+func (a *attacher) attach(r mmvalue.Value, matches []mmvalue.Value) bool {
+	obj := r.MustObject()
+	if a.in == rowShared {
+		if a.useScr {
+			if len(a.scr.objs) == len(a.out.rows) {
+				a.scr.objs = append(a.scr.objs, mmvalue.NewObject())
+			}
+			s := a.scr.objs[len(a.out.rows)]
+			s.CopyFrom(obj)
+			obj = s
+		} else {
+			obj = obj.ShallowClone()
+		}
+		r = mmvalue.FromObject(obj)
+	}
+	obj.Set(a.asField, mmvalue.Array(matches...))
+	a.out.rows = append(a.out.rows, r)
+	if len(a.out.rows) == attachCap {
+		return a.emit()
+	}
+	return true
+}
+
+// emit pushes the pending output batch downstream.
+func (a *attacher) emit() bool {
+	if len(a.out.rows) == 0 {
+		return !a.stopped
+	}
+	ok := a.down.push(&a.out)
+	a.out.reset()
+	if !ok {
+		a.stopped = true
+	}
+	return ok
+}
+
+// ---- hash join ----
+
+// hashTable buckets build-side records by mmvalue.Hash of their join
+// key — an allocation-free hash consistent with mmvalue.Equal. Probes
+// re-verify with mmvalue.Equal, so hash collisions cannot produce
+// wrong matches: the join is exactly equality in the mmvalue.Compare
+// sense, like the nested-loop predicates it replaces.
+type hashTable struct {
+	buckets map[uint64][]*hashGroup
+}
+
+type hashGroup struct {
+	key  mmvalue.Value
+	vals []mmvalue.Value
+}
+
+func newHashTable(sizeHint int) *hashTable {
+	return &hashTable{buckets: make(map[uint64][]*hashGroup, sizeHint)}
+}
+
+func (h *hashTable) add(key, val mmvalue.Value) {
+	k := key.Hash()
+	for _, g := range h.buckets[k] {
+		if mmvalue.Equal(g.key, key) {
+			g.vals = append(g.vals, val)
+			return
+		}
+	}
+	h.buckets[k] = append(h.buckets[k], &hashGroup{key: key, vals: []mmvalue.Value{val}})
+}
+
+func (h *hashTable) get(key mmvalue.Value) []mmvalue.Value {
+	for _, g := range h.buckets[key.Hash()] {
+		if mmvalue.Equal(g.key, key) {
+			return g.vals
+		}
+	}
+	return nil
+}
+
+// joinSpec abstracts the build side of an equality join (document
+// collection or relational table).
+type joinSpec struct {
+	// rowField is the flat field of the pipeline row holding the key.
+	rowField string
+	// asField receives the match array.
+	asField string
+	// buildLen approximates the build-side size (for strategy choice).
+	buildLen int
+	// build scans the build side once into a hash table, under the
+	// pipeline's own transaction.
+	build func() *hashTable
+	// indexProbe fetches matches for one key through a store index;
+	// nil when the build side has no usable index.
+	indexProbe func(key mmvalue.Value) []mmvalue.Value
+	// cacheGet/cachePut consult the DB-level join-build cache
+	// (joincache.go): cacheGet is lookup-only, cachePut builds under a
+	// snapshot transaction and caches. Either may be nil (no cache) or
+	// return nil (gates failed); callers fall back to build.
+	cacheGet func() *hashTable
+	cachePut func() *hashTable
+}
+
+// hashJoinStage joins the batch stream against a build side. It is a
+// blocking operator: probe rows are buffered together with their join
+// keys — extracted one batch at a time — until the input ends, then
+// the strategy is picked from the exact probe count: a small probe set
+// against an indexed build side uses per-key index lookups, anything
+// else scans the build side once into a hash table and probes the
+// buffered key column in one tight loop. Deferring the build-side scan
+// to flush also guarantees it never nests inside the still-open seed
+// scan, so self-joins cannot deadlock on the store's scan lock.
+type hashJoinStage struct {
+	spec joinSpec
+}
+
+func (st *hashJoinStage) outState(rowState) rowState {
+	// Matches are attached as shared store values, so the row is at
+	// most shallow-owned afterwards.
+	return rowShallow
+}
+
+// The adaptive strategy buffers probe rows before deciding.
+func (st *hashJoinStage) retains() bool { return true }
+
+func (st *hashJoinStage) wire(in rowState, transient bool, down batchSink) batchSink {
+	threshold := 0
+	if st.spec.indexProbe != nil {
+		threshold = st.spec.buildLen / 8
+		if threshold < 4 {
+			threshold = 4
+		}
+		if threshold > 1024 {
+			threshold = 1024
+		}
+	}
+	return &joinSink{
+		spec:      st.spec,
+		threshold: threshold,
+		at:        newAttacher(down, st.spec.asField, in, transient),
+	}
+}
+
+type joinSink struct {
+	spec      joinSpec
+	threshold int
+	at        *attacher
+	rb        *rowBuf // pooled probe-row buffer
+}
+
+func (j *joinSink) push(b *Batch) bool {
+	if j.at.stopped {
+		return false
+	}
+	if j.rb == nil {
+		j.rb = getRowBuf(4 * morselSize)
+	}
+	if b.sel == nil {
+		j.rb.rows = append(j.rb.rows, b.rows...)
+	} else {
+		for _, ix := range b.sel {
+			j.rb.rows = append(j.rb.rows, b.rows[ix])
+		}
+	}
+	return true
+}
+
+// flush picks the probe strategy. A cached build table wins outright —
+// probing it costs the same as index lookups without the per-probe
+// store scan — so it is consulted (lookup only, never a build) before
+// the size heuristics. Otherwise small probe sets against an indexed
+// build side use per-key index lookups, and everything else builds the
+// hash table, preferring the cacheable snapshot build when its
+// visibility gates pass.
+func (j *joinSink) flush() {
+	if !j.at.stopped && j.rb != nil && len(j.rb.rows) > 0 {
+		buf := j.rb.rows
+		var ht *hashTable
+		if j.spec.cacheGet != nil {
+			ht = j.spec.cacheGet()
+		}
+		if ht == nil {
+			if j.spec.cachePut != nil {
+				// Even below the index-probe threshold a cacheable
+				// build wins: it runs once per store change instead of
+				// once per query. When the visibility gates refuse it,
+				// small probe sets keep the index route.
+				ht = j.spec.cachePut()
+			}
+			if ht == nil && (j.spec.indexProbe == nil || len(buf) >= j.threshold) {
+				ht = j.spec.build()
+			}
+		}
+		if ht != nil {
+			for _, r := range buf {
+				key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
+				var matches []mmvalue.Value
+				if !key.IsNull() {
+					matches = ht.get(key)
+				}
+				if !j.at.attach(r, matches) {
+					break
+				}
+			}
+		} else {
+			// Small probe set: index probes beat a full build-side scan.
+			for _, r := range buf {
+				key := r.MustObject().GetOr(j.spec.rowField, mmvalue.Null)
+				var matches []mmvalue.Value
+				if !key.IsNull() {
+					matches = j.spec.indexProbe(key)
+				}
+				if !j.at.attach(r, matches) {
+					break
+				}
+			}
+		}
+	}
+	if j.rb != nil {
+		putRowBuf(j.rb, j.rb.rows)
+		j.rb = nil
+	}
+	if !j.at.stopped {
+		j.at.emit()
+	}
+	j.at.down.flush()
+	j.at.release()
+}
+
+// ---- per-row probe joins ----
+
+// perRowStage covers the probe-only joins (KV prefix, XML, graph
+// expansion): each row triggers one bounded store lookup, and the
+// fetched values are attached under asField. Output rows accumulate
+// into batches.
+type perRowStage struct {
+	// fetch returns the values to attach for the row. attached values
+	// may alias store memory (ownedVals=false) or be freshly built
+	// (ownedVals=true).
+	fetch     func(row mmvalue.Value) []mmvalue.Value
+	asField   string
+	ownedVals bool
+}
+
+func (st *perRowStage) outState(in rowState) rowState {
+	if !st.ownedVals {
+		return rowShallow
+	}
+	if in == rowShared {
+		return rowShallow
+	}
+	return in
+}
+
+func (st *perRowStage) retains() bool { return false }
+
+func (st *perRowStage) wire(in rowState, transient bool, down batchSink) batchSink {
+	return &perRowSink{fetch: st.fetch, at: newAttacher(down, st.asField, in, transient)}
+}
+
+type perRowSink struct {
+	fetch func(row mmvalue.Value) []mmvalue.Value
+	at    *attacher
+}
+
+func (s *perRowSink) push(b *Batch) bool {
+	if s.at.stopped {
+		return false
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		if !s.at.attach(r, s.fetch(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *perRowSink) flush() {
+	s.at.emit()
+	s.at.down.flush()
+	s.at.release()
+}
+
+// ---- group-by / aggregate ----
+
+type aggKind uint8
+
+const (
+	aggSum aggKind = iota
+	aggCount
+	aggMin
+	aggMax
+	aggAvg
+)
+
+// Agg is one aggregate computed per group by Pipeline.GroupBy; build
+// with Sum, Count, Min, Max or Avg.
+type Agg struct {
+	kind aggKind
+	path mmvalue.Path
+	as   string
+}
+
+// Sum totals the numeric values at path per group (non-numeric and
+// missing values are skipped); the result is always a float field.
+func Sum(path, as string) Agg { return Agg{kind: aggSum, path: mmvalue.ParsePath(path), as: as} }
+
+// Count counts the rows of each group.
+func Count(as string) Agg { return Agg{kind: aggCount, as: as} }
+
+// Min keeps the smallest non-null value at path per group
+// (mmvalue.Compare order); null when the group has none.
+func Min(path, as string) Agg { return Agg{kind: aggMin, path: mmvalue.ParsePath(path), as: as} }
+
+// Max keeps the largest non-null value at path per group; null when
+// the group has none.
+func Max(path, as string) Agg { return Agg{kind: aggMax, path: mmvalue.ParsePath(path), as: as} }
+
+// Avg is Sum divided by the count of numeric values at path; null when
+// the group has none.
+func Avg(path, as string) Agg { return Agg{kind: aggAvg, path: mmvalue.ParsePath(path), as: as} }
+
+// groupStage is the blocking hash aggregation behind Pipeline.GroupBy:
+// rows are folded into per-group accumulators batch by batch (grouping
+// by mmvalue.Hash with Equal verification, like the hash join), and on
+// flush one fully-owned row per group streams out in ascending key
+// order, so results are deterministic.
+type groupStage struct {
+	key   mmvalue.Path
+	asKey string
+	aggs  []Agg
+}
+
+func (st *groupStage) outState(rowState) rowState { return rowOwned }
+
+// Everything the stage keeps (group keys, min/max winners) is cloned at
+// accumulation time, so upstream scratch recycling stays safe.
+func (st *groupStage) retains() bool { return false }
+
+func (st *groupStage) wire(_ rowState, _ bool, down batchSink) batchSink {
+	return &groupSink{st: st, down: down, buckets: make(map[uint64][]*groupAcc)}
+}
+
+type aggState struct {
+	sum  float64
+	n    int64
+	best mmvalue.Value // current min/max winner
+	seen bool
+}
+
+type groupAcc struct {
+	key   mmvalue.Value // cloned: outlives the pushed batch
+	count int64
+	st    []aggState
+}
+
+type groupSink struct {
+	st      *groupStage
+	down    batchSink
+	buckets map[uint64][]*groupAcc
+	accs    []*groupAcc
+}
+
+func (g *groupSink) acc(key mmvalue.Value) *groupAcc {
+	h := key.Hash()
+	for _, a := range g.buckets[h] {
+		if mmvalue.Equal(a.key, key) {
+			return a
+		}
+	}
+	a := &groupAcc{key: key.Clone(), st: make([]aggState, len(g.st.aggs))}
+	g.buckets[h] = append(g.buckets[h], a)
+	g.accs = append(g.accs, a)
+	return a
+}
+
+func (g *groupSink) push(b *Batch) bool {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		acc := g.acc(g.st.key.LookupOr(r, mmvalue.Null))
+		acc.count++
+		for k := range g.st.aggs {
+			a := &g.st.aggs[k]
+			s := &acc.st[k]
+			switch a.kind {
+			case aggCount:
+				// count is per-group, tracked once above.
+			case aggSum, aggAvg:
+				if f, ok := a.path.LookupOr(r, mmvalue.Null).AsFloat(); ok {
+					s.sum += f
+					s.n++
+				}
+			case aggMin:
+				if v := a.path.LookupOr(r, mmvalue.Null); !v.IsNull() {
+					if !s.seen || mmvalue.Compare(v, s.best) < 0 {
+						s.best, s.seen = v.Clone(), true
+					}
+				}
+			case aggMax:
+				if v := a.path.LookupOr(r, mmvalue.Null); !v.IsNull() {
+					if !s.seen || mmvalue.Compare(v, s.best) > 0 {
+						s.best, s.seen = v.Clone(), true
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (g *groupSink) flush() {
+	accs := g.accs
+	sort.SliceStable(accs, func(i, j int) bool {
+		return mmvalue.Compare(accs[i].key, accs[j].key) < 0
+	})
+	out := Batch{rows: make([]mmvalue.Value, 0, batchCap)}
+	for _, acc := range accs {
+		obj := mmvalue.NewObject()
+		obj.Set(g.st.asKey, acc.key)
+		for k := range g.st.aggs {
+			a := &g.st.aggs[k]
+			s := acc.st[k]
+			switch a.kind {
+			case aggCount:
+				obj.Set(a.as, mmvalue.Int(acc.count))
+			case aggSum:
+				obj.Set(a.as, mmvalue.Float(s.sum))
+			case aggAvg:
+				if s.n > 0 {
+					obj.Set(a.as, mmvalue.Float(s.sum/float64(s.n)))
+				} else {
+					obj.Set(a.as, mmvalue.Null)
+				}
+			case aggMin, aggMax:
+				if s.seen {
+					obj.Set(a.as, s.best)
+				} else {
+					obj.Set(a.as, mmvalue.Null)
+				}
+			}
+		}
+		out.rows = append(out.rows, mmvalue.FromObject(obj))
+		if len(out.rows) == batchCap {
+			if !g.down.push(&out) {
+				g.drop()
+				g.down.flush()
+				return
+			}
+			out.reset()
+		}
+	}
+	if len(out.rows) > 0 {
+		g.down.push(&out)
+	}
+	g.drop()
+	g.down.flush()
+}
+
+func (g *groupSink) drop() {
+	g.buckets, g.accs = nil, nil
+}

@@ -1,0 +1,475 @@
+package udbms
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"udbench/internal/document"
+	"udbench/internal/mmvalue"
+)
+
+// Property test: the vectorized batch executor is observationally
+// identical to a row-at-a-time reference interpreter for randomized
+// pipelines — seed × filter × map × join × sort × limit × group-by in
+// random order — both sequentially and in Parallel morsel mode. The
+// reference applies each stage's documented semantics with plain Go
+// loops over materialized rows; the only tolerated difference is the
+// internal order of join match arrays (strategies may emit matches in
+// index vs scan order), which canonRow sorts away on both sides.
+
+// sigOf is a pure row fingerprint that deliberately ignores join match
+// arrays (their internal order is strategy-dependent), so it is safe
+// as a filter/map input at any pipeline position.
+func sigOf(r mmvalue.Value) int {
+	o := r.MustObject()
+	s := o.GetOr("cid", mmvalue.Null).String() +
+		o.GetOr("n", mmvalue.Null).String() +
+		o.GetOr("k", mmvalue.Null).String()
+	return len(s)
+}
+
+// pipeOp pairs a pipeline stage with its reference implementation.
+type pipeOp struct {
+	name  string
+	build func(p *Pipeline) *Pipeline
+	ref   func(db *DB, rows []mmvalue.Value) []mmvalue.Value
+}
+
+func refSort(rows []mmvalue.Value, path mmvalue.Path, desc bool) []mmvalue.Value {
+	keys := make([]mmvalue.Value, len(rows))
+	for i, r := range rows {
+		keys[i] = path.LookupOr(r, mmvalue.Null)
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := keys[idx[i]], keys[idx[j]]
+		if desc {
+			a, b = b, a
+		}
+		return mmvalue.Compare(a, b) < 0
+	})
+	out := make([]mmvalue.Value, len(rows))
+	for i, id := range idx {
+		out[i] = rows[id]
+	}
+	return out
+}
+
+func refGroupBy(rows []mmvalue.Value, keyPath mmvalue.Path, asKey string, aggs []Agg) []mmvalue.Value {
+	type racc struct {
+		key   mmvalue.Value
+		count int64
+		st    []aggState
+	}
+	buckets := map[uint64][]*racc{}
+	var order []*racc
+	for _, r := range rows {
+		key := keyPath.LookupOr(r, mmvalue.Null)
+		var a *racc
+		h := key.Hash()
+		for _, c := range buckets[h] {
+			if mmvalue.Equal(c.key, key) {
+				a = c
+				break
+			}
+		}
+		if a == nil {
+			a = &racc{key: key.Clone(), st: make([]aggState, len(aggs))}
+			buckets[h] = append(buckets[h], a)
+			order = append(order, a)
+		}
+		a.count++
+		for k := range aggs {
+			ag := &aggs[k]
+			s := &a.st[k]
+			switch ag.kind {
+			case aggSum, aggAvg:
+				if f, ok := ag.path.LookupOr(r, mmvalue.Null).AsFloat(); ok {
+					s.sum += f
+					s.n++
+				}
+			case aggMin:
+				if v := ag.path.LookupOr(r, mmvalue.Null); !v.IsNull() {
+					if !s.seen || mmvalue.Compare(v, s.best) < 0 {
+						s.best, s.seen = v.Clone(), true
+					}
+				}
+			case aggMax:
+				if v := ag.path.LookupOr(r, mmvalue.Null); !v.IsNull() {
+					if !s.seen || mmvalue.Compare(v, s.best) > 0 {
+						s.best, s.seen = v.Clone(), true
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return mmvalue.Compare(order[i].key, order[j].key) < 0
+	})
+	out := make([]mmvalue.Value, 0, len(order))
+	for _, a := range order {
+		obj := mmvalue.NewObject()
+		obj.Set(asKey, a.key)
+		for k := range aggs {
+			ag := &aggs[k]
+			s := a.st[k]
+			switch ag.kind {
+			case aggCount:
+				obj.Set(ag.as, mmvalue.Int(a.count))
+			case aggSum:
+				obj.Set(ag.as, mmvalue.Float(s.sum))
+			case aggAvg:
+				if s.n > 0 {
+					obj.Set(ag.as, mmvalue.Float(s.sum/float64(s.n)))
+				} else {
+					obj.Set(ag.as, mmvalue.Null)
+				}
+			case aggMin, aggMax:
+				if s.seen {
+					obj.Set(ag.as, s.best)
+				} else {
+					obj.Set(ag.as, mmvalue.Null)
+				}
+			}
+		}
+		out = append(out, mmvalue.FromObject(obj))
+	}
+	return out
+}
+
+// randOps draws 2–5 random stages. Join attachment fields are unique
+// per position ("m0", "m1", ...) and reported so canonRow can
+// normalize their internal order.
+func randOps(rng *rand.Rand) (ops []pipeOp, joinFields []string) {
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(7) {
+		case 0: // filter
+			k := 2 + rng.Intn(3)
+			pred := func(r mmvalue.Value) bool { return sigOf(r)%k != 0 }
+			ops = append(ops, pipeOp{
+				name:  fmt.Sprintf("filter%%%d", k),
+				build: func(p *Pipeline) *Pipeline { return p.Filter(pred) },
+				ref: func(_ *DB, rows []mmvalue.Value) []mmvalue.Value {
+					var out []mmvalue.Value
+					for _, r := range rows {
+						if pred(r) {
+							out = append(out, r)
+						}
+					}
+					return out
+				},
+			})
+		case 1: // map: attach a derived field on a clone
+			fn := func(r mmvalue.Value) mmvalue.Value {
+				c := r.Clone()
+				c.MustObject().Set("len", mmvalue.Int(int64(sigOf(r))))
+				return c
+			}
+			ops = append(ops, pipeOp{
+				name:  "map",
+				build: func(p *Pipeline) *Pipeline { return p.Map(fn) },
+				ref: func(_ *DB, rows []mmvalue.Value) []mmvalue.Value {
+					out := make([]mmvalue.Value, len(rows))
+					for i, r := range rows {
+						out[i] = fn(r)
+					}
+					return out
+				},
+			})
+		case 2: // sort
+			paths := []string{"cid", "n", "payload", "ref.cid", "k"}
+			path := paths[rng.Intn(len(paths))]
+			desc := rng.Intn(2) == 0
+			pp := mmvalue.ParsePath(path)
+			ops = append(ops, pipeOp{
+				name:  fmt.Sprintf("sort(%s,desc=%v)", path, desc),
+				build: func(p *Pipeline) *Pipeline { return p.SortBy(path, desc) },
+				ref: func(_ *DB, rows []mmvalue.Value) []mmvalue.Value {
+					return refSort(rows, pp, desc)
+				},
+			})
+		case 3: // limit
+			lim := rng.Intn(60)
+			ops = append(ops, pipeOp{
+				name:  fmt.Sprintf("limit(%d)", lim),
+				build: func(p *Pipeline) *Pipeline { return p.Limit(lim) },
+				ref: func(_ *DB, rows []mmvalue.Value) []mmvalue.Value {
+					if len(rows) > lim {
+						rows = rows[:lim]
+					}
+					return rows
+				},
+			})
+		case 4: // join against the build collection (nested key path)
+			field := fmt.Sprintf("m%d", i)
+			joinFields = append(joinFields, field)
+			ops = append(ops, pipeOp{
+				name:  "joinDocs/" + field,
+				build: func(p *Pipeline) *Pipeline { return p.JoinDocuments("build", "cid", "ref.cid", field) },
+				ref: func(db *DB, rows []mmvalue.Value) []mmvalue.Value {
+					return refJoinDocuments(db, rows, "build", "cid", "ref.cid", field)
+				},
+			})
+		case 5: // join against the relational build table
+			field := fmt.Sprintf("m%d", i)
+			joinFields = append(joinFields, field)
+			ops = append(ops, pipeOp{
+				name:  "joinRel/" + field,
+				build: func(p *Pipeline) *Pipeline { return p.JoinRelational("buildtab", "cid", "cid", field) },
+				ref: func(db *DB, rows []mmvalue.Value) []mmvalue.Value {
+					return refJoinRelational(db, rows, "buildtab", "cid", "cid", field)
+				},
+			})
+		case 6: // group-by with a random aggregate set
+			keys := []string{"cid", "n"}
+			keyPath := keys[rng.Intn(len(keys))]
+			aggs := []Agg{Count("c")}
+			if rng.Intn(2) == 0 {
+				aggs = append(aggs, Sum("n", "s"))
+			}
+			if rng.Intn(2) == 0 {
+				aggs = append(aggs, Avg("n", "av"))
+			}
+			if rng.Intn(2) == 0 {
+				aggs = append(aggs, Min("cid", "mn"))
+			}
+			if rng.Intn(2) == 0 {
+				aggs = append(aggs, Max("payload", "mx"))
+			}
+			pp := mmvalue.ParsePath(keyPath)
+			ops = append(ops, pipeOp{
+				name:  fmt.Sprintf("group(%s)", keyPath),
+				build: func(p *Pipeline) *Pipeline { return p.GroupBy(keyPath, "k", aggs...) },
+				ref: func(_ *DB, rows []mmvalue.Value) []mmvalue.Value {
+					return refGroupBy(rows, pp, "k", aggs)
+				},
+			})
+		}
+	}
+	return ops, joinFields
+}
+
+// canonRow renders a row with its join match arrays internally sorted.
+func canonRows(rows []mmvalue.Value, joinFields []string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		o := r.MustObject()
+		for _, f := range joinFields {
+			if arr, ok := o.GetOr(f, mmvalue.Null).AsArray(); ok && len(arr) > 1 {
+				sorted := append([]mmvalue.Value(nil), arr...)
+				sort.Slice(sorted, func(a, b int) bool { return sorted[a].String() < sorted[b].String() })
+				o.Set(f, mmvalue.Array(sorted...))
+			}
+		}
+		out[i] = r.String()
+	}
+	return out
+}
+
+func TestVectorizedPipelineEquivalence(t *testing.T) {
+	seedPred := document.Func("sig%3 != 0", func(doc mmvalue.Value) bool {
+		return sigOf(doc)%3 != 0
+	})
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			db := seedJoinDB(t, rng,
+				80+rng.Intn(120), 40+rng.Intn(40), rng.Intn(2) == 0, rng.Intn(2) == 0)
+			ops, joinFields := randOps(rng)
+			seedKind := rng.Intn(3)
+
+			// Reference rows: materialize the seed, then interpret each
+			// stage with plain loops.
+			var refRows []mmvalue.Value
+			switch seedKind {
+			case 0:
+				refRows = db.Docs.Collection("probe").Find(nil, nil, nil)
+			case 1:
+				refRows = db.Docs.Collection("probe").Find(nil, seedPred, nil)
+			default:
+				tbl, _ := db.Relational.Table("buildtab")
+				refRows = tbl.Query(nil).Rows()
+			}
+			names := make([]string, len(ops))
+			for i, op := range ops {
+				refRows = op.ref(db, refRows)
+				names[i] = op.name
+			}
+			want := canonRows(refRows, joinFields)
+
+			for _, par := range []int{1, 4} {
+				p := db.Pipeline(nil)
+				switch seedKind {
+				case 0:
+					p = p.FromDocuments("probe", nil)
+				case 1:
+					p = p.FromDocuments("probe", seedPred)
+				default:
+					p = p.FromRelational("buildtab", nil)
+				}
+				for _, op := range ops {
+					p = op.build(p)
+				}
+				if par > 1 {
+					p = p.Parallel(par)
+				}
+				rows, err := p.Rows()
+				if err != nil {
+					t.Fatalf("par=%d seed=%d ops=%v: %v", par, seedKind, names, err)
+				}
+				got := canonRows(rows, joinFields)
+				if len(got) != len(want) {
+					t.Fatalf("par=%d seed=%d ops=%v: %d rows, want %d",
+						par, seedKind, names, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("par=%d seed=%d ops=%v: row %d:\n got  %s\n want %s",
+							par, seedKind, names, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupByAggregates pins the concrete aggregate semantics: sums
+// and averages skip non-numeric values, min/max skip nulls, missing
+// keys group under null, and output rows arrive key-ascending.
+func TestGroupByAggregates(t *testing.T) {
+	db := Open()
+	coll := db.Docs.Collection("sales")
+	docs := []mmvalue.Value{
+		mmvalue.ObjectOf("_id", "h1", "city", "Helsinki", "amt", 10),
+		mmvalue.ObjectOf("_id", "h2", "city", "Helsinki", "amt", 20.5),
+		mmvalue.ObjectOf("_id", "h3", "city", "Helsinki"), // no amt
+		mmvalue.ObjectOf("_id", "t1", "city", "Turku", "amt", 5),
+		mmvalue.ObjectOf("_id", "x1", "amt", 7), // no city: null group
+	}
+	for _, d := range docs {
+		if err := coll.Insert(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Pipeline(nil).
+		FromDocuments("sales", nil).
+		GroupBy("city", "city",
+			Sum("amt", "s"), Count("c"), Min("amt", "mn"), Max("amt", "mx"), Avg("amt", "av")).
+		Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d groups, want 3: %v", len(rows), rows)
+	}
+	check := func(i int, key, s, c, mn, mx, av mmvalue.Value) {
+		t.Helper()
+		o := rows[i].MustObject()
+		for name, want := range map[string]mmvalue.Value{
+			"city": key, "s": s, "c": c, "mn": mn, "mx": mx, "av": av,
+		} {
+			if got := o.GetOr(name, mmvalue.String("<unset>")); !mmvalue.Equal(got, want) {
+				t.Errorf("group %d field %s = %s, want %s", i, name, got, want)
+			}
+		}
+	}
+	// Null sorts before strings, so the no-city group comes first.
+	check(0, mmvalue.Null, mmvalue.Float(7), mmvalue.Int(1),
+		mmvalue.Int(7), mmvalue.Int(7), mmvalue.Float(7))
+	check(1, mmvalue.String("Helsinki"), mmvalue.Float(30.5), mmvalue.Int(3),
+		mmvalue.Int(10), mmvalue.Float(20.5), mmvalue.Float(15.25))
+	check(2, mmvalue.String("Turku"), mmvalue.Float(5), mmvalue.Int(1),
+		mmvalue.Int(5), mmvalue.Int(5), mmvalue.Float(5))
+}
+
+// TestParallelLimitStopsScanning is the regression test for the old
+// caveat that Parallel scanned every partition fully even under an
+// early Limit. The shared row budget (or stop flag) must halt morsel
+// claiming: with Limit(8) over 10k documents, the seed predicate must
+// run on well under half the collection, while still returning exactly
+// the sequential result.
+func TestParallelLimitStopsScanning(t *testing.T) {
+	db := Open()
+	coll := db.Docs.Collection("wide")
+	const total = 10000
+	for i := 0; i < total; i++ {
+		if err := coll.Insert(nil, mmvalue.ObjectOf(
+			"_id", fmt.Sprintf("w%05d", i), "n", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited atomic.Int64
+	run := func(par int) []mmvalue.Value {
+		p := db.Pipeline(nil).
+			FromDocuments("wide", document.Func("count visits", func(mmvalue.Value) bool {
+				visited.Add(1)
+				return true
+			})).
+			Limit(8)
+		if par > 1 {
+			p = p.Parallel(par)
+		}
+		rows, err := p.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+
+	seq := run(1)
+	if len(seq) != 8 {
+		t.Fatalf("sequential Limit(8) returned %d rows", len(seq))
+	}
+
+	visited.Store(0)
+	par := run(4)
+	parVisited := visited.Load()
+	if len(par) != 8 {
+		t.Fatalf("parallel Limit(8) returned %d rows", len(par))
+	}
+	for i := range par {
+		if par[i].String() != seq[i].String() {
+			t.Errorf("row %d differs:\n got  %s\n want %s", i, par[i], seq[i])
+		}
+	}
+	// Workers stop at morsel granularity, so a small overshoot past the
+	// budget is expected — but nowhere near a full scan.
+	if parVisited > total*3/4 {
+		t.Errorf("Parallel(4)+Limit(8) visited %d of %d rows: partitions were scanned fully", parVisited, total)
+	}
+
+	// A limit behind a filter takes the stop-flag path (the budget
+	// cannot be pushed through a non-1:1 stage); it must short-circuit
+	// too.
+	visited.Store(0)
+	rows, err := db.Pipeline(nil).
+		FromDocuments("wide", document.Func("count visits", func(mmvalue.Value) bool {
+			visited.Add(1)
+			return true
+		})).
+		Filter(func(r mmvalue.Value) bool {
+			n, _ := r.MustObject().GetOr("n", mmvalue.Int(0)).AsInt()
+			return n%2 == 0
+		}).
+		Limit(8).
+		Parallel(4).
+		Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("filtered parallel Limit(8) returned %d rows", len(rows))
+	}
+	if v := visited.Load(); v > total*3/4 {
+		t.Errorf("stop-flag path visited %d of %d rows: no short-circuit", v, total)
+	}
+}

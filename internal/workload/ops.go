@@ -64,6 +64,12 @@ func runQuery(st stores, s session, q QueryID, p Params) (int, error) {
 		return q9InfluencerFeedback(st, s, p)
 	case Q10:
 		return q10FullChain(st, s, p)
+	case Q11:
+		return q11FriendNetworkSpend(st, s, p)
+	case Q12:
+		return q12CityRevenueHaving(st, s, p)
+	case Q13:
+		return q13TopSpenders(st, s, p)
 	}
 	return 0, fmt.Errorf("workload: unknown query %d", int(q))
 }
@@ -405,6 +411,131 @@ func q10FullChain(st stores, s session, p Params) (int, error) {
 		return true
 	})
 	return touched, nil
+}
+
+// q11FriendNetworkSpend walks the two-hop "knows" network of a
+// customer, then checks each friend's relational row and order totals:
+// the result counts the distinct cities of friends who spent more than
+// the threshold. The federation pays a round trip per friend for the
+// relational probe and another for the order scan; the unified engine
+// seeds one relational scan with the whole id set.
+func q11FriendNetworkSpend(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	friends := st.gr.KHop(s.graphTx(), graph.VID(customerVIDOf(p.CustomerID)), 2, graph.Both, "knows")
+	orders := st.docs.Collection("orders")
+	cities := map[string]bool{}
+	for _, f := range friends {
+		fid, ok := customerIDOf(string(f))
+		if !ok {
+			continue
+		}
+		s.hop()
+		row, ok := cust.Get(s.relTx(), fid)
+		if !ok {
+			continue
+		}
+		sum := 0.0
+		s.hop()
+		for _, o := range orders.Find(s.docTx(), document.Eq("customer_id", fid),
+			&document.FindOptions{Projection: []string{"total"}}) {
+			t, _ := o.MustObject().GetOr("total", mmvalue.Float(0)).AsFloat()
+			sum += t
+		}
+		if sum > p.Threshold {
+			city, _ := row.MustObject().GetOr("city", mmvalue.Null).AsString()
+			if city != "" {
+				cities[city] = true
+			}
+		}
+	}
+	return len(cities), nil
+}
+
+// q12CityRevenueHaving groups order revenue by customer city and
+// counts the cities whose total exceeds a scaled threshold — a
+// HAVING-style filter over the aggregate. The scale (×50) puts the cut
+// inside the revenue distribution so the count is neither 0 nor all
+// cities at benchmark scale factors.
+func q12CityRevenueHaving(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	cityOf := map[int64]string{}
+	for _, r := range cust.Query(s.relTx()).Project("id", "city").Rows() {
+		o := r.MustObject()
+		id, _ := o.Get("id")
+		city, _ := o.Get("city")
+		cityOf[id.MustInt()] = city.MustString()
+	}
+	s.hop()
+	revenue := map[string]float64{}
+	for _, o := range st.docs.Collection("orders").Find(s.docTx(), nil,
+		&document.FindOptions{Projection: []string{"customer_id", "total"}}) {
+		obj := o.MustObject()
+		cid, _ := obj.Get("customer_id")
+		total, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
+		revenue[cityOf[cid.MustInt()]] += total
+	}
+	delete(revenue, "") // orders of unknown customers have no city
+	count := 0
+	for _, rev := range revenue {
+		if rev > p.Threshold*50 {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// q13TopSpenders finds the top-N customers by total order revenue and
+// counts the distinct cities they live in — a top-N over an aggregate.
+// Ties in revenue resolve to the lower customer id (both engines sort
+// stably over an id-ordered base, so the result is deterministic).
+func q13TopSpenders(st stores, s session, p Params) (int, error) {
+	cust, err := customerTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	revenue := map[int64]float64{}
+	for _, o := range st.docs.Collection("orders").Find(s.docTx(), nil,
+		&document.FindOptions{Projection: []string{"customer_id", "total"}}) {
+		obj := o.MustObject()
+		cid, _ := obj.Get("customer_id")
+		total, _ := obj.GetOr("total", mmvalue.Float(0)).AsFloat()
+		revenue[cid.MustInt()] += total
+	}
+	type spender struct {
+		cid int64
+		rev float64
+	}
+	top := make([]spender, 0, len(revenue))
+	for cid, rev := range revenue {
+		top = append(top, spender{cid, rev})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].cid < top[j].cid })
+	sort.SliceStable(top, func(i, j int) bool { return top[i].rev > top[j].rev })
+	if len(top) > p.TopN {
+		top = top[:p.TopN]
+	}
+	cities := map[string]bool{}
+	for _, sp := range top {
+		s.hop()
+		row, ok := cust.Get(s.relTx(), int(sp.cid))
+		if !ok {
+			continue
+		}
+		city, _ := row.MustObject().GetOr("city", mmvalue.Null).AsString()
+		if city != "" {
+			cities[city] = true
+		}
+	}
+	return len(cities), nil
 }
 
 // --- write transaction bodies (shared by both engines) ---

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"udbench/internal/graph"
 	"udbench/internal/mmvalue"
 	"udbench/internal/relational"
 	"udbench/internal/txn"
@@ -30,6 +31,15 @@ func pipelineQuery(db *udbms.DB, tx *txn.Tx, q QueryID, p Params) (int, bool, er
 		return n, true, err
 	case Q8:
 		n, err := q8Pipeline(db, tx, p)
+		return n, true, err
+	case Q11:
+		n, err := q11Pipeline(db, tx, p)
+		return n, true, err
+	case Q12:
+		n, err := q12Pipeline(db, tx, p)
+		return n, true, err
+	case Q13:
+		n, err := q13Pipeline(db, tx, p)
 		return n, true, err
 	}
 	return 0, false, nil
@@ -90,6 +100,93 @@ func q8Pipeline(db *udbms.DB, tx *txn.Tx, _ Params) (int, error) {
 			cust, _ := r.MustObject().GetOr("_cust", mmvalue.Null).AsArray()
 			if len(cust) == 0 {
 				return true // order of an unknown customer: no city
+			}
+			city, _ := cust[0].MustObject().GetOr("city", mmvalue.Null).AsString()
+			if city != "" {
+				cities[city] = true
+			}
+			return true
+		})
+	return len(cities), err
+}
+
+// q11Pipeline: friend-network spend — the two-hop "knows" neighborhood
+// seeds one relational scan (the federation probes per friend), which
+// then joins each friend's orders in a single batched pass.
+func q11Pipeline(db *udbms.DB, tx *txn.Tx, p Params) (int, error) {
+	friends := db.Graph.KHop(tx, graph.VID(customerVIDOf(p.CustomerID)), 2, graph.Both, "knows")
+	ids := make([]any, 0, len(friends))
+	for _, f := range friends {
+		if fid, ok := customerIDOf(string(f)); ok {
+			ids = append(ids, fid)
+		}
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	cities := make(map[string]bool)
+	err := db.Pipeline(tx).
+		FromRelational("customer", relational.Col("id").In(ids...)).
+		JoinDocuments("orders", "id", "customer_id", "_orders").
+		Each(func(r mmvalue.Value) bool {
+			o := r.MustObject()
+			orders, _ := o.GetOr("_orders", mmvalue.Null).AsArray()
+			sum := 0.0
+			for _, ord := range orders {
+				t, _ := ord.MustObject().GetOr("total", mmvalue.Float(0)).AsFloat()
+				sum += t
+			}
+			if sum > p.Threshold {
+				city, _ := o.GetOr("city", mmvalue.Null).AsString()
+				if city != "" {
+					cities[city] = true
+				}
+			}
+			return true
+		})
+	return len(cities), err
+}
+
+// q12Pipeline: city revenue HAVING — the vectorized GroupBy folds the
+// order→customer join into one row per city, and the Each applies the
+// HAVING-style cut on the aggregate. The group key is the joined
+// customer's city ("_cust.0.city"); orders of unknown customers group
+// under null and are excluded, mirroring the shared body's delete of
+// the empty-city bucket.
+func q12Pipeline(db *udbms.DB, tx *txn.Tx, p Params) (int, error) {
+	count := 0
+	err := db.Pipeline(tx).
+		FromDocuments("orders", nil).
+		JoinRelational("customer", "customer_id", "id", "_cust").
+		GroupBy("_cust.0.city", "city", udbms.Sum("total", "revenue")).
+		Each(func(r mmvalue.Value) bool {
+			o := r.MustObject()
+			city, ok := o.GetOr("city", mmvalue.Null).AsString()
+			rev, _ := o.GetOr("revenue", mmvalue.Float(0)).AsFloat()
+			if ok && city != "" && rev > p.Threshold*50 {
+				count++
+			}
+			return true
+		})
+	return count, err
+}
+
+// q13Pipeline: top spenders — GroupBy aggregates revenue per customer,
+// SortBy/Limit keep the top N (stable sort over the group stage's
+// id-ordered output makes revenue ties deterministic), and the final
+// relational join resolves their cities.
+func q13Pipeline(db *udbms.DB, tx *txn.Tx, p Params) (int, error) {
+	cities := make(map[string]bool)
+	err := db.Pipeline(tx).
+		FromDocuments("orders", nil).
+		GroupBy("customer_id", "cid", udbms.Sum("total", "revenue")).
+		SortBy("revenue", true).
+		Limit(p.TopN).
+		JoinRelational("customer", "cid", "id", "_cust").
+		Each(func(r mmvalue.Value) bool {
+			cust, _ := r.MustObject().GetOr("_cust", mmvalue.Null).AsArray()
+			if len(cust) == 0 {
+				return true
 			}
 			city, _ := cust[0].MustObject().GetOr("city", mmvalue.Null).AsString()
 			if city != "" {

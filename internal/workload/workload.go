@@ -1,7 +1,9 @@
-// Package workload defines the UDBMS benchmark's operation suite: ten
-// multi-model read queries (Q1–Q10), four cross-model transactions
-// (T1–T4, T1 being the paper's order-update example), and a concurrent
-// closed-loop driver with Zipf-skewed parameter selection.
+// Package workload defines the UDBMS benchmark's operation suite:
+// thirteen multi-model read queries (Q1–Q13, the last three being
+// analytic group-by/top-N shapes that exercise the vectorized
+// executor), four cross-model transactions (T1–T4, T1 being the
+// paper's order-update example), and a concurrent closed-loop driver
+// with Zipf-skewed parameter selection.
 //
 // Every operation has two implementations behind the Engine interface:
 // the unified engine runs all models under one snapshot/commit, while
@@ -16,10 +18,10 @@ import (
 	"udbench/internal/datagen"
 )
 
-// QueryID names one of the ten benchmark queries.
+// QueryID names one of the thirteen benchmark queries.
 type QueryID int
 
-// The ten multi-model queries. Comments give the models each touches:
+// The thirteen multi-model queries. Comments give the models each touches:
 // R = relational, D = document, G = graph, K = key-value, X = XML.
 const (
 	// Q1 CustomerProfile (R+D+K): one customer with orders and feedback.
@@ -47,12 +49,24 @@ const (
 	// Q10 FullChain (R+D+G+K+X): the five-model join — customer,
 	// orders, products, feedback, invoices.
 	Q10
+	// Q11 FriendNetworkSpend (G+R+D): distinct cities among a
+	// customer's two-hop friend network whose order totals exceed the
+	// threshold — a multi-hop graph seed driving a relational+document
+	// join.
+	Q11
+	// Q12 CityRevenueHaving (R+D): cities whose total order revenue
+	// exceeds a (scaled) threshold — group-by with a HAVING-style
+	// filter over the aggregate.
+	Q12
+	// Q13 TopSpenders (R+D): distinct cities among the top-N customers
+	// by order revenue — top-N over an aggregate.
+	Q13
 )
 
 // AllQueries lists the query ids in order.
-var AllQueries = []QueryID{Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10}
+var AllQueries = []QueryID{Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q11, Q12, Q13}
 
-// String returns "Q1".."Q10".
+// String returns "Q1".."Q13".
 func (q QueryID) String() string { return fmt.Sprintf("Q%d", int(q)) }
 
 // Models returns the data models the query touches (for reporting).
@@ -78,6 +92,12 @@ func (q QueryID) Models() string {
 		return "G+K"
 	case Q10:
 		return "R+D+G+K+X"
+	case Q11:
+		return "G+R+D"
+	case Q12:
+		return "R+D"
+	case Q13:
+		return "R+D"
 	}
 	return "?"
 }

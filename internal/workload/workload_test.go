@@ -73,8 +73,8 @@ func TestQueriesReturnWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lat) != 10 || len(counts) != 10 {
-		t.Fatalf("expected 10 queries, got %d/%d", len(lat), len(counts))
+	if len(lat) != 13 || len(counts) != 13 {
+		t.Fatalf("expected 13 queries, got %d/%d", len(lat), len(counts))
 	}
 	// Structural sanity: the dataset guarantees these queries find data.
 	if counts[Q3] == 0 {
@@ -88,6 +88,9 @@ func TestQueriesReturnWork(t *testing.T) {
 	}
 	if counts[Q9] == 0 {
 		t.Error("Q9 found no influencer feedback")
+	}
+	if counts[Q13] == 0 {
+		t.Error("Q13 found no top-spender cities")
 	}
 }
 
