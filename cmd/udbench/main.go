@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"udbench/internal/core"
@@ -23,6 +25,7 @@ import (
 	"udbench/internal/durable"
 	"udbench/internal/federation"
 	"udbench/internal/metrics"
+	"udbench/internal/server"
 	"udbench/internal/udbms"
 	"udbench/internal/uql"
 	"udbench/internal/wal"
@@ -46,6 +49,10 @@ func main() {
 		err = cmdMix(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "ping":
+		err = cmdPing(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,6 +75,8 @@ commands:
   generate [flags]             generate the dataset and print stats
   mix [flags]                  drive the standard OLTP mix on both engines
   query "<uql>" [flags]        run a UQL query on a generated dataset
+  serve [flags]                serve an engine over the network protocol
+  ping -addr A                 probe a running server (readiness checks)
 
 run/generate flags:
   -sf F      scale factor (default 0.2)
@@ -76,6 +85,8 @@ run/generate flags:
   -hop D     federation per-request latency (default 100us)
   -csv       emit CSV instead of aligned tables
   -json F    also write results to F as JSON
+  -remote A  also sweep a running 'udbench serve' at address A where
+             the experiment supports it (f5: in-process vs remote knee)
 
 mix flags (plus -sf/-seed/-hop/-json):
   -clients N   number of driver workers (default 4)
@@ -90,6 +101,18 @@ mix flags (plus -sf/-seed/-hop/-json):
                to the unified engine, rooted at DIR; an existing log is
                recovered instead of re-loading the dataset
   -fsync P     fsync policy with -wal: always, group (default), async
+  -remote A    drive a running 'udbench serve' at address A instead of
+               in-process engines (admission telemetry lands in the
+               report); -budget D caps per-request queue wait
+  -budget D    with -remote: queue-wait budget per request (0 = server
+               default); requests exceeding it are shed server-side
+
+serve flags (dataset flags as in run):
+  -addr A      listen address (default 127.0.0.1:7744)
+  -engine E    engine to front: udbms (default, serves UQL) or federation
+  -workers N   executor pool size (default 4)
+  -queue N     admission queue depth (default 256)
+  -deadline D  default queue-wait budget before shedding (default 100ms)
 `)
 }
 
@@ -110,6 +133,7 @@ func benchFlags(args []string) (core.Config, []string, bool, string, error) {
 	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
 	csv := fs.Bool("csv", false, "CSV output")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
+	remote := fs.String("remote", "", "also sweep a running 'udbench serve' at this address (f5)")
 	// Allow the experiment id before the flags.
 	var pos []string
 	rest := args
@@ -120,7 +144,7 @@ func benchFlags(args []string) (core.Config, []string, bool, string, error) {
 	if err := fs.Parse(rest); err != nil {
 		return core.Config{}, nil, false, "", err
 	}
-	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop}
+	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop, Remote: *remote}
 	return cfg, append(pos, fs.Args()...), *csv, *jsonPath, nil
 }
 
@@ -206,8 +230,13 @@ func cmdMix(args []string) error {
 	walDir := fs.String("wal", "", "attach a write-ahead log rooted at this directory (unified engine)")
 	fsync := fs.String("fsync", "group", "fsync policy with -wal: always, group, or async")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
+	remote := fs.String("remote", "", "drive a running 'udbench serve' at this address instead of in-process engines")
+	queueBudget := fs.Duration("budget", 0, "with -remote: per-request queue-wait budget (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" && *walDir != "" {
+		return fmt.Errorf("mix: -wal configures an in-process engine and cannot combine with -remote")
 	}
 	var driverMode workload.DriverMode
 	switch *mode {
@@ -239,53 +268,71 @@ func cmdMix(args []string) error {
 	if driverMode == workload.ModeOpen {
 		arrivalName = arrivalProc.String()
 	}
-	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
-	var db *udbms.DB
-	uniEngine := func(db *udbms.DB) *workload.UDBMSEngine { return workload.NewUDBMSEngine(db) }
-	loadUnified := true
-	if *walDir != "" {
-		policy, err := wal.ParseSyncPolicy(*fsync)
-		if err != nil {
-			return fmt.Errorf("mix: %w", err)
-		}
-		d, err := durable.Open(*walDir, durable.Options{Policy: policy})
+	var engines []workload.Engine
+	var info workload.Info
+	if *remote != "" {
+		re, err := server.DialEngine(*remote, *clients)
 		if err != nil {
 			return err
 		}
-		defer d.Close()
-		if rec := d.Recovery; rec.WatermarkTS > 0 {
-			// The directory already holds a history (same -sf/-seed runs
-			// append to it): recover instead of re-loading.
-			fmt.Printf("recovered %s from %d log records + %d snapshot ops (%d KiB) in %v%s\n",
-				*walDir, rec.Records, rec.SnapshotOps, rec.LogBytes/1024,
-				rec.Elapsed.Round(time.Microsecond),
-				map[bool]string{true: ", torn tail truncated", false: ""}[rec.Truncated])
-			loadUnified = false
+		defer re.Close()
+		if *queueBudget > 0 {
+			re.SetQueueBudget(*queueBudget)
 		}
-		db = d.DB
-		uniEngine = func(db *udbms.DB) *workload.UDBMSEngine {
-			e := workload.NewUDBMSEngine(db)
-			e.Durable = d
-			return e
-		}
+		info = re.Info()
+		engines = []workload.Engine{re}
+		fmt.Printf("remote engine %s at %s (customers %d, products %d, orders %d)\n",
+			re.ServerName(), *remote, info.Customers, info.Products, info.Orders)
 	} else {
-		db = udbms.Open()
-	}
-	if loadUnified {
+		ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+		var db *udbms.DB
+		uniEngine := func(db *udbms.DB) *workload.UDBMSEngine { return workload.NewUDBMSEngine(db) }
+		loadUnified := true
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*fsync)
+			if err != nil {
+				return fmt.Errorf("mix: %w", err)
+			}
+			d, err := durable.Open(*walDir, durable.Options{Policy: policy})
+			if err != nil {
+				return err
+			}
+			defer d.Close()
+			if rec := d.Recovery; rec.WatermarkTS > 0 {
+				// The directory already holds a history (same -sf/-seed runs
+				// append to it): recover instead of re-loading.
+				fmt.Printf("recovered %s from %d log records + %d snapshot ops (%d KiB) in %v%s\n",
+					*walDir, rec.Records, rec.SnapshotOps, rec.LogBytes/1024,
+					rec.Elapsed.Round(time.Microsecond),
+					map[bool]string{true: ", torn tail truncated", false: ""}[rec.Truncated])
+				loadUnified = false
+			}
+			db = d.DB
+			uniEngine = func(db *udbms.DB) *workload.UDBMSEngine {
+				e := workload.NewUDBMSEngine(db)
+				e.Durable = d
+				return e
+			}
+		} else {
+			db = udbms.Open()
+		}
+		if loadUnified {
+			if err := ds.Load(datagen.Target{
+				Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+			}); err != nil {
+				return err
+			}
+		}
+		f := federation.Open()
+		f.HopLatency = *hop
 		if err := ds.Load(datagen.Target{
-			Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+			Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
 		}); err != nil {
 			return err
 		}
+		info = workload.InfoOf(ds)
+		engines = []workload.Engine{uniEngine(db), workload.NewFederationEngine(f)}
 	}
-	f := federation.Open()
-	f.HopLatency = *hop
-	if err := ds.Load(datagen.Target{
-		Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
-	}); err != nil {
-		return err
-	}
-	info := workload.InfoOf(ds)
 	cfg := workload.DriverConfig{
 		Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed,
 		Mode: driverMode, RateOpsPerSec: *rate, Arrival: arrivalProc, Duration: *duration,
@@ -295,8 +342,12 @@ func cmdMix(args []string) error {
 	if *duration > 0 {
 		budget = fmt.Sprintf("%d clients, %v", *clients, *duration)
 	}
-	title := fmt.Sprintf("Standard mix (%s loop), SF %g, %s, theta %g",
-		driverMode, *sf, budget, *theta)
+	dataset := fmt.Sprintf("SF %g", *sf)
+	if *remote != "" {
+		dataset = "remote " + *remote
+	}
+	title := fmt.Sprintf("Standard mix (%s loop), %s, %s, theta %g",
+		driverMode, dataset, budget, *theta)
 	if driverMode == workload.ModeOpen {
 		title += fmt.Sprintf(", %s arrivals @ %g ops/s", arrivalProc, *rate)
 	}
@@ -306,7 +357,9 @@ func cmdMix(args []string) error {
 		"engine", "acquires", "shared fast", "waits", "wait%", "wait time", "sweeps", "cycles", "victims")
 	dt := metrics.NewTable("Durability telemetry",
 		"engine", "policy", "commits logged", "ops", "batches", "commits/batch", "fsyncs", "log KiB", "sealed")
-	for _, e := range []workload.Engine{uniEngine(db), workload.NewFederationEngine(f)} {
+	at := metrics.NewTable("Admission telemetry (server-side, run delta)",
+		"engine", "queue depth max", "shed", "queue wait p99")
+	for _, e := range engines {
 		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
 		s := res.Summary()
 		summaries = append(summaries, s)
@@ -338,6 +391,9 @@ func cmdMix(args []string) error {
 			dt.AddRow(s.Engine, d.Policy, d.Appends, d.OpsLogged, d.Batches,
 				perBatch, d.Fsyncs, d.Bytes/1024, d.Sealed)
 		}
+		if a := res.Admission; a != nil {
+			at.AddRow(s.Engine, a.QueueDepthMax, a.Shed, a.QueueWaitP99NS)
+		}
 		if driverMode == workload.ModeOpen {
 			note := ""
 			if s.Dropped > 0 {
@@ -354,6 +410,9 @@ func cmdMix(args []string) error {
 	if dt.NumRows() > 0 {
 		fmt.Print(dt.String())
 	}
+	if at.NumRows() > 0 {
+		fmt.Print(at.String())
+	}
 	if *jsonPath != "" {
 		out := struct {
 			SF      float64               `json:"sf"`
@@ -369,6 +428,87 @@ func cmdMix(args []string) error {
 		}
 		fmt.Printf("wrote results to %s\n", *jsonPath)
 	}
+	return nil
+}
+
+// cmdServe loads a dataset, fronts one engine with the network server
+// and blocks until interrupted. A udbms server also answers ad-hoc UQL.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7744", "listen address")
+	sf := fs.Float64("sf", 0.2, "scale factor")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
+	engine := fs.String("engine", "udbms", "engine to serve: udbms or federation")
+	workers := fs.Int("workers", 4, "executor pool size")
+	queue := fs.Int("queue", 256, "admission queue depth")
+	deadline := fs.Duration("deadline", 100*time.Millisecond, "default queue-wait budget before shedding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	cfg := server.Config{
+		Info: workload.InfoOf(ds), Workers: *workers,
+		QueueDepth: *queue, QueueDeadline: *deadline,
+	}
+	switch *engine {
+	case "udbms":
+		db := udbms.Open()
+		if err := ds.Load(datagen.Target{
+			Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+		}); err != nil {
+			return err
+		}
+		cfg.Engine, cfg.DB = workload.NewUDBMSEngine(db), db
+	case "federation":
+		f := federation.Open()
+		f.HopLatency = *hop
+		if err := ds.Load(datagen.Target{
+			Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
+		}); err != nil {
+			return err
+		}
+		cfg.Engine = workload.NewFederationEngine(f)
+	default:
+		return fmt.Errorf("serve: unknown -engine %q (want udbms or federation)", *engine)
+	}
+	s, err := server.Listen(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s (SF %g, seed %d, %d workers, queue %d, deadline %v)\n",
+		cfg.Engine.Name(), s.Addr(), *sf, *seed, *workers, *queue, *deadline)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := s.Stats()
+	fmt.Printf("\nshutting down: admitted %d, shed %d (%d queue-full + %d deadline), queue depth max %d, queue wait p99 %v\n",
+		st.Admitted, st.Shed(), st.ShedQueueFull, st.ShedDeadline, st.QueueDepthMax, st.QueueWaitP99NS)
+	return s.Close()
+}
+
+// cmdPing probes a running server — the CI readiness check.
+func cmdPing(args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7744", "server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl, err := server.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	t0 := time.Now()
+	if err := cl.Ping(); err != nil {
+		return err
+	}
+	info, name, err := cl.Info()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s engine up, %v round trip (customers %d, products %d, orders %d)\n",
+		*addr, name, time.Since(t0).Round(time.Microsecond), info.Customers, info.Products, info.Orders)
 	return nil
 }
 

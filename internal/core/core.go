@@ -29,6 +29,12 @@ type Config struct {
 	// HopLatency is the federation's simulated per-request network
 	// delay.
 	HopLatency time.Duration
+	// Remote, when set to a `udbench serve` address, adds a remote
+	// system under test to the experiments that support one (f5): the
+	// same sweep runs over the wire, so the in-process and remote
+	// knees land side by side in one artifact. The server must front a
+	// dataset with the same cardinalities (same -sf/-seed).
+	Remote string
 }
 
 // DefaultConfig returns the reference configuration.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"udbench/internal/metrics"
+	"udbench/internal/server"
 	"udbench/internal/wal"
 	"udbench/internal/workload"
 )
@@ -38,7 +39,8 @@ type f5Row struct {
 	Errors    int64
 	LockWait  time.Duration
 	Dropped   int64
-	Saturated bool // achieved/offered < f5KneeThreshold
+	Shed      int64 // requests rejected by server admission control (remote engines only)
+	Saturated bool  // achieved/offered < f5KneeThreshold
 	// Durability is the run's write-ahead-log telemetry delta; nil for
 	// engines without a log (all of f5, the baseline rows of f6).
 	Durability *wal.Stats
@@ -117,6 +119,9 @@ func rateSweep(p f5Config, info workload.Info, seed uint64, engines []sweepEngin
 			if res.LockStats != nil {
 				row.LockWait = res.LockStats.WaitNS
 			}
+			if res.Admission != nil {
+				row.Shed = res.Admission.Shed
+			}
 			rows = append(rows, row)
 			if row.Saturated {
 				break
@@ -125,6 +130,21 @@ func rateSweep(p f5Config, info workload.Info, seed uint64, engines []sweepEngin
 		}
 	}
 	return rows
+}
+
+// sweepLabels lists the distinct engine labels of a sweep in first-
+// appearance order, so the knee digest covers remote engines (or f6's
+// policy variants) without a hardcoded label list.
+func sweepLabels(rows []f5Row) []string {
+	var labels []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Engine] {
+			seen[r.Engine] = true
+			labels = append(labels, r.Engine)
+		}
+	}
+	return labels
 }
 
 // kneeOf digests one engine's sweep rows: the saturated knee row (nil
@@ -143,16 +163,33 @@ func kneeOf(rows []f5Row, label string) (knee, last *f5Row) {
 	return nil, last
 }
 
-// f5Sweep runs the rate ladder over the two baseline engines.
+// f5Sweep runs the rate ladder over the two baseline engines — plus,
+// when cfg.Remote names a `udbench serve` address, the same sweep over
+// the wire, so the artifact carries the in-process-vs-remote knee
+// comparison side by side.
 func f5Sweep(cfg Config) ([]f5Row, error) {
 	p := f5ConfigFor(cfg)
 	tb, err := newTestbed(cfg.SF, cfg.Seed, cfg.HopLatency)
 	if err != nil {
 		return nil, err
 	}
-	return rateSweep(p, tb.info, cfg.Seed, []sweepEngine{
-		{tb.uni.Name(), tb.uni}, {tb.fed.Name(), tb.fed},
-	}), nil
+	engines := []sweepEngine{{tb.uni.Name(), tb.uni}, {tb.fed.Name(), tb.fed}}
+	if cfg.Remote != "" {
+		re, err := server.DialEngine(cfg.Remote, p.clients)
+		if err != nil {
+			return nil, err
+		}
+		defer re.Close()
+		// A remote knee is only comparable to the local ones if the
+		// server fronts the same dataset; cardinalities are the proxy
+		// the protocol exposes for that.
+		if re.Info() != tb.info {
+			return nil, fmt.Errorf("f5: remote dataset %+v != local %+v (serve with matching -sf/-seed)",
+				re.Info(), tb.info)
+		}
+		engines = append(engines, sweepEngine{re.Name(), re})
+	}
+	return rateSweep(p, tb.info, cfg.Seed, engines), nil
 }
 
 // runF5 is the latency-vs-offered-rate experiment: the classic
@@ -170,18 +207,18 @@ func runF5(cfg Config) ([]*metrics.Table, error) {
 		fmt.Sprintf("F5: latency vs offered rate (open loop, %v per rate, x%g ladder), SF %g",
 			p.measure, p.factor, cfg.SF),
 		"engine", "offered", "achieved", "ach%", "svc p50", "svc p99",
-		"int p50", "int p99", "int max", "abort%", "lock wait", "dropped")
+		"int p50", "int p99", "int max", "abort%", "lock wait", "dropped", "shed")
 	for _, r := range rows {
 		sweep.AddRow(r.Engine, r.Offered, r.Achieved,
 			fmt.Sprintf("%.0f%%", 100*r.Achieved/r.Offered),
 			r.SvcP50, r.SvcP99, r.IntP50, r.IntP99, r.IntMax,
-			fmt.Sprintf("%.1f%%", 100*r.AbortRate), r.LockWait, r.Dropped)
+			fmt.Sprintf("%.1f%%", 100*r.AbortRate), r.LockWait, r.Dropped, r.Shed)
 	}
 	knee := metrics.NewTable(
 		fmt.Sprintf("F5: saturation knee (first offered rate with achieved/offered < %.0f%%)",
 			100*f5KneeThreshold),
 		"engine", "knee ops/s", "capacity ops/s", "int p99 @ knee", "svc p99 @ knee", "int/svc")
-	for _, eng := range []string{"udbms", "federation"} {
+	for _, eng := range sweepLabels(rows) {
 		k, last := kneeOf(rows, eng)
 		switch {
 		case k != nil:

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"udbench/internal/workload"
+)
+
+// TestRemoteEngineBasics pins the Engine adaptation: name suffix,
+// server-fetched info, and server-issued nonces.
+func TestRemoteEngineBasics(t *testing.T) {
+	s := startServer(t, Config{Engine: &stubEngine{}})
+	re, err := DialEngine(s.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Name() != "stub-remote" || re.ServerName() != "stub" {
+		t.Errorf("names = %q/%q, want stub-remote/stub", re.Name(), re.ServerName())
+	}
+	if re.Info() != testInfo {
+		t.Errorf("info = %+v, want %+v", re.Info(), testInfo)
+	}
+	n1, n2 := re.RunNonce(), re.RunNonce()
+	if n1 == 0 || n2 == 0 || n1 == n2 {
+		t.Errorf("server nonces = %d, %d; want distinct nonzero", n1, n2)
+	}
+	if err := re.OrderUpdate(workload.Params{}); err != nil {
+		t.Errorf("order update: %v", err)
+	}
+	if torn, err := re.SnapshotRead(workload.Params{CustomerID: 5}); err != nil || !torn {
+		t.Errorf("snapshot read = %v, %v; want torn (odd customer)", torn, err)
+	}
+}
+
+// TestRemoteRunMix is the acceptance end-to-end: the unmodified
+// open-loop driver runs the standard mix against a RemoteEngine at
+// roughly twice the server's capacity. The run must complete with a
+// nonzero shed count in the admission telemetry block, and intended
+// p99 (which includes the arrival-schedule backlog the overload
+// creates) must dominate service p99.
+func TestRemoteRunMix(t *testing.T) {
+	// Capacity ≈ workers/opDelay = 2/2ms = 1000 ops/s; offer 2000.
+	e := &stubEngine{opDelay: 2 * time.Millisecond}
+	s := startServer(t, Config{Engine: e, Workers: 2, QueueDepth: 8, QueueDeadline: 5 * time.Millisecond})
+	re, err := DialEngine(s.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	res := workload.RunMix(re, re.Info(), workload.StandardMix(re), workload.DriverConfig{
+		Clients: 8, Theta: 0.5, Seed: 11,
+		Mode: workload.ModeOpen, RateOpsPerSec: 2000,
+		Arrival: workload.ArrivalPoisson, Duration: 400 * time.Millisecond,
+	})
+	sum := res.Summary()
+	if !strings.HasSuffix(sum.Engine, "-remote") {
+		t.Errorf("summary engine = %q, want a -remote label", sum.Engine)
+	}
+	if res.Admission == nil {
+		t.Fatal("remote run has no admission telemetry block")
+	}
+	if res.Admission.Shed == 0 {
+		t.Error("2x-capacity offered load shed nothing — admission control inert")
+	}
+	if sum.Admission == nil || sum.Admission.Shed != res.Admission.Shed {
+		t.Errorf("summary admission block %+v does not mirror result %+v", sum.Admission, res.Admission)
+	}
+	if sum.IntendedP99NS < sum.P99NS {
+		t.Errorf("intended p99 %v < service p99 %v: the wire run lost its queueing delay",
+			sum.IntendedP99NS, sum.P99NS)
+	}
+	if res.Ops == 0 {
+		t.Error("no operations completed")
+	}
+}
+
+// TestRemoteAdmissionDelta pins the run-scoping of the telemetry: a
+// second run's shed delta counts only its own sheds, not history.
+func TestRemoteAdmissionDelta(t *testing.T) {
+	e := &stubEngine{}
+	s := startServer(t, Config{Engine: e, Workers: 2, QueueDepth: 64})
+	re, err := DialEngine(s.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	cfg := workload.DriverConfig{Clients: 2, OpsPerClient: 20, Seed: 3}
+	first := workload.RunMix(re, re.Info(), workload.StandardMix(re), cfg)
+	if first.Admission == nil {
+		t.Fatal("first run missing admission block")
+	}
+	second := workload.RunMix(re, re.Info(), workload.StandardMix(re), cfg)
+	if second.Admission == nil {
+		t.Fatal("second run missing admission block")
+	}
+	if second.Admission.Shed != 0 {
+		t.Errorf("uncontended closed run reports shed = %d, want 0 (delta must be run-scoped)",
+			second.Admission.Shed)
+	}
+}

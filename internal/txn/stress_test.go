@@ -231,8 +231,10 @@ func TestChainGCUnderReaders(t *testing.T) {
 		t.Fatalf("reader lost its version after GC: (%d, %v)", v, ok)
 	}
 	reader.Abort()
-	// Now GC to the current horizon: only the newest survives.
-	c.GC(m.Oracle().Current() + 1)
+	// Now GC to the watermark horizon: only the newest survives.
+	// (Published()+1 is the safe bound — the oracle runs ahead of the
+	// watermark mid-commit; see TestGCHorizonRespectsWatermark.)
+	c.GC(m.Published() + 1)
 	if c.Len() != 1 {
 		t.Errorf("len after full GC = %d", c.Len())
 	}

@@ -74,6 +74,31 @@ type Result struct {
 	// Durability is the engine's write-ahead-log telemetry accrued
 	// during the run (nil when the engine runs without a log).
 	Durability *wal.Stats
+	// Admission is the serving-side admission-control telemetry accrued
+	// during the run (nil when the engine is in-process: no queue exists
+	// in front of it). Only remote engines, which sit behind a server's
+	// bounded request queue, report it.
+	Admission *AdmissionStats
+}
+
+// AdmissionStats is the server-side admission-control telemetry of one
+// run: how deep the bounded request queue got, how many requests were
+// shed (queue full or deadline missed) instead of served, and the p99
+// of the time admitted requests spent queued before execution. Shed is
+// a counter and delta-scoped per run; QueueDepthMax and QueueWaitP99NS
+// are high-watermark/distribution figures over the server's lifetime up
+// to the end of the run (a bounded queue makes both converge quickly).
+type AdmissionStats struct {
+	QueueDepthMax  int64         `json:"queue_depth_max"`
+	Shed           int64         `json:"shed"`
+	QueueWaitP99NS time.Duration `json:"queue_wait_p99_ns"`
+}
+
+// Delta returns the run-scoped difference for counter fields, keeping
+// the end-of-run values for the gauge fields.
+func (a AdmissionStats) Delta(base AdmissionStats) AdmissionStats {
+	a.Shed -= base.Shed
+	return a
 }
 
 // DriverMode selects the driver's load model.
@@ -163,6 +188,24 @@ type LockStatsProvider interface {
 // run (the same engine type can run with or without durability).
 type DurabilityProvider interface {
 	DurabilityStats() *wal.Stats
+}
+
+// AdmissionProvider is implemented by engines that sit behind a
+// server-side admission queue (remote engines); RunMix snapshots the
+// telemetry around the run and reports the delta. A nil return means
+// the telemetry is unavailable (e.g. the stats request failed).
+type AdmissionProvider interface {
+	AdmissionStats() *AdmissionStats
+}
+
+// NonceProvider is implemented by engines whose backing store outlives
+// this process (remote engines): the process-local run-nonce sequence
+// cannot guarantee FreshID uniqueness across *processes* sharing one
+// server, so RunMix asks the engine for a nonce instead — the server
+// issues them from its own atomic sequence. A zero return falls back
+// to the process-local sequence.
+type NonceProvider interface {
+	RunNonce() uint64
 }
 
 // mixWeight sums the mix's weights.
@@ -307,7 +350,18 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if dp != nil {
 		durBase = dp.DurabilityStats()
 	}
-	nonce := runSeq.Add(1)
+	var admBase *AdmissionStats
+	ap, _ := e.(AdmissionProvider)
+	if ap != nil {
+		admBase = ap.AdmissionStats()
+	}
+	nonce := uint64(0)
+	if np, ok := e.(NonceProvider); ok {
+		nonce = np.RunNonce()
+	}
+	if nonce == 0 {
+		nonce = runSeq.Add(1)
+	}
 	recs := make([]workerRecorder, cfg.Clients)
 	if cfg.Mode == ModeOpen {
 		if cfg.RateOpsPerSec <= 0 {
@@ -339,6 +393,12 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 		if end := dp.DurabilityStats(); end != nil {
 			delta := end.Delta(*durBase)
 			res.Durability = &delta
+		}
+	}
+	if admBase != nil {
+		if end := ap.AdmissionStats(); end != nil {
+			delta := end.Delta(*admBase)
+			res.Admission = &delta
 		}
 	}
 	return res

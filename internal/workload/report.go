@@ -67,6 +67,10 @@ type RunSummary struct {
 	// run (fsync policy, group-commit batching, durable watermark,
 	// seal state); absent for runs without a log attached.
 	Durability *wal.Stats `json:"durability,omitempty"`
+	// Admission is the server-side admission-control telemetry for this
+	// run (bounded-queue high watermark, shed count, queue-wait p99);
+	// absent for in-process engines, which have no queue in front.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 func opSummary(name string, d *metrics.DualHistogram) OpSummary {
@@ -106,6 +110,7 @@ func (r Result) Summary() RunSummary {
 		P99NS:         r.Latency.Percentile(99),
 		LockStats:     r.LockStats,
 		Durability:    r.Durability,
+		Admission:     r.Admission,
 	}
 	if r.Intended != nil && r.Intended.Count() > 0 {
 		s.IntendedP50NS = r.Intended.Percentile(50)

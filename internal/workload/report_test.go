@@ -18,6 +18,9 @@ import (
 var goldenSummaryFields = []string{
 	"aborts",
 	"achieved_rate",
+	"admission.queue_depth_max",
+	"admission.queue_wait_p99_ns",
+	"admission.shed",
 	"clients",
 	"dropped",
 	"durability.appends",
@@ -104,6 +107,9 @@ func TestRunSummaryGoldenFields(t *testing.T) {
 	// Same for the durability block: synthetic mixes have no log, so
 	// populate it by hand to pin its nested keys.
 	s.Durability = &wal.Stats{Policy: "group", Appends: 1, OpsLogged: 2, Batches: 1, Fsyncs: 1, Bytes: 64}
+	// And the admission block: synthetic mixes run in-process with no
+	// server queue in front, so populate it by hand to pin its keys.
+	s.Admission = &AdmissionStats{QueueDepthMax: 3, Shed: 2, QueueWaitP99NS: 1000}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
