@@ -53,6 +53,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "ping":
 		err = cmdPing(os.Args[2:])
+	case "suites":
+		err = cmdSuites()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,6 +79,7 @@ commands:
   query "<uql>" [flags]        run a UQL query on a generated dataset
   serve [flags]                serve an engine over the network protocol
   ping -addr A                 probe a running server (readiness checks)
+  suites                       list registered workload suites
 
 run/generate flags:
   -sf F      scale factor (default 0.2)
@@ -85,10 +88,12 @@ run/generate flags:
   -hop D     federation per-request latency (default 100us)
   -csv       emit CSV instead of aligned tables
   -json F    also write results to F as JSON
+  -suite S   workload suite to drive (default t2; see 'udbench suites');
+             honored by the f5 sweep
   -remote A  also sweep a running 'udbench serve' at address A where
              the experiment supports it (f5: in-process vs remote knee)
 
-mix flags (plus -sf/-seed/-hop/-json):
+mix flags (plus -sf/-seed/-hop/-json/-suite):
   -clients N   number of driver workers (default 4)
   -ops N       operations per client (default 200)
   -theta T     Zipf parameter skew (default 0.5)
@@ -107,7 +112,7 @@ mix flags (plus -sf/-seed/-hop/-json):
   -budget D    with -remote: queue-wait budget per request (0 = server
                default); requests exceeding it are shed server-side
 
-serve flags (dataset flags as in run):
+serve flags (dataset flags as in run, plus -suite):
   -addr A      listen address (default 127.0.0.1:7744)
   -engine E    engine to front: udbms (default, serves UQL) or federation
   -workers N   executor pool size (default 4)
@@ -134,6 +139,7 @@ func benchFlags(args []string) (core.Config, []string, bool, string, error) {
 	csv := fs.Bool("csv", false, "CSV output")
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	remote := fs.String("remote", "", "also sweep a running 'udbench serve' at this address (f5)")
+	suite := fs.String("suite", "", "workload suite to drive (default t2; see 'udbench suites')")
 	// Allow the experiment id before the flags.
 	var pos []string
 	rest := args
@@ -144,8 +150,32 @@ func benchFlags(args []string) (core.Config, []string, bool, string, error) {
 	if err := fs.Parse(rest); err != nil {
 		return core.Config{}, nil, false, "", err
 	}
-	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop, Remote: *remote}
+	if _, err := workload.ResolveSuite(*suite); err != nil {
+		return core.Config{}, nil, false, "", err
+	}
+	cfg := core.Config{SF: *sf, Seed: *seed, Quick: *quick, HopLatency: *hop, Remote: *remote, Suite: *suite}
 	return cfg, append(pos, fs.Args()...), *csv, *jsonPath, nil
+}
+
+// cmdSuites lists the registered workload suites and their op mixes.
+func cmdSuites() error {
+	t := metrics.NewTable("Workload suites", "suite", "op", "weight", "kind", "description")
+	for _, name := range workload.SuiteNames() {
+		s, _ := workload.SuiteByName(name)
+		t.AddRow(s.Name, "", "", "", s.Description)
+		for _, op := range s.Ops {
+			kind := "read"
+			if op.Write {
+				kind = "write"
+			}
+			if op.Weight <= 0 {
+				kind = "probe"
+			}
+			t.AddRow("", op.Name, op.Weight, kind, "")
+		}
+	}
+	fmt.Print(t.String())
+	return nil
 }
 
 // writeJSON marshals v indented into path.
@@ -232,11 +262,19 @@ func cmdMix(args []string) error {
 	jsonPath := fs.String("json", "", "write results as JSON to this file")
 	remote := fs.String("remote", "", "drive a running 'udbench serve' at this address instead of in-process engines")
 	queueBudget := fs.Duration("budget", 0, "with -remote: per-request queue-wait budget (0 = server default)")
+	suiteName := fs.String("suite", "", "workload suite to drive (default t2; see 'udbench suites')")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := workload.ResolveSuite(*suiteName)
+	if err != nil {
 		return err
 	}
 	if *remote != "" && *walDir != "" {
 		return fmt.Errorf("mix: -wal configures an in-process engine and cannot combine with -remote")
+	}
+	if *walDir != "" && suite.Name != workload.DefaultSuite {
+		return fmt.Errorf("mix: -wal drives the durable t2 store and cannot combine with -suite %s", suite.Name)
 	}
 	var driverMode workload.DriverMode
 	switch *mode {
@@ -279,12 +317,16 @@ func cmdMix(args []string) error {
 		if *queueBudget > 0 {
 			re.SetQueueBudget(*queueBudget)
 		}
+		if re.Suite() != suite.Name {
+			return fmt.Errorf("mix: remote serves suite %q, not %q (serve with matching -suite)",
+				re.Suite(), suite.Name)
+		}
 		info = re.Info()
 		engines = []workload.Engine{re}
-		fmt.Printf("remote engine %s at %s (customers %d, products %d, orders %d)\n",
-			re.ServerName(), *remote, info.Customers, info.Products, info.Orders)
+		fmt.Printf("remote engine %s at %s serving suite %s (customers %d, products %d, orders %d)\n",
+			re.ServerName(), *remote, re.Suite(), info.Customers, info.Products, info.Orders)
 	} else {
-		ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+		data := suite.Generate(*sf, *seed)
 		var db *udbms.DB
 		uniEngine := func(db *udbms.DB) *workload.UDBMSEngine { return workload.NewUDBMSEngine(db) }
 		loadUnified := true
@@ -317,7 +359,7 @@ func cmdMix(args []string) error {
 			db = udbms.Open()
 		}
 		if loadUnified {
-			if err := ds.Load(datagen.Target{
+			if err := data.Load(datagen.Target{
 				Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
 			}); err != nil {
 				return err
@@ -325,17 +367,18 @@ func cmdMix(args []string) error {
 		}
 		f := federation.Open()
 		f.HopLatency = *hop
-		if err := ds.Load(datagen.Target{
+		if err := data.Load(datagen.Target{
 			Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
 		}); err != nil {
 			return err
 		}
-		info = workload.InfoOf(ds)
+		info = data.Info()
 		engines = []workload.Engine{uniEngine(db), workload.NewFederationEngine(f)}
 	}
 	cfg := workload.DriverConfig{
 		Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed,
 		Mode: driverMode, RateOpsPerSec: *rate, Arrival: arrivalProc, Duration: *duration,
+		Suite: suite.Name,
 	}
 	var summaries []workload.RunSummary
 	budget := fmt.Sprintf("%d clients x %d ops", *clients, *ops)
@@ -346,8 +389,8 @@ func cmdMix(args []string) error {
 	if *remote != "" {
 		dataset = "remote " + *remote
 	}
-	title := fmt.Sprintf("Standard mix (%s loop), %s, %s, theta %g",
-		driverMode, dataset, budget, *theta)
+	title := fmt.Sprintf("Suite %s mix (%s loop), %s, %s, theta %g",
+		suite.Name, driverMode, dataset, budget, *theta)
 	if driverMode == workload.ModeOpen {
 		title += fmt.Sprintf(", %s arrivals @ %g ops/s", arrivalProc, *rate)
 	}
@@ -359,8 +402,10 @@ func cmdMix(args []string) error {
 		"engine", "policy", "commits logged", "ops", "batches", "commits/batch", "fsyncs", "log KiB", "sealed")
 	at := metrics.NewTable("Admission telemetry (server-side, run delta)",
 		"engine", "queue depth max", "shed", "queue wait p99")
+	st := metrics.NewTable("Suite-op telemetry (run delta)",
+		"engine", "reads", "writes", "rows")
 	for _, e := range engines {
-		res := workload.RunMix(e, info, workload.StandardMix(e), cfg)
+		res := workload.RunMix(e, info, suite.Mix(e), cfg)
 		s := res.Summary()
 		summaries = append(summaries, s)
 		// Closed loops have no arrival schedule, so render the intended
@@ -394,6 +439,9 @@ func cmdMix(args []string) error {
 		if a := res.Admission; a != nil {
 			at.AddRow(s.Engine, a.QueueDepthMax, a.Shed, a.QueueWaitP99NS)
 		}
+		if ss := res.SuiteStats; ss != nil {
+			st.AddRow(s.Engine, ss.Reads, ss.Writes, ss.Rows)
+		}
 		if driverMode == workload.ModeOpen {
 			note := ""
 			if s.Dropped > 0 {
@@ -413,16 +461,20 @@ func cmdMix(args []string) error {
 	if at.NumRows() > 0 {
 		fmt.Print(at.String())
 	}
+	if st.NumRows() > 0 {
+		fmt.Print(st.String())
+	}
 	if *jsonPath != "" {
 		out := struct {
 			SF      float64               `json:"sf"`
 			Seed    uint64                `json:"seed"`
+			Suite   string                `json:"suite"`
 			Theta   float64               `json:"theta"`
 			HopNS   time.Duration         `json:"hop_ns"`
 			Mode    string                `json:"mode"`
 			Arrival string                `json:"arrival"`
 			Results []workload.RunSummary `json:"results"`
-		}{*sf, *seed, *theta, *hop, driverMode.String(), arrivalName, summaries}
+		}{*sf, *seed, suite.Name, *theta, *hop, driverMode.String(), arrivalName, summaries}
 		if err := writeJSON(*jsonPath, out); err != nil {
 			return err
 		}
@@ -443,18 +495,23 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 4, "executor pool size")
 	queue := fs.Int("queue", 256, "admission queue depth")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "default queue-wait budget before shedding")
+	suiteName := fs.String("suite", "", "workload suite to load and serve (default t2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds := datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	suite, err := workload.ResolveSuite(*suiteName)
+	if err != nil {
+		return err
+	}
+	data := suite.Generate(*sf, *seed)
 	cfg := server.Config{
-		Info: workload.InfoOf(ds), Workers: *workers,
+		Info: data.Info(), Suite: suite.Name, Workers: *workers,
 		QueueDepth: *queue, QueueDeadline: *deadline,
 	}
 	switch *engine {
 	case "udbms":
 		db := udbms.Open()
-		if err := ds.Load(datagen.Target{
+		if err := data.Load(datagen.Target{
 			Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
 		}); err != nil {
 			return err
@@ -463,7 +520,7 @@ func cmdServe(args []string) error {
 	case "federation":
 		f := federation.Open()
 		f.HopLatency = *hop
-		if err := ds.Load(datagen.Target{
+		if err := data.Load(datagen.Target{
 			Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
 		}); err != nil {
 			return err
@@ -476,8 +533,8 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on %s (SF %g, seed %d, %d workers, queue %d, deadline %v)\n",
-		cfg.Engine.Name(), s.Addr(), *sf, *seed, *workers, *queue, *deadline)
+	fmt.Printf("serving %s on %s (suite %s, SF %g, seed %d, %d workers, queue %d, deadline %v)\n",
+		cfg.Engine.Name(), s.Addr(), suite.Name, *sf, *seed, *workers, *queue, *deadline)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -503,12 +560,13 @@ func cmdPing(args []string) error {
 	if err := cl.Ping(); err != nil {
 		return err
 	}
-	info, name, err := cl.Info()
+	si, err := cl.Info()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s engine up, %v round trip (customers %d, products %d, orders %d)\n",
-		*addr, name, time.Since(t0).Round(time.Microsecond), info.Customers, info.Products, info.Orders)
+	fmt.Printf("%s: %s engine up serving suite %s, %v round trip (customers %d, products %d, orders %d)\n",
+		*addr, si.Engine, si.Suite, time.Since(t0).Round(time.Microsecond),
+		si.Info.Customers, si.Info.Products, si.Info.Orders)
 	return nil
 }
 

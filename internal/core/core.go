@@ -35,6 +35,11 @@ type Config struct {
 	// knees land side by side in one artifact. The server must front a
 	// dataset with the same cardinalities (same -sf/-seed).
 	Remote string
+	// Suite selects the workload suite for the experiments that honor
+	// one (f5 sweeps the chosen suite's mix). Empty means the default
+	// t2 suite; suites are separate trajectories and their numbers are
+	// never compared across suites.
+	Suite string
 }
 
 // DefaultConfig returns the reference configuration.
@@ -118,6 +123,32 @@ func newTestbed(sf float64, seed uint64, hop time.Duration) (*testbed, error) {
 	return &testbed{
 		ds:   ds,
 		info: workload.InfoOf(ds),
+		uni:  workload.NewUDBMSEngine(db),
+		fed:  workload.NewFederationEngine(f),
+	}, nil
+}
+
+// newSuiteTestbed provisions both systems under test with a registry
+// suite's dataset. The t2 suite reproduces newTestbed exactly (same
+// generator, same loads); tb.ds stays nil for the other suites — only
+// experiments that drive mixes (not the raw dataset) accept one.
+func newSuiteTestbed(sf float64, seed uint64, hop time.Duration, suite *workload.Suite) (*testbed, error) {
+	data := suite.Generate(sf, seed)
+	db := udbms.Open()
+	if err := data.Load(datagen.Target{
+		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+	}); err != nil {
+		return nil, err
+	}
+	f := federation.Open()
+	f.HopLatency = hop
+	if err := data.Load(datagen.Target{
+		Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
+	}); err != nil {
+		return nil, err
+	}
+	return &testbed{
+		info: data.Info(),
 		uni:  workload.NewUDBMSEngine(db),
 		fed:  workload.NewFederationEngine(f),
 	}, nil

@@ -74,7 +74,7 @@ type sweepEngine struct {
 	e     workload.Engine
 }
 
-// rateSweep drives the standard mix open-loop at a geometric ladder of
+// rateSweep drives the suite's mix open-loop at a geometric ladder of
 // offered rates against each engine. Per rung it runs an unmeasured
 // warm-up (populating caches and the freshly counted lock telemetry is
 // delta-scoped per run anyway), then one duration-bounded measured run,
@@ -83,21 +83,23 @@ type sweepEngine struct {
 // rung itself is kept (it is the most interesting row: intended
 // latency there is backlog, not service), so each engine's sweep ends
 // with at most one saturated row.
-func rateSweep(p f5Config, info workload.Info, seed uint64, engines []sweepEngine) []f5Row {
+func rateSweep(p f5Config, info workload.Info, seed uint64, suite *workload.Suite, engines []sweepEngine) []f5Row {
 	var rows []f5Row
 	for _, se := range engines {
 		e := se.e
+		mix := suite.Mix(e)
 		rate := p.baseRate
 		for step := 0; step < p.maxSteps; step++ {
 			dc := workload.DriverConfig{
 				Clients: p.clients, Theta: p.theta, Seed: seed,
 				Mode: workload.ModeOpen, RateOpsPerSec: rate,
 				Arrival: workload.ArrivalPoisson, Duration: p.measure,
+				Suite: suite.Name,
 			}
 			warm := dc
 			warm.Duration = p.warmup
-			workload.RunMix(e, info, workload.StandardMix(e), warm)
-			res := workload.RunMix(e, info, workload.StandardMix(e), dc)
+			workload.RunMix(e, info, mix, warm)
+			res := workload.RunMix(e, info, mix, dc)
 			row := f5Row{
 				Engine:     se.label,
 				Offered:    rate,
@@ -169,7 +171,11 @@ func kneeOf(rows []f5Row, label string) (knee, last *f5Row) {
 // comparison side by side.
 func f5Sweep(cfg Config) ([]f5Row, error) {
 	p := f5ConfigFor(cfg)
-	tb, err := newTestbed(cfg.SF, cfg.Seed, cfg.HopLatency)
+	suite, err := workload.ResolveSuite(cfg.Suite)
+	if err != nil {
+		return nil, fmt.Errorf("f5: %w", err)
+	}
+	tb, err := newSuiteTestbed(cfg.SF, cfg.Seed, cfg.HopLatency, suite)
 	if err != nil {
 		return nil, err
 	}
@@ -181,15 +187,19 @@ func f5Sweep(cfg Config) ([]f5Row, error) {
 		}
 		defer re.Close()
 		// A remote knee is only comparable to the local ones if the
-		// server fronts the same dataset; cardinalities are the proxy
-		// the protocol exposes for that.
+		// server fronts the same suite and dataset; the suite name and
+		// the cardinalities are the proxies the protocol exposes.
+		if re.Suite() != suite.Name {
+			return nil, fmt.Errorf("f5: remote serves suite %q, local sweep wants %q (serve with matching -suite)",
+				re.Suite(), suite.Name)
+		}
 		if re.Info() != tb.info {
 			return nil, fmt.Errorf("f5: remote dataset %+v != local %+v (serve with matching -sf/-seed)",
 				re.Info(), tb.info)
 		}
 		engines = append(engines, sweepEngine{re.Name(), re})
 	}
-	return rateSweep(p, tb.info, cfg.Seed, engines), nil
+	return rateSweep(p, tb.info, cfg.Seed, suite, engines), nil
 }
 
 // runF5 is the latency-vs-offered-rate experiment: the classic
@@ -203,9 +213,13 @@ func runF5(cfg Config) ([]*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	suiteName := cfg.Suite
+	if suiteName == "" {
+		suiteName = workload.DefaultSuite
+	}
 	sweep := metrics.NewTable(
-		fmt.Sprintf("F5: latency vs offered rate (open loop, %v per rate, x%g ladder), SF %g",
-			p.measure, p.factor, cfg.SF),
+		fmt.Sprintf("F5: latency vs offered rate (open loop, %v per rate, x%g ladder), suite %s, SF %g",
+			p.measure, p.factor, suiteName, cfg.SF),
 		"engine", "offered", "achieved", "ach%", "svc p50", "svc p99",
 		"int p50", "int p99", "int max", "abort%", "lock wait", "dropped", "shed")
 	for _, r := range rows {

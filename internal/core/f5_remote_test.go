@@ -88,3 +88,15 @@ func TestF5SweepRemoteMismatch(t *testing.T) {
 		t.Fatalf("mismatched dataset err = %v, want the remote dataset guard", err)
 	}
 }
+
+// TestF5SweepRemoteSuiteMismatch pins the suite guard on the remote
+// leg: a server loaded with the default t2 suite must be rejected by a
+// sweep asked to run a different suite, before any data comparison.
+func TestF5SweepRemoteSuiteMismatch(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Remote = startQuickServer(t, cfg)
+	cfg.Suite = "timeseries"
+	if _, err := f5Sweep(cfg); err == nil || !strings.Contains(err.Error(), "remote serves suite") {
+		t.Fatalf("mismatched suite err = %v, want the remote suite guard", err)
+	}
+}

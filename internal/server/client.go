@@ -183,24 +183,57 @@ func (cl *Client) UQL(src string) ([]string, error) {
 	return resp.rows, nil
 }
 
-// Info fetches the server's dataset cardinalities and engine name.
-func (cl *Client) Info() (workload.Info, string, error) {
+// ServerInfo is what the info request advertises: the dataset
+// cardinalities clients build parameter generators from, the engine
+// name, and the workload suite the server's store was loaded with.
+type ServerInfo struct {
+	Info   workload.Info
+	Engine string
+	Suite  string
+}
+
+// Info fetches the server's dataset cardinalities, engine name, and
+// loaded workload suite. A server predating suites advertises none;
+// the default t2 suite is assumed.
+func (cl *Client) Info() (ServerInfo, error) {
 	resp, err := cl.call(request{op: opInfo})
 	if err != nil {
-		return workload.Info{}, "", err
+		return ServerInfo{}, err
 	}
 	if err := opErr(resp); err != nil {
-		return workload.Info{}, "", err
+		return ServerInfo{}, err
 	}
 	if len(resp.u64s) < 3 || len(resp.rows) < 1 {
-		return workload.Info{}, "", fmt.Errorf("%w: short info response", ErrProto)
+		return ServerInfo{}, fmt.Errorf("%w: short info response", ErrProto)
 	}
-	info := workload.Info{
-		Customers: int(resp.u64s[0]),
-		Products:  int(resp.u64s[1]),
-		Orders:    int(resp.u64s[2]),
+	si := ServerInfo{
+		Info: workload.Info{
+			Customers: int(resp.u64s[0]),
+			Products:  int(resp.u64s[1]),
+			Orders:    int(resp.u64s[2]),
+		},
+		Engine: resp.rows[0],
+		Suite:  workload.DefaultSuite,
 	}
-	return info, resp.rows[0], nil
+	if len(resp.rows) >= 2 {
+		si.Suite = resp.rows[1]
+	}
+	return si, nil
+}
+
+// SuiteOp runs one registry-suite operation remotely and returns its
+// row count. The server refuses suites other than the one its store
+// was loaded with.
+func (cl *Client) SuiteOp(suite, op string, p workload.Params) (int, error) {
+	resp, err := cl.call(request{op: opSuiteOp, budget: time.Duration(cl.budget.Load()),
+		suite: suite, suiteOp: op, params: p})
+	if err != nil {
+		return 0, err
+	}
+	if err := opErr(resp); err != nil {
+		return 0, err
+	}
+	return int(resp.value), nil
 }
 
 // Nonce fetches a fresh server-issued run nonce.

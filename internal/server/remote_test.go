@@ -1,10 +1,13 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"udbench/internal/datagen"
+	"udbench/internal/udbms"
 	"udbench/internal/workload"
 )
 
@@ -75,6 +78,86 @@ func TestRemoteRunMix(t *testing.T) {
 	}
 	if res.Ops == 0 {
 		t.Error("no operations completed")
+	}
+}
+
+// startSuiteServer loads one registry suite into a unified engine and
+// serves it, advertising the suite name in Config.Suite.
+func startSuiteServer(t *testing.T, suiteName string) (*Server, *workload.Suite, workload.Info) {
+	t.Helper()
+	suite, err := workload.ResolveSuite(suiteName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := suite.Generate(0.05, 7)
+	db := udbms.Open()
+	if err := data.Load(datagen.Target{
+		Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, Config{Engine: workload.NewUDBMSEngine(db), Info: data.Info(), Suite: suiteName})
+	return s, suite, data.Info()
+}
+
+// TestRemoteSuiteOps pins the suite leg of the protocol end to end: the
+// server advertises its loaded suite, suite ops round-trip with their
+// cardinalities, and the full suite mix drives a RemoteEngine through
+// the unchanged driver.
+func TestRemoteSuiteOps(t *testing.T) {
+	s, suite, info := startSuiteServer(t, "timeseries")
+	re, err := DialEngine(s.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Suite() != "timeseries" {
+		t.Fatalf("remote suite = %q, want timeseries", re.Suite())
+	}
+	gen := workload.NewParamGen(info, 3, 0.5)
+	p := gen.Next()
+	if n, err := re.RunSuiteOp("timeseries", "window", p); err != nil || n <= 0 {
+		t.Errorf("remote window op = %d, %v; want rows from the loaded store", n, err)
+	}
+	res := workload.RunMix(re, info, suite.Mix(re), workload.DriverConfig{
+		Clients: 4, OpsPerClient: 40, Theta: 0.7, Seed: 11, Suite: suite.Name,
+	})
+	if res.Errors != 0 || res.Ops != 160 {
+		t.Errorf("remote suite mix: ops=%d errors=%d, want 160/0", res.Ops, res.Errors)
+	}
+	if sum := res.Summary(); sum.Suite != "timeseries" {
+		t.Errorf("remote summary suite = %q, want timeseries", sum.Suite)
+	}
+}
+
+// TestRemoteSuiteMismatch pins the suite guard: a server refuses ops
+// from a suite it did not load, and an engine without a SuiteExecutor
+// refuses them all — both as typed remote errors, never as silent
+// misreads of the wrong dataset.
+func TestRemoteSuiteMismatch(t *testing.T) {
+	s, _, _ := startSuiteServer(t, "timeseries")
+	re, err := DialEngine(s.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.RunSuiteOp("tenants", "t_lookup", workload.Params{}); !errors.Is(err, ErrRemote) ||
+		!strings.Contains(err.Error(), "timeseries") {
+		t.Errorf("mismatched suite err = %v, want ErrRemote naming the served suite", err)
+	}
+
+	// A stub engine advertises the default t2 suite and has no executor.
+	bare := startServer(t, Config{Engine: &stubEngine{}})
+	re2, err := DialEngine(bare.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Suite() != workload.DefaultSuite {
+		t.Errorf("stub server suite = %q, want the default", re2.Suite())
+	}
+	if _, err := re2.RunSuiteOp(workload.DefaultSuite, "Q1", workload.Params{}); !errors.Is(err, ErrRemote) {
+		t.Errorf("suite op on a non-executor engine err = %v, want ErrRemote", err)
 	}
 }
 

@@ -77,12 +77,15 @@ func TestServerRoundTrip(t *testing.T) {
 	if err := cl.Ping(); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	info, name, err := cl.Info()
+	si, err := cl.Info()
 	if err != nil {
 		t.Fatalf("info: %v", err)
 	}
-	if info != testInfo || name != "stub" {
-		t.Errorf("info = %+v/%q, want %+v/stub", info, name, testInfo)
+	if si.Info != testInfo || si.Engine != "stub" {
+		t.Errorf("info = %+v/%q, want %+v/stub", si.Info, si.Engine, testInfo)
+	}
+	if si.Suite != workload.DefaultSuite {
+		t.Errorf("suite = %q, want the default %q when serve sets none", si.Suite, workload.DefaultSuite)
 	}
 	if n, err := cl.Query(workload.Q5, testParams); err != nil || n != 50 {
 		t.Errorf("query = %d, %v; want 50, nil", n, err)

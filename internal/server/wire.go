@@ -39,13 +39,14 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Request op codes (first byte of every request payload).
 const (
-	opQuery byte = 0x01 // benchmark read query: query id + params
-	opTxn   byte = 0x02 // benchmark transaction: txn kind + params
-	opUQL   byte = 0x03 // ad-hoc UQL: source text
-	opInfo  byte = 0x10 // dataset cardinalities + engine name
-	opNonce byte = 0x11 // server-issued run nonce
-	opStats byte = 0x12 // admission-control telemetry snapshot
-	opPing  byte = 0x13 // liveness probe
+	opQuery   byte = 0x01 // benchmark read query: query id + params
+	opTxn     byte = 0x02 // benchmark transaction: txn kind + params
+	opUQL     byte = 0x03 // ad-hoc UQL: source text
+	opSuiteOp byte = 0x04 // registry-suite operation: suite + op names + params
+	opInfo    byte = 0x10 // dataset cardinalities + engine name + suite
+	opNonce   byte = 0x11 // server-issued run nonce
+	opStats   byte = 0x12 // admission-control telemetry snapshot
+	opPing    byte = 0x13 // liveness probe
 )
 
 // Transaction kinds carried by opTxn requests.
@@ -87,13 +88,15 @@ const (
 
 // request is one decoded client request.
 type request struct {
-	op     byte
-	id     uint64
-	budget time.Duration // max queue wait before the server sheds; 0 = server default
-	query  workload.QueryID
-	txn    byte
-	params workload.Params
-	uql    string
+	op      byte
+	id      uint64
+	budget  time.Duration // max queue wait before the server sheds; 0 = server default
+	query   workload.QueryID
+	txn     byte
+	params  workload.Params
+	uql     string
+	suite   string // opSuiteOp: registered suite name
+	suiteOp string // opSuiteOp: operation name within the suite
 }
 
 // response is one decoded server response. The body layout is uniform
@@ -152,6 +155,10 @@ func encodeRequest(r request) []byte {
 		appendParams(e, r.params)
 	case opUQL:
 		e.String(r.uql)
+	case opSuiteOp:
+		e.String(r.suite)
+		e.String(r.suiteOp)
+		appendParams(e, r.params)
 	}
 	return e.Build()
 }
@@ -178,6 +185,10 @@ func decodeRequest(payload []byte) (request, error) {
 		}
 	case opUQL:
 		r.uql = d.String()
+	case opSuiteOp:
+		r.suite = d.String()
+		r.suiteOp = d.String()
+		r.params = decodeParams(d)
 	case opInfo, opNonce, opStats, opPing:
 		// header only
 	default:

@@ -30,6 +30,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{op: opNonce, id: 6},
 		{op: opStats, id: 7},
 		{op: opPing, id: 8, budget: time.Second},
+		{op: opSuiteOp, id: 9, budget: 20 * time.Millisecond, suite: "timeseries", suiteOp: "append", params: testParams},
+		{op: opSuiteOp, id: 10, suite: "logs", suiteOp: "by_level"},
 	}
 	var stream []byte
 	for _, r := range reqs {

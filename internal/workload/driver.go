@@ -38,7 +38,11 @@ func StandardMix(e Engine) []MixItem {
 
 // Result summarizes one driver run.
 type Result struct {
-	Engine  string
+	Engine string
+	// Suite names the workload suite the mix was drawn from ("t2" when
+	// unset — the original benchmark mix). Suites are separate
+	// trajectories: results are only comparable within one suite.
+	Suite   string
 	Mode    DriverMode
 	Clients int
 	Ops     int64
@@ -79,6 +83,11 @@ type Result struct {
 	// in front of it). Only remote engines, which sit behind a server's
 	// bounded request queue, report it.
 	Admission *AdmissionStats
+	// SuiteStats is the engine's registry-suite op telemetry accrued
+	// during the run (nil for the native t2 mix, remote engines, and
+	// synthetic mixes — only in-process engines driving registry-suite
+	// ops report it).
+	SuiteStats *SuiteStats
 }
 
 // AdmissionStats is the server-side admission-control telemetry of one
@@ -174,6 +183,11 @@ type DriverConfig struct {
 	// step cannot extend wall time unboundedly. Ignored in closed-loop
 	// mode.
 	Duration time.Duration
+	// Suite labels the run with the workload suite the mix came from.
+	// Purely a label: the mix itself is built by the caller (Suite.Mix),
+	// so the driver's load models stay suite-agnostic. Empty means the
+	// default t2 suite.
+	Suite string
 }
 
 // LockStatsProvider is implemented by engines whose lock tables export
@@ -322,8 +336,13 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if e != nil {
 		name = e.Name()
 	}
+	suite := cfg.Suite
+	if suite == "" {
+		suite = DefaultSuite
+	}
 	res := Result{
 		Engine:   name,
+		Suite:    suite,
 		Mode:     cfg.Mode,
 		Clients:  cfg.Clients,
 		Latency:  &metrics.Histogram{},
@@ -354,6 +373,11 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	ap, _ := e.(AdmissionProvider)
 	if ap != nil {
 		admBase = ap.AdmissionStats()
+	}
+	var suiteBase SuiteStats
+	ssp, hasSuite := e.(SuiteStatsProvider)
+	if hasSuite {
+		suiteBase = ssp.SuiteOpStats()
 	}
 	nonce := uint64(0)
 	if np, ok := e.(NonceProvider); ok {
@@ -399,6 +423,14 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 		if end := ap.AdmissionStats(); end != nil {
 			delta := end.Delta(*admBase)
 			res.Admission = &delta
+		}
+	}
+	if hasSuite {
+		// Attached only when the run actually drove registry-suite ops:
+		// a native t2 mix leaves the counters untouched and the delta
+		// zero, keeping t2 reports byte-identical to before suites.
+		if delta := ssp.SuiteOpStats().Delta(suiteBase); delta != (SuiteStats{}) {
+			res.SuiteStats = &delta
 		}
 	}
 	return res

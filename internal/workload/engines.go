@@ -1,11 +1,33 @@
 package workload
 
 import (
+	"sync/atomic"
+
 	"udbench/internal/federation"
 	"udbench/internal/txn"
 	"udbench/internal/udbms"
 	"udbench/internal/wal"
 )
+
+// suiteCounters is the per-engine suite-op telemetry behind
+// SuiteStatsProvider: lock-free so counting never perturbs the
+// concurrency the suites are built to measure.
+type suiteCounters struct {
+	reads, writes, rows atomic.Int64
+}
+
+func (c *suiteCounters) observe(write bool, rows int) {
+	if write {
+		c.writes.Add(1)
+	} else {
+		c.reads.Add(1)
+	}
+	c.rows.Add(int64(rows))
+}
+
+func (c *suiteCounters) stats() SuiteStats {
+	return SuiteStats{Reads: c.reads.Load(), Writes: c.writes.Load(), Rows: c.rows.Load()}
+}
 
 // UDBMSEngine adapts the unified multi-model engine to the workload
 // Engine interface. Reads run under one snapshot transaction spanning
@@ -16,6 +38,8 @@ type UDBMSEngine struct {
 	// durable wrapper the DB runs inside (see internal/durable); the
 	// driver then reports a durability delta per run.
 	Durable DurabilityProvider
+
+	suiteOps suiteCounters
 }
 
 // NewUDBMSEngine wraps db.
@@ -118,12 +142,44 @@ func (e *UDBMSEngine) SnapshotRead(p Params) (bool, error) {
 	return snapshotReadBody(e.stores(), unifiedSession{tx}, p)
 }
 
+// RunSuiteOp implements SuiteExecutor: the op body runs under one
+// snapshot transaction for reads (abort releases it, like RunQuery) or
+// one ACID transaction for writes (RunTx retries deadlock victims,
+// like the native T1–T3 paths).
+func (e *UDBMSEngine) RunSuiteOp(suite, op string, p Params) (int, error) {
+	so, err := suiteOpBody(suite, op)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if so.Write {
+		err = e.DB.RunTx(func(tx *txn.Tx) error {
+			var bodyErr error
+			n, bodyErr = so.Body(e.stores(), unifiedSession{tx}, p)
+			return bodyErr
+		})
+	} else {
+		tx := e.DB.Begin()
+		n, err = so.Body(e.stores(), unifiedSession{tx}, p)
+		tx.Abort()
+	}
+	if err == nil {
+		e.suiteOps.observe(so.Write, n)
+	}
+	return n, err
+}
+
+// SuiteOpStats implements SuiteStatsProvider.
+func (e *UDBMSEngine) SuiteOpStats() SuiteStats { return e.suiteOps.stats() }
+
 // FederationEngine adapts the polyglot federation. Reads hit each
 // store's latest state independently (no cross-store snapshot exists)
 // and every store request pays the federation's hop latency; writes
 // run 2PC over per-store transactions.
 type FederationEngine struct {
 	F *federation.Federation
+
+	suiteOps suiteCounters
 }
 
 // NewFederationEngine wraps f.
@@ -221,3 +277,31 @@ func (e *FederationEngine) WriteFeedback(p Params) error {
 func (e *FederationEngine) SnapshotRead(p Params) (bool, error) {
 	return snapshotReadBody(e.stores(), fedReadSession{e.F}, p)
 }
+
+// RunSuiteOp implements SuiteExecutor. Writes run via 2PC over
+// per-store transactions (RunTx retries deadlock victims); reads hit
+// each store's latest state independently — so the weight-0 probes can
+// observe torn cross-store views here, never on the unified engine.
+func (e *FederationEngine) RunSuiteOp(suite, op string, p Params) (int, error) {
+	so, err := suiteOpBody(suite, op)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if so.Write {
+		err = e.F.RunTx(func(ftx *federation.FTx) error {
+			var bodyErr error
+			n, bodyErr = so.Body(e.stores(), fedWriteSession{e.F, ftx}, p)
+			return bodyErr
+		})
+	} else {
+		n, err = so.Body(e.stores(), fedReadSession{e.F}, p)
+	}
+	if err == nil {
+		e.suiteOps.observe(so.Write, n)
+	}
+	return n, err
+}
+
+// SuiteOpStats implements SuiteStatsProvider.
+func (e *FederationEngine) SuiteOpStats() SuiteStats { return e.suiteOps.stats() }

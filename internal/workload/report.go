@@ -32,7 +32,12 @@ type OpSummary struct {
 // written by `udbench mix -json` so successive PRs can track a
 // BENCH_*.json perf trajectory.
 type RunSummary struct {
-	Engine  string `json:"engine"`
+	Engine string `json:"engine"`
+	// Suite names the workload suite the mix came from ("t2" for the
+	// original benchmark mix). Trajectory rule: numbers are only ever
+	// compared within one suite — a BENCH_*.json from suite A says
+	// nothing about suite B.
+	Suite   string `json:"suite"`
 	Mode    string `json:"mode"` // "closed" | "open"
 	Clients int    `json:"clients"`
 	Ops     int64  `json:"ops"`
@@ -71,6 +76,10 @@ type RunSummary struct {
 	// run (bounded-queue high watermark, shed count, queue-wait p99);
 	// absent for in-process engines, which have no queue in front.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// SuiteStats is the registry-suite op telemetry for this run
+	// (read/write op counts and rows touched); absent for the native t2
+	// mix and for remote engines.
+	SuiteStats *SuiteStats `json:"suite_stats,omitempty"`
 }
 
 func opSummary(name string, d *metrics.DualHistogram) OpSummary {
@@ -95,6 +104,7 @@ func opSummary(name string, d *metrics.DualHistogram) OpSummary {
 func (r Result) Summary() RunSummary {
 	s := RunSummary{
 		Engine:        r.Engine,
+		Suite:         r.Suite,
 		Mode:          r.Mode.String(),
 		Clients:       r.Clients,
 		Ops:           r.Ops,
@@ -111,6 +121,10 @@ func (r Result) Summary() RunSummary {
 		LockStats:     r.LockStats,
 		Durability:    r.Durability,
 		Admission:     r.Admission,
+		SuiteStats:    r.SuiteStats,
+	}
+	if s.Suite == "" {
+		s.Suite = DefaultSuite
 	}
 	if r.Intended != nil && r.Intended.Count() > 0 {
 		s.IntendedP50NS = r.Intended.Percentile(50)

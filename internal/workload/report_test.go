@@ -66,6 +66,10 @@ var goldenSummaryFields = []string{
 	"per_op[].p95_ns",
 	"per_op[].p99_ns",
 	"rate_ops_per_sec",
+	"suite",
+	"suite_stats.reads",
+	"suite_stats.rows",
+	"suite_stats.writes",
 	"throughput_ops_per_sec",
 }
 
@@ -110,6 +114,9 @@ func TestRunSummaryGoldenFields(t *testing.T) {
 	// And the admission block: synthetic mixes run in-process with no
 	// server queue in front, so populate it by hand to pin its keys.
 	s.Admission = &AdmissionStats{QueueDepthMax: 3, Shed: 2, QueueWaitP99NS: 1000}
+	// And the suite-op block: synthetic mixes drive no registry suite,
+	// so populate it by hand to pin its keys.
+	s.SuiteStats = &SuiteStats{Reads: 5, Writes: 3, Rows: 40}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)

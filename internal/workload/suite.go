@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"udbench/internal/datagen"
+)
+
+// SuiteData is a generated dataset a suite knows how to materialize
+// into either engine's stores. Implementations wrap the datagen types
+// so the workload layer never depends on one concrete dataset shape.
+type SuiteData interface {
+	// Load copies the dataset into the target stores (auto-committed).
+	Load(t datagen.Target) error
+	// Info exposes the cardinalities the parameter generator draws
+	// from. Every field must be >= 1 (the Zipf generators reject empty
+	// domains).
+	Info() Info
+}
+
+// SuiteOp describes one operation class of a suite.
+type SuiteOp struct {
+	// Name labels the operation in mixes and reports ("append", ...).
+	Name string
+	// Weight is the op's relative frequency in the suite's default mix.
+	// Weight 0 marks a consistency probe: excluded from the mix, run
+	// explicitly by tests and probes (RunSuiteProbe).
+	Weight int
+	// Write marks ops that mutate state; the engines wrap them in a
+	// read-write transaction (unified ACID / federated 2PC) instead of
+	// a read snapshot.
+	Write bool
+	// Body executes the op against the stores through a session — the
+	// same shared-body idiom as the T2 queries, so one implementation
+	// serves both engines. It returns a result cardinality. Nil for
+	// suites (t2) whose ops run through native Engine entry points.
+	Body func(st stores, s session, p Params) (int, error)
+}
+
+// Suite is one registered workload suite: a named data shape plus the
+// operation set and default mix that drive it. Every suite flows
+// through the same open-loop driver, f5 sweep, remote protocol, and
+// JSON schema; suites are separate benchmark trajectories and are
+// never compared against each other.
+type Suite struct {
+	// Name is the registry key ("t2", "timeseries", ...).
+	Name string
+	// Description is the one-line summary `udbench suites` prints.
+	Description string
+	// Generate materializes the suite's dataset at a scale factor.
+	Generate func(sf float64, seed uint64) SuiteData
+	// Ops lists the suite's operation classes. Weight-0 entries are
+	// consistency probes.
+	Ops []SuiteOp
+	// mixFor, when set, overrides the default RunSuiteOp-based mix
+	// builder. The t2 suite uses it to keep driving the engines'
+	// native entry points (including the unified pipeline-query path),
+	// so the refactor cannot shift its numbers.
+	mixFor func(e Engine) []MixItem
+}
+
+// SuiteExecutor is implemented by engines that can run registered
+// suite ops: both in-process engines execute the shared op bodies
+// under their own transaction/session regime, and the remote engine
+// forwards over the wire. This is the seam ROADMAP item 4's external
+// engines will plug into.
+type SuiteExecutor interface {
+	RunSuiteOp(suite, op string, p Params) (int, error)
+}
+
+// SuiteStats counts suite-op executions on an engine: reads, writes,
+// and the total result cardinality they returned. Monotonic; RunMix
+// snapshots it around a run and reports the delta.
+type SuiteStats struct {
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Rows   int64 `json:"rows"`
+}
+
+// Delta returns the run-scoped difference.
+func (s SuiteStats) Delta(base SuiteStats) SuiteStats {
+	s.Reads -= base.Reads
+	s.Writes -= base.Writes
+	s.Rows -= base.Rows
+	return s
+}
+
+// SuiteStatsProvider is implemented by engines that count suite-op
+// executions; RunMix snapshots the counters around the run and reports
+// the delta when any suite ops actually ran.
+type SuiteStatsProvider interface {
+	SuiteOpStats() SuiteStats
+}
+
+var (
+	suiteMu  sync.RWMutex
+	suiteReg = map[string]*Suite{}
+)
+
+// RegisterSuite adds a suite to the registry. Duplicate or anonymous
+// registrations panic: they are programming errors in an init path.
+func RegisterSuite(s *Suite) {
+	if s == nil || s.Name == "" {
+		panic("workload: RegisterSuite with empty name")
+	}
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	if _, dup := suiteReg[s.Name]; dup {
+		panic("workload: duplicate suite " + s.Name)
+	}
+	suiteReg[s.Name] = s
+}
+
+// SuiteNames lists the registered suite names sorted.
+func SuiteNames() []string {
+	suiteMu.RLock()
+	defer suiteMu.RUnlock()
+	names := make([]string, 0, len(suiteReg))
+	for name := range suiteReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SuiteByName looks a suite up.
+func SuiteByName(name string) (*Suite, bool) {
+	suiteMu.RLock()
+	defer suiteMu.RUnlock()
+	s, ok := suiteReg[name]
+	return s, ok
+}
+
+// DefaultSuite is the suite an empty -suite flag resolves to: the
+// original TPC-C-ish T2 mix, so every pre-suite artifact stays on the
+// same trajectory.
+const DefaultSuite = "t2"
+
+// ResolveSuite maps a -suite flag value to its suite: "" means the
+// default, and an unknown name errors listing what is registered.
+func ResolveSuite(name string) (*Suite, error) {
+	if name == "" {
+		name = DefaultSuite
+	}
+	s, ok := SuiteByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown suite %q (registered: %v)", name, SuiteNames())
+	}
+	return s, nil
+}
+
+// Op looks an operation up by name.
+func (s *Suite) Op(name string) (SuiteOp, bool) {
+	for _, op := range s.Ops {
+		if op.Name == name {
+			return op, true
+		}
+	}
+	return SuiteOp{}, false
+}
+
+// Probes lists the suite's consistency probes (weight-0 ops).
+func (s *Suite) Probes() []SuiteOp {
+	var probes []SuiteOp
+	for _, op := range s.Ops {
+		if op.Weight == 0 {
+			probes = append(probes, op)
+		}
+	}
+	return probes
+}
+
+// Mix builds the suite's default weighted mix over an engine. Suites
+// with a native mix (t2) delegate to it; all others dispatch through
+// the engine's SuiteExecutor. An engine without one yields mix items
+// that fail descriptively instead of panicking mid-run.
+func (s *Suite) Mix(e Engine) []MixItem {
+	if s.mixFor != nil {
+		return s.mixFor(e)
+	}
+	ex, _ := e.(SuiteExecutor)
+	var items []MixItem
+	for _, op := range s.Ops {
+		if op.Weight <= 0 {
+			continue // consistency probes stay out of the mix
+		}
+		op := op
+		items = append(items, MixItem{
+			Name:   op.Name,
+			Weight: op.Weight,
+			Run: func(p Params) error {
+				if ex == nil {
+					return fmt.Errorf("workload: engine %s cannot run suite %s ops", e.Name(), s.Name)
+				}
+				_, err := ex.RunSuiteOp(s.Name, op.Name, p)
+				return err
+			},
+		})
+	}
+	return items
+}
+
+// suiteOpBody resolves a (suite, op) pair to its shared body — the
+// engines' RunSuiteOp dispatch. Native-mix ops (nil Body) are not
+// runnable through this path.
+func suiteOpBody(suite, op string) (SuiteOp, error) {
+	s, ok := SuiteByName(suite)
+	if !ok {
+		return SuiteOp{}, fmt.Errorf("workload: unknown suite %q (registered: %v)", suite, SuiteNames())
+	}
+	so, ok := s.Op(op)
+	if !ok {
+		return SuiteOp{}, fmt.Errorf("workload: suite %s has no op %q", suite, op)
+	}
+	if so.Body == nil {
+		return SuiteOp{}, fmt.Errorf("workload: suite %s op %s runs through native engine entry points", suite, op)
+	}
+	return so, nil
+}
+
+// RunSuiteProbe runs one weight-0 consistency probe through the
+// engine's suite executor and returns its violation count (0 = the
+// invariant held for the probed entity).
+func RunSuiteProbe(e Engine, suite, op string, p Params) (int, error) {
+	ex, ok := e.(SuiteExecutor)
+	if !ok {
+		return 0, fmt.Errorf("workload: engine %s cannot run suite probes", e.Name())
+	}
+	return ex.RunSuiteOp(suite, op, p)
+}
+
+// The t2 suite is the original benchmark: the TPC-C-ish multi-model
+// OLTP mix (50% Q1 customer profiles, 20% T1 order updates, 15% T2 new
+// orders, 10% T3 feedback writes, 5% T4 snapshot reads) over the
+// paper's Figure-1 dataset. It keeps its native mix so the pre-suite
+// perf trajectory is unbroken.
+func init() {
+	RegisterSuite(&Suite{
+		Name:        "t2",
+		Description: "TPC-C-ish multi-model OLTP mix (Q1 + T1-T4) over the Figure 1 dataset",
+		Generate: func(sf float64, seed uint64) SuiteData {
+			return t2Data{datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed})}
+		},
+		Ops: []SuiteOp{
+			{Name: "Q1", Weight: 50},
+			{Name: "T1", Weight: 20, Write: true},
+			{Name: "T2", Weight: 15, Write: true},
+			{Name: "T3", Weight: 10, Write: true},
+			{Name: "T4", Weight: 5},
+		},
+		mixFor: StandardMix,
+	})
+}
+
+// t2Data adapts the Figure-1 dataset to SuiteData.
+type t2Data struct{ ds *datagen.Dataset }
+
+func (d t2Data) Load(t datagen.Target) error { return d.ds.Load(t) }
+func (d t2Data) Info() Info                  { return InfoOf(d.ds) }

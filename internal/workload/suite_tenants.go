@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+
+	"udbench/internal/datagen"
+	"udbench/internal/document"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+)
+
+// The tenants suite is the multi-tenant SaaS shape: a relational
+// tenant catalog over a document collection of support tickets, with
+// ticket placement Zipf-skewed so tenant 1 is hot. Ticket opens bump
+// the hot tenant's catalog row (lock-striping stress: most writers
+// collide on one lock), while tenant-scoped inbox queries ride the
+// tenant_id secondary index and the shared-read fast path.
+func init() {
+	RegisterSuite(&Suite{
+		Name:        "tenants",
+		Description: "zipf multi-tenant SaaS with one hot tenant and tenant-scoped queries (lock striping, shared-read fast path)",
+		Generate: func(sf float64, seed uint64) SuiteData {
+			return tenantData{datagen.GenerateTenants(datagen.Config{ScaleFactor: sf, Seed: seed})}
+		},
+		Ops: []SuiteOp{
+			{Name: "t_lookup", Weight: 40, Body: tnLookupBody},
+			{Name: "t_inbox", Weight: 25, Body: tnInboxBody},
+			{Name: "t_open", Weight: 20, Write: true, Body: tnOpenBody},
+			{Name: "t_close", Weight: 15, Write: true, Body: tnCloseBody},
+			// t_count is the consistency probe: the catalog's ticket
+			// counter must match the collection's tenant-scoped count.
+			{Name: "t_count", Weight: 0, Body: tnCountBody},
+		},
+	})
+}
+
+// tenantData adapts the generated tenants dataset to SuiteData:
+// CustomerID draws a tenant id (Zipf -> the hot tenant), OrderID's
+// numeric suffix a ticket sequence.
+type tenantData struct{ ds *datagen.TenantsDataset }
+
+func (d tenantData) Load(t datagen.Target) error { return d.ds.Load(t) }
+func (d tenantData) Info() Info {
+	return Info{Customers: d.ds.NumTenants(), Products: d.ds.NumTenants(), Orders: d.ds.NumTickets()}
+}
+
+func tenantTable(st stores) (*relational.Table, error) {
+	t, ok := st.rel.Table("tenant")
+	if !ok {
+		return nil, fmt.Errorf("workload: tenant table missing (tenants dataset not loaded?)")
+	}
+	return t, nil
+}
+
+// tnLookupBody is the point-read op: one tenant catalog row plus one
+// ticket document by id.
+func tnLookupBody(st stores, s session, p Params) (int, error) {
+	tbl, err := tenantTable(st)
+	if err != nil {
+		return 0, err
+	}
+	found := 0
+	s.hop()
+	if _, ok := tbl.Get(s.relTx(), p.CustomerID); ok {
+		found++
+	}
+	s.hop()
+	if _, ok := st.docs.Collection("tickets").Get(s.docTx(), datagen.TicketID(seqOf(p.OrderID))); ok {
+		found++
+	}
+	return found, nil
+}
+
+// tnInboxBody is the tenant-scoped query: open tickets of one tenant,
+// served off the tenant_id secondary index.
+func tnInboxBody(st stores, s session, p Params) (int, error) {
+	s.hop()
+	rows := st.docs.Collection("tickets").Find(s.docTx(),
+		document.All(document.Eq("tenant_id", p.CustomerID), document.Eq("status", "open")),
+		&document.FindOptions{Projection: []string{"_id", "priority"}})
+	return len(rows), nil
+}
+
+// tnOpenBody opens a ticket: insert the document and bump the tenant's
+// catalog counter in one transaction. Zipf tenant selection makes the
+// hot tenant's row the suite's write hotspot.
+func tnOpenBody(st stores, s session, p Params) (int, error) {
+	tbl, err := tenantTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	if err := st.docs.Collection("tickets").Insert(s.docTx(), mmvalue.ObjectOf(
+		"_id", "tk-"+p.FreshID,
+		"tenant_id", p.CustomerID,
+		"status", "open",
+		"priority", p.Rating,
+		"subject", "opened at runtime",
+		"body", "runtime ticket for tenant "+p.City,
+	)); err != nil {
+		return 0, err
+	}
+	s.hop()
+	err = tbl.Update(s.relTx(), p.CustomerID, func(row mmvalue.Value) (mmvalue.Value, error) {
+		obj := row.MustObject()
+		n, _ := obj.GetOr("tickets", mmvalue.Int(0)).AsFloat()
+		obj.Set("tickets", mmvalue.Int(int64(n)+1))
+		return row, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// tnCloseBody closes one generated ticket (status write, no counter
+// change — closed tickets stay counted).
+func tnCloseBody(st stores, s session, p Params) (int, error) {
+	s.hop()
+	err := st.docs.Collection("tickets").Update(s.docTx(), datagen.TicketID(seqOf(p.OrderID)),
+		func(doc mmvalue.Value) (mmvalue.Value, error) {
+			doc.MustObject().Set("status", mmvalue.String("closed"))
+			return doc, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// tnCountBody is the weight-0 consistency probe: the tenant catalog's
+// ticket counter must equal the collection's tenant-scoped document
+// count in any consistent view. Returns 1 on a violation.
+func tnCountBody(st stores, s session, p Params) (int, error) {
+	tbl, err := tenantTable(st)
+	if err != nil {
+		return 0, err
+	}
+	s.hop()
+	row, ok := tbl.Get(s.relTx(), p.CustomerID)
+	if !ok {
+		return 0, nil
+	}
+	counted, _ := row.MustObject().GetOr("tickets", mmvalue.Int(0)).AsFloat()
+	s.hop()
+	docs := st.docs.Collection("tickets").Find(s.docTx(), document.Eq("tenant_id", p.CustomerID),
+		&document.FindOptions{Projection: []string{"_id"}})
+	if int(counted) != len(docs) {
+		return 1, nil
+	}
+	return 0, nil
+}
