@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -111,10 +112,16 @@ mix flags (plus -sf/-seed/-hop/-json/-suite):
                report); -budget D caps per-request queue wait
   -budget D    with -remote: queue-wait budget per request (0 = server
                default); requests exceeding it are shed server-side
+  -engine E    comparative mode: drive one registered backend (e.g.
+               sqlite) instead of both native engines; partial backends
+               run the mix subset their capabilities allow and attach a
+               backend_capabilities block to the JSON report
 
 serve flags (dataset flags as in run, plus -suite):
   -addr A      listen address (default 127.0.0.1:7744)
-  -engine E    engine to front: udbms (default, serves UQL) or federation
+  -engine E    registered backend to front: udbms (default, also serves
+               UQL), federation, sqlite, ... (unknown names list the
+               registry)
   -workers N   executor pool size (default 4)
   -queue N     admission queue depth (default 256)
   -deadline D  default queue-wait budget before shedding (default 100ms)
@@ -263,6 +270,7 @@ func cmdMix(args []string) error {
 	remote := fs.String("remote", "", "drive a running 'udbench serve' at this address instead of in-process engines")
 	queueBudget := fs.Duration("budget", 0, "with -remote: per-request queue-wait budget (0 = server default)")
 	suiteName := fs.String("suite", "", "workload suite to drive (default t2; see 'udbench suites')")
+	engineName := fs.String("engine", "", "drive one registered backend instead of both native engines (comparative mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,6 +280,14 @@ func cmdMix(args []string) error {
 	}
 	if *remote != "" && *walDir != "" {
 		return fmt.Errorf("mix: -wal configures an in-process engine and cannot combine with -remote")
+	}
+	if *engineName != "" {
+		if *remote != "" {
+			return fmt.Errorf("mix: -engine selects an in-process backend and cannot combine with -remote")
+		}
+		if *walDir != "" {
+			return fmt.Errorf("mix: -wal attaches to the native unified-engine path and cannot combine with -engine")
+		}
 	}
 	if *walDir != "" && suite.Name != workload.DefaultSuite {
 		return fmt.Errorf("mix: -wal drives the durable t2 store and cannot combine with -suite %s", suite.Name)
@@ -306,7 +322,7 @@ func cmdMix(args []string) error {
 	if driverMode == workload.ModeOpen {
 		arrivalName = arrivalProc.String()
 	}
-	var engines []workload.Engine
+	var engines []workload.Backend
 	var info workload.Info
 	if *remote != "" {
 		re, err := server.DialEngine(*remote, *clients)
@@ -322,9 +338,32 @@ func cmdMix(args []string) error {
 				re.Suite(), suite.Name)
 		}
 		info = re.Info()
-		engines = []workload.Engine{re}
+		engines = []workload.Backend{re}
 		fmt.Printf("remote engine %s at %s serving suite %s (customers %d, products %d, orders %d)\n",
 			re.ServerName(), *remote, re.Suite(), info.Customers, info.Products, info.Orders)
+	} else if *engineName != "" {
+		spec, err := workload.ResolveBackend(*engineName)
+		if err != nil {
+			return fmt.Errorf("mix: %w", err)
+		}
+		data := suite.Generate(*sf, *seed)
+		be, err := spec.New(data, workload.BackendOptions{HopLatency: *hop})
+		if err != nil {
+			return fmt.Errorf("mix: build %s backend: %w", spec.Name, err)
+		}
+		if c, ok := be.(io.Closer); ok {
+			defer c.Close()
+		}
+		caps := be.Capabilities()
+		if !caps.SupportsSuite(suite.Name) {
+			return fmt.Errorf("mix: backend %s does not support suite %s (supported: %v)",
+				be.Name(), suite.Name, caps.Suites)
+		}
+		if len(suite.Mix(be)) == 0 {
+			return fmt.Errorf("mix: suite %s has no ops backend %s can express", suite.Name, be.Name())
+		}
+		info = data.Info()
+		engines = []workload.Backend{be}
 	} else {
 		data := suite.Generate(*sf, *seed)
 		var db *udbms.DB
@@ -373,7 +412,7 @@ func cmdMix(args []string) error {
 			return err
 		}
 		info = data.Info()
-		engines = []workload.Engine{uniEngine(db), workload.NewFederationEngine(f)}
+		engines = []workload.Backend{uniEngine(db), workload.NewFederationEngine(f)}
 	}
 	cfg := workload.DriverConfig{
 		Clients: *clients, OpsPerClient: *ops, Theta: *theta, Seed: *seed,
@@ -491,7 +530,7 @@ func cmdServe(args []string) error {
 	sf := fs.Float64("sf", 0.2, "scale factor")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	hop := fs.Duration("hop", 100*time.Microsecond, "federation hop latency")
-	engine := fs.String("engine", "udbms", "engine to serve: udbms or federation")
+	engine := fs.String("engine", "udbms", "registered backend to serve (udbms additionally answers UQL)")
 	workers := fs.Int("workers", 4, "executor pool size")
 	queue := fs.Int("queue", 256, "admission queue depth")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "default queue-wait budget before shedding")
@@ -508,8 +547,9 @@ func cmdServe(args []string) error {
 		Info: data.Info(), Suite: suite.Name, Workers: *workers,
 		QueueDepth: *queue, QueueDeadline: *deadline,
 	}
-	switch *engine {
-	case "udbms":
+	if *engine == "" || *engine == workload.DefaultBackend {
+		// The unified engine keeps its direct store handle so the server
+		// can answer ad-hoc UQL next to the benchmark protocol.
 		db := udbms.Open()
 		if err := data.Load(datagen.Target{
 			Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML,
@@ -517,17 +557,23 @@ func cmdServe(args []string) error {
 			return err
 		}
 		cfg.Engine, cfg.DB = workload.NewUDBMSEngine(db), db
-	case "federation":
-		f := federation.Open()
-		f.HopLatency = *hop
-		if err := data.Load(datagen.Target{
-			Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML,
-		}); err != nil {
-			return err
+	} else {
+		spec, err := workload.ResolveBackend(*engine)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
 		}
-		cfg.Engine = workload.NewFederationEngine(f)
-	default:
-		return fmt.Errorf("serve: unknown -engine %q (want udbms or federation)", *engine)
+		be, err := spec.New(data, workload.BackendOptions{HopLatency: *hop})
+		if err != nil {
+			return fmt.Errorf("serve: build %s backend: %w", spec.Name, err)
+		}
+		if c, ok := be.(io.Closer); ok {
+			defer c.Close()
+		}
+		if !be.Capabilities().SupportsSuite(suite.Name) {
+			return fmt.Errorf("serve: backend %s does not support suite %s (supported: %v)",
+				be.Name(), suite.Name, be.Capabilities().Suites)
+		}
+		cfg.Engine = be
 	}
 	s, err := server.Listen(*addr, cfg)
 	if err != nil {

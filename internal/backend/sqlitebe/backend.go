@@ -1,0 +1,573 @@
+package sqlitebe
+
+import (
+	"database/sql"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"udbench/internal/datagen"
+	"udbench/internal/workload"
+)
+
+// Backend runs the relational+document expressible slice of the
+// benchmark on a SQL engine through database/sql — the comparative
+// baseline the paper's harness measures multi-model stores against.
+// It is a partial backend: its capability descriptor advertises the
+// queries whose data shreds into flat tables (Q1, Q3, Q4, Q8, Q12,
+// Q13), the t2 read leg, and the tenants suite; everything else
+// returns workload.ErrUnsupported before touching any data.
+type Backend struct {
+	db    *sql.DB
+	dsn   string
+	has   map[string]map[string]bool // table -> column set, from the shredder
+	stats workload.SuiteStatsCounter
+}
+
+var dsnSeq atomic.Uint64
+
+func init() {
+	workload.RegisterBackend(&workload.BackendSpec{
+		Name:        "sqlite",
+		Description: "relational SQL baseline over database/sql: shredded tables, query subset per its capability descriptor",
+		New: func(data workload.SuiteData, opt workload.BackendOptions) (workload.Backend, error) {
+			return Open(data)
+		},
+	})
+}
+
+// Open shreds data into a fresh in-memory SQL database and returns
+// the backend fronting it. Swapping in a real sqlite driver means
+// changing the driver name and DSN here — the emitted SQL is already
+// inside sqlite's dialect.
+func Open(data workload.SuiteData) (*Backend, error) {
+	dsn := fmt.Sprintf("mem-%d", dsnSeq.Add(1))
+	db, err := sql.Open("udsql", dsn)
+	if err != nil {
+		return nil, fmt.Errorf("sqlitebe: open: %w", err)
+	}
+	b := &Backend{db: db, dsn: dsn}
+	cat, err := loadIntoSQL(data, db)
+	if err != nil {
+		_ = db.Close()
+		sharedDriver.drop(dsn)
+		return nil, err
+	}
+	b.has = cat
+	return b, nil
+}
+
+func (b *Backend) hasTable(t string) bool { return b.has[t] != nil }
+func (b *Backend) hasCol(t, col string) bool {
+	cols := b.has[t]
+	return cols != nil && cols[col]
+}
+
+// Name implements workload.Backend.
+func (b *Backend) Name() string { return "sqlite" }
+
+// Close releases the in-memory database behind this backend's DSN.
+func (b *Backend) Close() error {
+	err := b.db.Close()
+	sharedDriver.drop(b.dsn)
+	return err
+}
+
+// SuiteOpStats implements workload.SuiteStatsProvider.
+func (b *Backend) SuiteOpStats() workload.SuiteStats { return b.stats.Stats() }
+
+// Capabilities implements workload.Backend: the relational, document,
+// and key-value models shred; graph and XML do not, which excludes
+// their queries, the native transaction set, and snapshot reads.
+func (b *Backend) Capabilities() workload.Capabilities {
+	return workload.Capabilities{
+		Models:  []string{"relational", "document", "kv"},
+		Queries: []workload.QueryID{workload.Q1, workload.Q3, workload.Q4, workload.Q8, workload.Q12, workload.Q13},
+		Suites:  []string{"t2", "tenants"},
+
+		SuiteStats: b,
+	}
+}
+
+// RunQuery implements workload.Backend for the supported subset; any
+// other query returns the typed unsupported error without touching
+// the database.
+func (b *Backend) RunQuery(q workload.QueryID, p workload.Params) (int, error) {
+	caps := b.Capabilities()
+	if !caps.SupportsQuery(q) {
+		return 0, fmt.Errorf("sqlite backend does not express %s: %w", q, workload.ErrUnsupported)
+	}
+	switch q {
+	case workload.Q1:
+		return b.q1(p)
+	case workload.Q3:
+		return b.q3(p)
+	case workload.Q4:
+		return b.q4(p)
+	case workload.Q8:
+		return b.q8()
+	case workload.Q12:
+		return b.q12(p)
+	case workload.Q13:
+		return b.q13(p)
+	}
+	return 0, fmt.Errorf("sqlite backend does not express %s: %w", q, workload.ErrUnsupported)
+}
+
+// RunSuiteOp implements workload.Backend: the tenants suite executes
+// in SQL; every other suite (including t2, whose mix drives RunQuery
+// natively) is unsupported before any row is read.
+func (b *Backend) RunSuiteOp(suite, op string, p workload.Params) (int, error) {
+	if suite != "tenants" {
+		return 0, fmt.Errorf("sqlite backend cannot run suite %s op %s: %w", suite, op, workload.ErrUnsupported)
+	}
+	var n int
+	var err error
+	write := false
+	switch op {
+	case "t_lookup":
+		n, err = b.tnLookup(p)
+	case "t_inbox":
+		n, err = b.tnInbox(p)
+	case "t_open":
+		n, err = b.tnOpen(p)
+		write = true
+	case "t_close":
+		n, err = b.tnClose(p)
+		write = true
+	case "t_count":
+		n, err = b.tnCount(p)
+	default:
+		return 0, fmt.Errorf("sqlite backend has no tenants op %q: %w", op, workload.ErrUnsupported)
+	}
+	if err != nil {
+		return 0, err
+	}
+	b.stats.Observe(write, n)
+	return n, nil
+}
+
+// --- scalar helpers ---
+
+func (b *Backend) count(query string, args ...any) (int, error) {
+	var n int
+	if err := b.db.QueryRow(query, args...).Scan(&n); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	return n, nil
+}
+
+// groupCount counts the result rows of a grouped query (the engine's
+// SQL subset has no subqueries to COUNT over).
+func (b *Backend) groupCount(query string, args ...any) (int, error) {
+	rows, err := b.db.Query(query, args...)
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}
+
+// seqOf mirrors the workload package's draw: the numeric suffix of a
+// generated order id, clamped to 1.
+func seqOf(orderID string) int {
+	if len(orderID) < 2 {
+		return 1
+	}
+	n, err := strconv.Atoi(orderID[1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// --- queries ---
+
+// q1 is the customer profile: the relational row, the customer's
+// order documents, and their feedback keys.
+func (b *Backend) q1(p workload.Params) (int, error) {
+	if !b.hasTable("customer") {
+		return 0, fmt.Errorf("sqlitebe: customer table missing (dataset not loaded?)")
+	}
+	found, err := b.count("SELECT COUNT(*) FROM customer WHERE id = ?", p.CustomerID)
+	if err != nil || found == 0 {
+		return 0, err
+	}
+	orders := 0
+	if b.hasTable("orders") {
+		if orders, err = b.count("SELECT COUNT(*) FROM orders WHERE customer_id = ?", p.CustomerID); err != nil {
+			return 0, err
+		}
+	}
+	feedback := 0
+	if b.hasTable("kv") {
+		prefix := fmt.Sprintf("feedback/%06d/", p.CustomerID)
+		end := prefix[:len(prefix)-1] + "0" // '/'+1
+		if feedback, err = b.count("SELECT COUNT(*) FROM kv WHERE k >= ? AND k < ?", prefix, end); err != nil {
+			return 0, err
+		}
+	}
+	return 1 + orders + feedback, nil
+}
+
+// q3 ranks products by average feedback rating: join feedback keys to
+// order line items, aggregate per product, take the top N. The rank
+// and cut run in Go, like the federation engine does client-side.
+func (b *Backend) q3(p workload.Params) (int, error) {
+	if !b.hasTable("kv") || !b.hasTable("orders_items") {
+		return 0, nil // no feedback or no line items: nothing rated
+	}
+	type entry struct {
+		oid    string
+		rating float64
+	}
+	var entries []entry
+	sel := "SELECT k FROM kv WHERE k >= 'feedback/' AND k < 'feedback0'"
+	if b.hasCol("kv", "rating") {
+		sel = "SELECT k, rating FROM kv WHERE k >= 'feedback/' AND k < 'feedback0'"
+	}
+	rows, err := b.db.Query(sel)
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	for rows.Next() {
+		var k string
+		var rating sql.NullFloat64
+		if b.hasCol("kv", "rating") {
+			err = rows.Scan(&k, &rating)
+		} else {
+			err = rows.Scan(&k)
+		}
+		if err != nil {
+			rows.Close()
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+		// Keys are feedback/<customer>/<order>.
+		first := -1
+		for i := 0; i < len(k); i++ {
+			if k[i] == '/' {
+				first = i
+				break
+			}
+		}
+		last := -1
+		for i := len(k) - 1; i >= 0; i-- {
+			if k[i] == '/' {
+				last = i
+				break
+			}
+		}
+		if first < 0 || last <= first {
+			continue
+		}
+		if containsSlash(k[first+1 : last]) {
+			continue // more than three segments, like the native split check
+		}
+		entries = append(entries, entry{oid: k[last+1:], rating: rating.Float64})
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	type acc struct{ sum, n float64 }
+	ratings := map[string]*acc{}
+	for _, e := range entries {
+		irows, err := b.db.Query("SELECT product_id FROM orders_items WHERE parent = ?", e.oid)
+		if err != nil {
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+		for irows.Next() {
+			var pid string
+			if err := irows.Scan(&pid); err != nil {
+				irows.Close()
+				return 0, fmt.Errorf("sqlitebe: %w", err)
+			}
+			a := ratings[pid]
+			if a == nil {
+				a = &acc{}
+				ratings[pid] = a
+			}
+			a.sum += e.rating
+			a.n++
+		}
+		irows.Close()
+		if err := irows.Err(); err != nil {
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+	}
+	type ranked struct {
+		pid string
+		avg float64
+	}
+	rs := make([]ranked, 0, len(ratings))
+	for pid, a := range ratings {
+		rs = append(rs, ranked{pid, a.sum / a.n})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].avg != rs[j].avg {
+			return rs[i].avg > rs[j].avg
+		}
+		return rs[i].pid < rs[j].pid
+	})
+	if len(rs) > p.TopN {
+		rs = rs[:p.TopN]
+	}
+	return len(rs), nil
+}
+
+func containsSlash(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// q4 counts the city's customers whose summed order totals clear the
+// threshold — the grouped join the native engines do as a client-side
+// hash join.
+func (b *Backend) q4(p workload.Params) (int, error) {
+	if !b.hasTable("customer") {
+		return 0, fmt.Errorf("sqlitebe: customer table missing (dataset not loaded?)")
+	}
+	if !b.hasTable("orders") {
+		// No orders: every customer sums to zero, which only clears a
+		// negative threshold.
+		if p.Threshold < 0 {
+			return b.count("SELECT COUNT(*) FROM customer WHERE city = ?", p.City)
+		}
+		return 0, nil
+	}
+	rows, err := b.db.Query(
+		"SELECT c.id FROM orders AS o JOIN customer AS c ON o.customer_id = c.id "+
+			"WHERE c.city = ? GROUP BY c.id HAVING SUM(o.total) > ?", p.City, p.Threshold)
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	defer rows.Close()
+	count := 0
+	for rows.Next() {
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	if p.Threshold < 0 {
+		// Zero-order customers also clear a negative threshold; the
+		// inner join cannot see them. Unreachable with the parameter
+		// generator's positive constant, kept exact anyway.
+		withOrders, err := b.groupCount(
+			"SELECT c.id FROM orders AS o JOIN customer AS c ON o.customer_id = c.id WHERE c.city = ? GROUP BY c.id", p.City)
+		if err != nil {
+			return 0, err
+		}
+		all, err := b.count("SELECT COUNT(*) FROM customer WHERE city = ?", p.City)
+		if err != nil {
+			return 0, err
+		}
+		count += all - withOrders
+	}
+	return count, nil
+}
+
+// q8 counts the distinct (non-empty) cities with any order revenue.
+func (b *Backend) q8() (int, error) {
+	if !b.hasTable("customer") {
+		return 0, fmt.Errorf("sqlitebe: customer table missing (dataset not loaded?)")
+	}
+	if !b.hasTable("orders") {
+		return 0, nil
+	}
+	return b.cityGroups("", 0)
+}
+
+// q12 counts the cities whose revenue clears threshold*50.
+func (b *Backend) q12(p workload.Params) (int, error) {
+	if !b.hasTable("customer") {
+		return 0, fmt.Errorf("sqlitebe: customer table missing (dataset not loaded?)")
+	}
+	if !b.hasTable("orders") {
+		return 0, nil
+	}
+	return b.cityGroups(" HAVING SUM(o.total) > ?", p.Threshold*50)
+}
+
+// cityGroups runs the orders-to-customer city grouping (orders as the
+// join spine, so per-city sums accumulate in order key order exactly
+// like the native map accumulation) and counts non-empty city groups.
+func (b *Backend) cityGroups(having string, threshold float64) (int, error) {
+	q := "SELECT c.city FROM orders AS o JOIN customer AS c ON o.customer_id = c.id GROUP BY c.city" + having
+	var rows *sql.Rows
+	var err error
+	if having != "" {
+		rows, err = b.db.Query(q, threshold)
+	} else {
+		rows, err = b.db.Query(q)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	defer rows.Close()
+	count := 0
+	for rows.Next() {
+		var city sql.NullString
+		if err := rows.Scan(&city); err != nil {
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+		if city.String != "" {
+			count++
+		}
+	}
+	return count, rows.Err()
+}
+
+// q13 takes the top-N customers by summed order revenue and counts
+// the distinct cities they live in. The top-N cut happens in Go with
+// the same id-ascending stable sort the native engines use, so
+// revenue ties resolve identically.
+func (b *Backend) q13(p workload.Params) (int, error) {
+	if !b.hasTable("customer") {
+		return 0, fmt.Errorf("sqlitebe: customer table missing (dataset not loaded?)")
+	}
+	if !b.hasTable("orders") {
+		return 0, nil
+	}
+	rows, err := b.db.Query("SELECT customer_id, SUM(total) FROM orders GROUP BY customer_id")
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	type spender struct {
+		cid int64
+		rev float64
+	}
+	var top []spender
+	for rows.Next() {
+		var cid sql.NullInt64
+		var rev sql.NullFloat64
+		if err := rows.Scan(&cid, &rev); err != nil {
+			rows.Close()
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+		if !cid.Valid {
+			continue
+		}
+		top = append(top, spender{cid.Int64, rev.Float64})
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].cid < top[j].cid })
+	sort.SliceStable(top, func(i, j int) bool { return top[i].rev > top[j].rev })
+	if len(top) > p.TopN {
+		top = top[:p.TopN]
+	}
+	cities := map[string]bool{}
+	for _, sp := range top {
+		var city sql.NullString
+		err := b.db.QueryRow("SELECT city FROM customer WHERE id = ?", sp.cid).Scan(&city)
+		if errors.Is(err, sql.ErrNoRows) {
+			continue
+		}
+		if err != nil {
+			return 0, fmt.Errorf("sqlitebe: %w", err)
+		}
+		if city.String != "" {
+			cities[city.String] = true
+		}
+	}
+	return len(cities), nil
+}
+
+// --- tenants suite ops ---
+
+func (b *Backend) tnLookup(p workload.Params) (int, error) {
+	found, err := b.count("SELECT COUNT(*) FROM tenant WHERE id = ?", p.CustomerID)
+	if err != nil {
+		return 0, err
+	}
+	tk, err := b.count("SELECT COUNT(*) FROM tickets WHERE _id = ?", datagen.TicketID(seqOf(p.OrderID)))
+	if err != nil {
+		return 0, err
+	}
+	return found + tk, nil
+}
+
+func (b *Backend) tnInbox(p workload.Params) (int, error) {
+	return b.count("SELECT COUNT(*) FROM tickets WHERE tenant_id = ? AND status = 'open'", p.CustomerID)
+}
+
+// tnOpen inserts the ticket and bumps the tenant's counter in one SQL
+// transaction, mirroring the native op's atomicity.
+func (b *Backend) tnOpen(p workload.Params) (int, error) {
+	tx, err := b.db.Begin()
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	if _, err := tx.Exec(
+		"INSERT INTO tickets (_id, tenant_id, status, priority, subject, body) VALUES (?, ?, ?, ?, ?, ?)",
+		"tk-"+p.FreshID, p.CustomerID, "open", p.Rating, "opened at runtime",
+		"runtime ticket for tenant "+p.City); err != nil {
+		_ = tx.Rollback()
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	res, err := tx.Exec("UPDATE tenant SET tickets = tickets + ? WHERE id = ?", 1, p.CustomerID)
+	if err != nil {
+		_ = tx.Rollback()
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	if n, _ := res.RowsAffected(); n == 0 {
+		_ = tx.Rollback()
+		return 0, fmt.Errorf("sqlitebe: tenant %d missing", p.CustomerID)
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	return 1, nil
+}
+
+func (b *Backend) tnClose(p workload.Params) (int, error) {
+	res, err := b.db.Exec("UPDATE tickets SET status = ? WHERE _id = ?",
+		"closed", datagen.TicketID(seqOf(p.OrderID)))
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	if n, _ := res.RowsAffected(); n == 0 {
+		return 0, fmt.Errorf("sqlitebe: ticket %s missing", datagen.TicketID(seqOf(p.OrderID)))
+	}
+	return 1, nil
+}
+
+// tnCount is the counter-vs-collection consistency probe. Both reads
+// run inside one SQL transaction so the comparison sees a consistent
+// view, like the native probe's snapshot.
+func (b *Backend) tnCount(p workload.Params) (int, error) {
+	tx, err := b.db.Begin()
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	defer func() { _ = tx.Rollback() }()
+	var counted int64
+	err = tx.QueryRow("SELECT tickets FROM tenant WHERE id = ?", p.CustomerID).Scan(&counted)
+	if errors.Is(err, sql.ErrNoRows) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	var docs int
+	if err := tx.QueryRow("SELECT COUNT(*) FROM tickets WHERE tenant_id = ?", p.CustomerID).Scan(&docs); err != nil {
+		return 0, fmt.Errorf("sqlitebe: %w", err)
+	}
+	if int(counted) != docs {
+		return 1, nil
+	}
+	return 0, nil
+}

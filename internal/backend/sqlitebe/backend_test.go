@@ -1,0 +1,221 @@
+package sqlitebe
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"udbench/internal/workload"
+)
+
+// buildPair loads one generated dataset into both the native unified
+// engine and the sqlite backend, via the registry path real runs use.
+func buildPair(t *testing.T, suiteName string, sf float64, seed uint64) (native, sqlite workload.Backend, info workload.Info) {
+	t.Helper()
+	suite, err := workload.ResolveSuite(suiteName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := suite.Generate(sf, seed)
+	for _, name := range []string{"udbms", "sqlite"} {
+		spec, err := workload.ResolveBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := spec.New(data, workload.BackendOptions{})
+		if err != nil {
+			t.Fatalf("build %s backend: %v", name, err)
+		}
+		if name == "udbms" {
+			native = be
+		} else {
+			sqlite = be
+		}
+	}
+	if c, ok := sqlite.(interface{ Close() error }); ok {
+		t.Cleanup(func() { _ = c.Close() })
+	}
+	return native, sqlite, data.Info()
+}
+
+// TestQueryAgreement pins the comparative contract on the t2 dataset:
+// for every query the sqlite backend advertises, its cardinality must
+// equal the unified engine's, trial after trial.
+func TestQueryAgreement(t *testing.T) {
+	native, sqlite, info := buildPair(t, "t2", 0.05, 1234)
+	queries := sqlite.Capabilities().Queries
+	if len(queries) == 0 {
+		t.Fatal("sqlite backend advertises no queries")
+	}
+	gen := workload.NewParamGen(info, 3, 0.5)
+	for trial := 0; trial < 6; trial++ {
+		p := gen.Next()
+		for _, q := range queries {
+			want, err := native.RunQuery(q, p)
+			if err != nil {
+				t.Fatalf("%s udbms: %v", q, err)
+			}
+			got, err := sqlite.RunQuery(q, p)
+			if err != nil {
+				t.Fatalf("%s sqlite: %v", q, err)
+			}
+			if got != want {
+				t.Errorf("%s: udbms=%d sqlite=%d (params %+v)", q, want, got, p)
+			}
+		}
+	}
+}
+
+// TestTenantsAgreement drives the tenants suite on both backends:
+// read ops must agree on a fresh dataset, and after both apply the
+// same write sequence the reads must still agree — including the
+// consistency probe and the suite_stats deltas.
+func TestTenantsAgreement(t *testing.T) {
+	native, sqlite, info := buildPair(t, "tenants", 0.05, 7)
+	readOps := []string{"t_lookup", "t_inbox", "t_count"}
+	compareReads := func(label string, gen *workload.ParamGen, trials int) {
+		t.Helper()
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Next()
+			for _, op := range readOps {
+				want, err := native.RunSuiteOp("tenants", op, p)
+				if err != nil {
+					t.Fatalf("%s %s udbms: %v", label, op, err)
+				}
+				got, err := sqlite.RunSuiteOp("tenants", op, p)
+				if err != nil {
+					t.Fatalf("%s %s sqlite: %v", label, op, err)
+				}
+				if got != want {
+					t.Errorf("%s %s: udbms=%d sqlite=%d (params %+v)", label, op, want, got, p)
+				}
+			}
+		}
+	}
+	compareReads("fresh", workload.NewParamGen(info, 7, 0.5), 8)
+
+	nativeStats := native.Capabilities().SuiteStats
+	sqliteStats := sqlite.Capabilities().SuiteStats
+	if nativeStats == nil || sqliteStats == nil {
+		t.Fatal("both backends must provide suite stats")
+	}
+	baseN, baseS := nativeStats.SuiteOpStats(), sqliteStats.SuiteOpStats()
+
+	// Identical write sequences: open a fresh ticket per trial, close a
+	// generated one.
+	gen := workload.NewParamGen(info, 21, 0.5)
+	for trial := 0; trial < 6; trial++ {
+		p := gen.Next()
+		p.FreshID = fmt.Sprintf("agree-%d", trial)
+		for _, op := range []string{"t_open", "t_close"} {
+			want, err := native.RunSuiteOp("tenants", op, p)
+			if err != nil {
+				t.Fatalf("%s udbms: %v", op, err)
+			}
+			got, err := sqlite.RunSuiteOp("tenants", op, p)
+			if err != nil {
+				t.Fatalf("%s sqlite: %v", op, err)
+			}
+			if got != want {
+				t.Errorf("%s: udbms=%d sqlite=%d", op, want, got)
+			}
+		}
+	}
+	compareReads("after-writes", workload.NewParamGen(info, 7, 0.5), 8)
+
+	dn := nativeStats.SuiteOpStats().Delta(baseN)
+	ds := sqliteStats.SuiteOpStats().Delta(baseS)
+	if dn != ds {
+		t.Errorf("suite stats deltas diverge: udbms=%+v sqlite=%+v", dn, ds)
+	}
+}
+
+// TestUnsupportedIsTypedAndTouchesNothing pins the capability
+// contract: unsupported queries and suites fail with the typed
+// sentinel before reading or writing anything — the suite-op counters
+// and the data must be bit-identical before and after.
+func TestUnsupportedIsTypedAndTouchesNothing(t *testing.T) {
+	_, sqlite, info := buildPair(t, "tenants", 0.05, 7)
+	gen := workload.NewParamGen(info, 5, 0.5)
+	p := gen.Next()
+	before, err := sqlite.RunSuiteOp("tenants", "t_inbox", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := sqlite.Capabilities().SuiteStats.SuiteOpStats()
+
+	if _, err := sqlite.RunQuery(workload.Q2, p); !errors.Is(err, workload.ErrUnsupported) {
+		t.Errorf("Q2 err = %v, want workload.ErrUnsupported", err)
+	}
+	if _, err := sqlite.RunQuery(workload.Q9, p); !errors.Is(err, workload.ErrUnsupported) {
+		t.Errorf("Q9 err = %v, want workload.ErrUnsupported", err)
+	}
+	if _, err := sqlite.RunSuiteOp("timeseries", "window", p); !errors.Is(err, workload.ErrUnsupported) {
+		t.Errorf("timeseries op err = %v, want workload.ErrUnsupported", err)
+	}
+	if _, err := sqlite.RunSuiteOp("tenants", "no_such_op", p); !errors.Is(err, workload.ErrUnsupported) {
+		t.Errorf("unknown op err = %v, want workload.ErrUnsupported", err)
+	}
+
+	if after, err := sqlite.RunSuiteOp("tenants", "t_inbox", p); err != nil || after != before {
+		t.Errorf("inbox after unsupported attempts = %d, %v; want %d (data untouched)", after, err, before)
+	}
+	statsAfter := sqlite.Capabilities().SuiteStats.SuiteOpStats()
+	// Only the two deliberate t_inbox reads may have counted.
+	wantReads := statsBefore.Reads + 1
+	if statsAfter.Reads != wantReads || statsAfter.Writes != statsBefore.Writes {
+		t.Errorf("stats after = %+v, want reads=%d writes=%d (unsupported ops must not count)",
+			statsAfter, wantReads, statsBefore.Writes)
+	}
+}
+
+// TestRunMixOnSqliteBackend runs the full tenants mix through the
+// unmodified driver against the sqlite backend: error-free, with
+// suite telemetry and the partial-capability report attached.
+func TestRunMixOnSqliteBackend(t *testing.T) {
+	_, sqlite, info := buildPair(t, "tenants", 0.05, 7)
+	suite, err := workload.ResolveSuite("tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.RunMix(sqlite, info, suite.Mix(sqlite), workload.DriverConfig{
+		Clients: 4, OpsPerClient: 40, Theta: 0.7, Seed: 11, Suite: "tenants",
+	})
+	if res.Errors != 0 || res.Aborts != 0 {
+		t.Fatalf("tenants mix on sqlite: %d errors, %d aborts", res.Errors, res.Aborts)
+	}
+	if res.Ops != 160 {
+		t.Fatalf("ops = %d, want 160", res.Ops)
+	}
+	if res.SuiteStats == nil || res.SuiteStats.Reads+res.SuiteStats.Writes == 0 {
+		t.Errorf("suite stats missing or empty: %+v", res.SuiteStats)
+	}
+	sum := res.Summary()
+	if sum.BackendCapabilities == nil {
+		t.Fatal("partial backend must attach backend_capabilities")
+	}
+	if !sum.BackendCapabilities.Transactions && len(sum.BackendCapabilities.Queries) == 0 {
+		t.Error("capability report lists no queries")
+	}
+	if sum.Engine != "sqlite" {
+		t.Errorf("summary engine = %q, want sqlite", sum.Engine)
+	}
+}
+
+// TestStandardMixDegradesToQueries pins the t2 leg: without native
+// transactions the standard mix over the sqlite backend reduces to
+// its supported query items instead of erroring.
+func TestStandardMixDegradesToQueries(t *testing.T) {
+	_, sqlite, _ := buildPair(t, "t2", 0.05, 1234)
+	mix := workload.StandardMix(sqlite)
+	if len(mix) != 1 || mix[0].Name != "Q1" {
+		names := make([]string, len(mix))
+		for i, m := range mix {
+			names[i] = m.Name
+		}
+		t.Fatalf("standard mix over sqlite = %v, want [Q1] only", names)
+	}
+	if err := mix[0].Run(workload.Params{CustomerID: 1}); err != nil {
+		t.Errorf("Q1 through sqlite failed: %v", err)
+	}
+}

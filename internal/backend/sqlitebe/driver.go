@@ -1,0 +1,823 @@
+// Package sqlitebe puts a relational SQL engine behind the workload
+// harness's Backend contract. The backend itself speaks only
+// database/sql: it shreds the multi-model dataset into flat tables and
+// expresses the supported query subset as portable SQL (sqlite's type
+// affinity set — INTEGER/REAL/TEXT — with ? placeholders).
+//
+// The container this benchmark builds in has no module cache and no
+// cgo sqlite, so the package ships its own minimal in-memory SQL
+// engine registered as the "udsql" driver. It implements exactly the
+// SQL subset backend.go and schema.go emit. Swapping in a real sqlite
+// driver is a two-line change in Open (driver name + DSN); everything
+// above the database/sql seam is already written against it.
+package sqlitebe
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+func init() { sql.Register("udsql", sharedDriver) }
+
+// sharedDriver keys live databases by DSN, so every connection the
+// database/sql pool opens against one DSN lands on the same memDB.
+var sharedDriver = &Driver{dbs: map[string]*memDB{}}
+
+// Driver is the database/sql/driver entry point for the in-memory
+// engine.
+type Driver struct {
+	mu  sync.Mutex
+	dbs map[string]*memDB
+}
+
+// Open returns a connection to the memDB named by the DSN, creating
+// it on first open.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	d.mu.Lock()
+	db := d.dbs[dsn]
+	if db == nil {
+		db = &memDB{tables: map[string]*memTable{}}
+		d.dbs[dsn] = db
+	}
+	d.mu.Unlock()
+	return &mconn{db: db}, nil
+}
+
+// drop releases the memDB behind a DSN (backend Close).
+func (d *Driver) drop(dsn string) {
+	d.mu.Lock()
+	delete(d.dbs, dsn)
+	d.mu.Unlock()
+}
+
+// memDB is one database: named tables under a single RWMutex.
+// Statements take the read or write side per operation; an explicit
+// transaction holds the write side from Begin to Commit/Rollback, with
+// an undo journal for rollback.
+type memDB struct {
+	mu     sync.RWMutex
+	tables map[string]*memTable
+}
+
+// memTable stores rows positionally. Values are dynamically typed
+// (int64, float64, string, or nil) in sqlite affinity style: declared
+// column types are parsed and discarded.
+type memTable struct {
+	name   string
+	cols   []string
+	colIdx map[string]int
+	pk     int // column index of the PRIMARY KEY, -1 if none
+	rows   [][]any
+	pkIdx  map[string]int  // valueKey -> row index
+	hash   map[int]hashIdx // secondary eq indexes by column
+}
+
+type hashIdx map[string][]int // valueKey -> row indices, insertion order
+
+// valueKey folds a value into an index key; numerics unify so an
+// int64 7 and a float64 7 probe the same bucket. nil is unindexable.
+func valueKey(v any) (string, bool) {
+	switch x := v.(type) {
+	case int64:
+		return "n:" + strconv.FormatFloat(float64(x), 'g', -1, 64), true
+	case float64:
+		return "n:" + strconv.FormatFloat(x, 'g', -1, 64), true
+	case string:
+		return "s:" + x, true
+	}
+	return "", false
+}
+
+// cmpVals orders two dynamic values; ok is false when either side is
+// nil or the kinds are incomparable (SQL three-valued logic collapses
+// to "predicate not satisfied").
+func cmpVals(a, b any) (int, bool) {
+	af, aIsNum := toFloat(a)
+	bf, bIsNum := toFloat(b)
+	if aIsNum && bIsNum {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return strings.Compare(as, bs), true
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// normValue maps incoming driver values onto the engine's storage
+// kinds (bools become 0/1 like sqlite).
+func normValue(v driver.Value) any {
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return int64(1)
+		}
+		return int64(0)
+	case []byte:
+		return string(x)
+	}
+	return v
+}
+
+// --- connection / transaction ---
+
+type mconn struct {
+	db   *memDB
+	inTx bool
+	undo []undoEntry
+}
+
+type undoEntry struct {
+	insert bool // true: the entry is a row append to t; false: a cell update
+	t      *memTable
+	row    int
+	col    int
+	old    any
+}
+
+func (c *mconn) Prepare(query string) (driver.Stmt, error) {
+	st, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &mstmt{c: c, st: st}, nil
+}
+
+func (c *mconn) Close() error { return nil }
+
+func (c *mconn) Begin() (driver.Tx, error) {
+	if c.inTx {
+		return nil, fmt.Errorf("udsql: nested transaction")
+	}
+	c.db.mu.Lock()
+	c.inTx = true
+	c.undo = c.undo[:0]
+	return &mtx{c: c}, nil
+}
+
+// lockFor takes the appropriate side of the database lock for one
+// statement, unless an explicit transaction already holds the write
+// side. The returned function releases it.
+func (c *mconn) lockFor(write bool) func() {
+	if c.inTx {
+		return func() {}
+	}
+	if write {
+		c.db.mu.Lock()
+		return c.db.mu.Unlock
+	}
+	c.db.mu.RLock()
+	return c.db.mu.RUnlock
+}
+
+type mtx struct{ c *mconn }
+
+func (t *mtx) Commit() error {
+	t.c.undo = t.c.undo[:0]
+	t.c.inTx = false
+	t.c.db.mu.Unlock()
+	return nil
+}
+
+func (t *mtx) Rollback() error {
+	// Replay the journal in reverse. Inserted rows are always the
+	// newest rows of their table at undo time, so truncation is safe.
+	for i := len(t.c.undo) - 1; i >= 0; i-- {
+		u := t.c.undo[i]
+		if u.insert {
+			row := u.t.rows[u.row]
+			u.t.rows = u.t.rows[:u.row]
+			u.t.unindexRow(row, u.row)
+			continue
+		}
+		u.t.reindexCell(u.row, u.col, u.t.rows[u.row][u.col], u.old)
+		u.t.rows[u.row][u.col] = u.old
+	}
+	t.c.undo = t.c.undo[:0]
+	t.c.inTx = false
+	t.c.db.mu.Unlock()
+	return nil
+}
+
+func (t *memTable) unindexRow(row []any, idx int) {
+	if t.pk >= 0 {
+		if k, ok := valueKey(row[t.pk]); ok {
+			delete(t.pkIdx, k)
+		}
+	}
+	for col, h := range t.hash {
+		if k, ok := valueKey(row[col]); ok {
+			h[k] = removeIdx(h[k], idx)
+		}
+	}
+}
+
+// reindexCell moves a row between secondary-index buckets when one of
+// its indexed cells changes value.
+func (t *memTable) reindexCell(row, col int, from, to any) {
+	h, indexed := t.hash[col]
+	if indexed {
+		if k, ok := valueKey(from); ok {
+			h[k] = removeIdx(h[k], row)
+		}
+		if k, ok := valueKey(to); ok {
+			h[k] = append(h[k], row)
+		}
+	}
+	if col == t.pk {
+		if k, ok := valueKey(from); ok {
+			delete(t.pkIdx, k)
+		}
+		if k, ok := valueKey(to); ok {
+			t.pkIdx[k] = row
+		}
+	}
+}
+
+func removeIdx(s []int, idx int) []int {
+	for i, v := range s {
+		if v == idx {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// --- statements ---
+
+type mstmt struct {
+	c  *mconn
+	st *stmt
+}
+
+func (s *mstmt) Close() error  { return nil }
+func (s *mstmt) NumInput() int { return s.st.numParams }
+
+func (s *mstmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals := make([]any, len(args))
+	for i, a := range args {
+		vals[i] = normValue(a)
+	}
+	unlock := s.c.lockFor(s.st.kind != kindSelect)
+	defer unlock()
+	switch s.st.kind {
+	case kindCreateTable:
+		return s.execCreateTable()
+	case kindCreateIndex:
+		return s.execCreateIndex()
+	case kindInsert:
+		return s.execInsert(vals)
+	case kindUpdate:
+		return s.execUpdate(vals)
+	}
+	return nil, fmt.Errorf("udsql: statement kind not executable")
+}
+
+func (s *mstmt) Query(args []driver.Value) (driver.Rows, error) {
+	if s.st.kind != kindSelect {
+		return nil, fmt.Errorf("udsql: not a SELECT")
+	}
+	vals := make([]any, len(args))
+	for i, a := range args {
+		vals[i] = normValue(a)
+	}
+	unlock := s.c.lockFor(false)
+	defer unlock()
+	// Results are fully materialized under the lock, so the returned
+	// rows are a consistent snapshot regardless of later writes.
+	return s.execSelect(vals)
+}
+
+func (s *mstmt) execCreateTable() (driver.Result, error) {
+	db := s.c.db
+	if _, exists := db.tables[s.st.table]; exists {
+		return nil, fmt.Errorf("udsql: table %s already exists", s.st.table)
+	}
+	t := &memTable{
+		name:   s.st.table,
+		cols:   s.st.cols,
+		colIdx: map[string]int{},
+		pk:     s.st.pk,
+		pkIdx:  map[string]int{},
+		hash:   map[int]hashIdx{},
+	}
+	for i, c := range s.st.cols {
+		t.colIdx[c] = i
+	}
+	db.tables[s.st.table] = t
+	return driver.RowsAffected(0), nil
+}
+
+func (s *mstmt) execCreateIndex() (driver.Result, error) {
+	t, err := s.c.db.table(s.st.table)
+	if err != nil {
+		return nil, err
+	}
+	col, ok := t.colIdx[s.st.indexCol]
+	if !ok {
+		return nil, fmt.Errorf("udsql: no column %s in %s", s.st.indexCol, s.st.table)
+	}
+	if _, exists := t.hash[col]; exists {
+		return driver.RowsAffected(0), nil
+	}
+	h := hashIdx{}
+	for i, row := range t.rows {
+		if k, ok := valueKey(row[col]); ok {
+			h[k] = append(h[k], i)
+		}
+	}
+	t.hash[col] = h
+	return driver.RowsAffected(0), nil
+}
+
+func (s *mstmt) execInsert(vals []any) (driver.Result, error) {
+	t, err := s.c.db.table(s.st.table)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]any, len(t.cols))
+	for i, col := range s.st.cols {
+		ci, ok := t.colIdx[col]
+		if !ok {
+			return nil, fmt.Errorf("udsql: no column %s in %s", col, t.name)
+		}
+		row[ci] = vals[i]
+	}
+	idx := len(t.rows)
+	if t.pk >= 0 {
+		k, ok := valueKey(row[t.pk])
+		if !ok {
+			return nil, fmt.Errorf("udsql: NULL primary key in %s", t.name)
+		}
+		if _, dup := t.pkIdx[k]; dup {
+			return nil, fmt.Errorf("udsql: duplicate primary key in %s", t.name)
+		}
+		t.pkIdx[k] = idx
+	}
+	for col, h := range t.hash {
+		if k, ok := valueKey(row[col]); ok {
+			h[k] = append(h[k], idx)
+		}
+	}
+	t.rows = append(t.rows, row)
+	if s.c.inTx {
+		s.c.undo = append(s.c.undo, undoEntry{insert: true, t: t, row: idx})
+	}
+	return driver.RowsAffected(1), nil
+}
+
+func (s *mstmt) execUpdate(vals []any) (driver.Result, error) {
+	t, err := s.c.db.table(s.st.table)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := t.scan(s.st.where, vals, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, ri := range matched {
+		for _, set := range s.st.sets {
+			ci, ok := t.colIdx[set.col]
+			if !ok {
+				return nil, fmt.Errorf("udsql: no column %s in %s", set.col, t.name)
+			}
+			old := t.rows[ri][ci]
+			var next any
+			if set.addSelf {
+				base, ok := toFloat(old)
+				if !ok {
+					base = 0
+				}
+				delta, _ := toFloat(vals[set.param])
+				// Integer columns stay integers under += (counter bumps).
+				if _, isInt := old.(int64); isInt || old == nil {
+					next = int64(base) + int64(delta)
+				} else {
+					next = base + delta
+				}
+			} else {
+				next = vals[set.param]
+			}
+			if s.c.inTx {
+				s.c.undo = append(s.c.undo, undoEntry{t: t, row: ri, col: ci, old: old})
+			}
+			t.reindexCell(ri, ci, old, next)
+			t.rows[ri][ci] = next
+		}
+	}
+	return driver.RowsAffected(int64(len(matched))), nil
+}
+
+func (db *memDB) table(name string) (*memTable, error) {
+	t := db.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("udsql: no table %s", name)
+	}
+	return t, nil
+}
+
+// scan returns the indices of rows matching every predicate, in row
+// order. An equality predicate on the primary key or an indexed column
+// narrows the scan to its bucket; residual predicates filter.
+func (t *memTable) scan(preds []pred, vals []any, resolve func(colRef) (int, bool)) ([]int, error) {
+	if resolve == nil {
+		resolve = func(c colRef) (int, bool) {
+			ci, ok := t.colIdx[c.name]
+			return ci, ok
+		}
+	}
+	type bound struct {
+		col int
+		op  string
+		val any
+	}
+	bounds := make([]bound, 0, len(preds))
+	probe := -1 // index into bounds of the chosen indexed eq predicate
+	for _, p := range preds {
+		ci, ok := resolve(p.col)
+		if !ok {
+			return nil, fmt.Errorf("udsql: no column %s in %s", p.col.name, t.name)
+		}
+		v := p.val.value(vals)
+		bounds = append(bounds, bound{ci, p.op, v})
+		if probe < 0 && p.op == "=" {
+			if _, indexed := t.hash[ci]; indexed || ci == t.pk {
+				probe = len(bounds) - 1
+			}
+		}
+	}
+	match := func(ri int) bool {
+		row := t.rows[ri]
+		for _, b := range bounds {
+			c, ok := cmpVals(row[b.col], b.val)
+			if !ok || !opHolds(b.op, c) {
+				return false
+			}
+		}
+		return true
+	}
+	var out []int
+	if probe >= 0 {
+		b := bounds[probe]
+		k, ok := valueKey(b.val)
+		if !ok {
+			return nil, nil // eq against NULL matches nothing
+		}
+		if b.col == t.pk {
+			if ri, hit := t.pkIdx[k]; hit && match(ri) {
+				out = append(out, ri)
+			}
+			return out, nil
+		}
+		for _, ri := range t.hash[b.col][k] {
+			if match(ri) {
+				out = append(out, ri)
+			}
+		}
+		return out, nil
+	}
+	for ri := range t.rows {
+		if match(ri) {
+			out = append(out, ri)
+		}
+	}
+	return out, nil
+}
+
+func opHolds(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// --- SELECT execution ---
+
+func (s *mstmt) execSelect(vals []any) (driver.Rows, error) {
+	st := s.st
+	left, err := s.c.db.table(st.table)
+	if err != nil {
+		return nil, err
+	}
+	var right *memTable
+	if st.join != nil {
+		right, err = s.c.db.table(st.join.table)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// side resolves a column reference to (table side, column index):
+	// side 0 = left/from table, side 1 = joined table.
+	resolve := func(c colRef) (int, int, error) {
+		if c.qual != "" {
+			switch {
+			case c.qual == st.alias:
+				if ci, ok := left.colIdx[c.name]; ok {
+					return 0, ci, nil
+				}
+			case st.join != nil && c.qual == st.join.alias:
+				if ci, ok := right.colIdx[c.name]; ok {
+					return 1, ci, nil
+				}
+			}
+			return 0, 0, fmt.Errorf("udsql: cannot resolve %s.%s", c.qual, c.name)
+		}
+		if ci, ok := left.colIdx[c.name]; ok {
+			return 0, ci, nil
+		}
+		if right != nil {
+			if ci, ok := right.colIdx[c.name]; ok {
+				return 1, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("udsql: cannot resolve column %s", c.name)
+	}
+
+	// Split predicates by side so single-table predicates can use the
+	// left table's indexes; join-side and cross predicates filter the
+	// joined rows.
+	var leftPreds []pred
+	var postPreds []struct {
+		side, col int
+		op        string
+		val       any
+	}
+	for _, p := range st.where {
+		side, ci, err := resolve(p.col)
+		if err != nil {
+			return nil, err
+		}
+		if side == 0 {
+			leftPreds = append(leftPreds, p)
+		} else {
+			postPreds = append(postPreds, struct {
+				side, col int
+				op        string
+				val       any
+			}{side, ci, p.op, p.val.value(vals)})
+		}
+	}
+	leftRows, err := left.scan(leftPreds, vals, func(c colRef) (int, bool) {
+		ci, ok := left.colIdx[c.name]
+		return ci, ok
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Joined row stream in left-table row order: hash-build the right
+	// side on its join column, probe per left row. The left table is
+	// the iteration spine, so grouped aggregates accumulate in its
+	// insertion order — the determinism the agreement tests pin.
+	type joined struct{ l, r []any }
+	var stream []joined
+	if st.join == nil {
+		for _, ri := range leftRows {
+			stream = append(stream, joined{l: left.rows[ri]})
+		}
+	} else {
+		lSide, lCol, err := resolve(st.join.leftCol)
+		if err != nil {
+			return nil, err
+		}
+		rSide, rCol, err := resolve(st.join.rightCol)
+		if err != nil {
+			return nil, err
+		}
+		if lSide != 0 || rSide != 1 {
+			return nil, fmt.Errorf("udsql: join condition must relate the FROM table to the joined table")
+		}
+		build := map[string][]int{}
+		for ri, row := range right.rows {
+			if k, ok := valueKey(row[rCol]); ok {
+				build[k] = append(build[k], ri)
+			}
+		}
+		for _, li := range leftRows {
+			k, ok := valueKey(left.rows[li][lCol])
+			if !ok {
+				continue
+			}
+			for _, ri := range build[k] {
+				stream = append(stream, joined{l: left.rows[li], r: right.rows[ri]})
+			}
+		}
+	}
+	// Residual predicates (joined-table side).
+	if len(postPreds) > 0 {
+		kept := stream[:0]
+		for _, j := range stream {
+			ok := true
+			for _, p := range postPreds {
+				row := j.l
+				if p.side == 1 {
+					row = j.r
+				}
+				c, cok := cmpVals(row[p.col], p.val)
+				if !cok || !opHolds(p.op, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, j)
+			}
+		}
+		stream = kept
+	}
+
+	pick := func(j joined, side, col int) any {
+		if side == 1 {
+			return j.r[col]
+		}
+		return j.l[col]
+	}
+
+	outCols := make([]string, len(st.sels))
+	for i, sel := range st.sels {
+		outCols[i] = sel.label()
+	}
+
+	if !st.hasAggregates() && len(st.groupBy) == 0 && st.having == nil {
+		rows := make([][]driver.Value, 0, len(stream))
+		for _, j := range stream {
+			out := make([]driver.Value, len(st.sels))
+			for i, sel := range st.sels {
+				side, ci, err := resolve(sel.col)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = pick(j, side, ci)
+			}
+			rows = append(rows, out)
+		}
+		return &memRows{cols: outCols, rows: rows}, nil
+	}
+
+	// Grouped (or whole-table) aggregation, groups in first-seen order.
+	type group struct {
+		rep  joined
+		cnt  int64
+		sums []float64
+		seen []bool
+	}
+	var order []string
+	groups := map[string]*group{}
+	nSums := 0
+	for _, sel := range st.sels {
+		if sel.agg == aggSum {
+			nSums++
+		}
+	}
+	// The HAVING sum accumulates in its own slot even when the same
+	// SUM() is also selected; the cost is one redundant add per row.
+	havingSumIdx := -1
+	if st.having != nil {
+		if _, _, err := resolve(st.having.col); err != nil {
+			return nil, err
+		}
+		havingSumIdx = nSums
+	}
+	keyOf := func(j joined) (string, error) {
+		if len(st.groupBy) == 0 {
+			return "", nil
+		}
+		var b strings.Builder
+		for _, g := range st.groupBy {
+			side, ci, err := resolve(g)
+			if err != nil {
+				return "", err
+			}
+			k, _ := valueKey(pick(j, side, ci))
+			b.WriteString(k)
+			b.WriteByte(0)
+		}
+		return b.String(), nil
+	}
+	for _, j := range stream {
+		k, err := keyOf(j)
+		if err != nil {
+			return nil, err
+		}
+		g := groups[k]
+		if g == nil {
+			g = &group{rep: j, sums: make([]float64, nSums+1), seen: make([]bool, nSums+1)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.cnt++
+		si := 0
+		for _, sel := range st.sels {
+			if sel.agg != aggSum {
+				continue
+			}
+			side, ci, err := resolve(sel.col)
+			if err != nil {
+				return nil, err
+			}
+			if f, ok := toFloat(pick(j, side, ci)); ok {
+				g.sums[si] += f
+				g.seen[si] = true
+			}
+			si++
+		}
+		if st.having != nil {
+			side, ci, err := resolve(st.having.col)
+			if err != nil {
+				return nil, err
+			}
+			if f, ok := toFloat(pick(j, side, ci)); ok {
+				g.sums[havingSumIdx] += f
+				g.seen[havingSumIdx] = true
+			}
+		}
+	}
+	if len(st.groupBy) == 0 && len(order) == 0 {
+		// Aggregates over an empty set still yield one row.
+		groups[""] = &group{sums: make([]float64, nSums+1), seen: make([]bool, nSums+1)}
+		order = append(order, "")
+	}
+	var rows [][]driver.Value
+	for _, k := range order {
+		g := groups[k]
+		if st.having != nil {
+			hv := st.having.val.value(vals)
+			c, ok := cmpVals(g.sums[havingSumIdx], hv)
+			if !g.seen[havingSumIdx] || !ok || !opHolds(st.having.op, c) {
+				continue
+			}
+		}
+		out := make([]driver.Value, len(st.sels))
+		si := 0
+		for i, sel := range st.sels {
+			switch sel.agg {
+			case aggCount:
+				out[i] = g.cnt
+			case aggSum:
+				if g.seen[si] {
+					out[i] = g.sums[si]
+				}
+				si++
+			default:
+				side, ci, err := resolve(sel.col)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = pick(g.rep, side, ci)
+			}
+		}
+		rows = append(rows, out)
+	}
+	return &memRows{cols: outCols, rows: rows}, nil
+}
+
+type memRows struct {
+	cols []string
+	rows [][]driver.Value
+	i    int
+}
+
+func (r *memRows) Columns() []string { return r.cols }
+func (r *memRows) Close() error      { return nil }
+func (r *memRows) Next(dest []driver.Value) error {
+	if r.i >= len(r.rows) {
+		return io.EOF
+	}
+	copy(dest, r.rows[r.i])
+	r.i++
+	return nil
+}

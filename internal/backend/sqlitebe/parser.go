@@ -1,0 +1,650 @@
+package sqlitebe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The parser covers the SQL subset the backend emits:
+//
+//	CREATE TABLE t (col TYPE [PRIMARY KEY], ...)
+//	CREATE INDEX name ON t (col)
+//	INSERT INTO t (col, ...) VALUES (?, ...)
+//	UPDATE t SET col = ? [, col2 = col2 + ?] [WHERE preds]
+//	SELECT items FROM t [AS a] [JOIN t2 [AS b] ON a.x = b.y]
+//	    [WHERE preds] [GROUP BY cols] [HAVING SUM(col) op val]
+//
+// where items are column refs, COUNT(*), or SUM(col); preds are
+// AND-joined "col op val" with val a ?, a 'string', or a number; and
+// op is one of = <> < <= > >=. Placeholders are numbered in parse
+// order. ORDER BY / LIMIT / OUTER joins are deliberately absent — the
+// backend does those in Go, like the federation engine does client-side.
+
+type stmtKind int
+
+const (
+	kindCreateTable stmtKind = iota
+	kindCreateIndex
+	kindInsert
+	kindUpdate
+	kindSelect
+)
+
+type colRef struct {
+	qual string // alias qualifier, "" if bare
+	name string
+}
+
+type exprVal struct {
+	param int // >= 0: placeholder ordinal; < 0: use lit
+	lit   any
+}
+
+func (e exprVal) value(vals []any) any {
+	if e.param >= 0 {
+		return vals[e.param]
+	}
+	return e.lit
+}
+
+type pred struct {
+	col colRef
+	op  string
+	val exprVal
+}
+
+type setClause struct {
+	col     string
+	addSelf bool // col = col + ?
+	param   int
+}
+
+type aggKind int
+
+const (
+	aggNone aggKind = iota
+	aggCount
+	aggSum
+)
+
+type selector struct {
+	agg aggKind
+	col colRef // unused for COUNT(*)
+}
+
+func (s selector) label() string {
+	switch s.agg {
+	case aggCount:
+		return "count"
+	case aggSum:
+		return "sum_" + s.col.name
+	}
+	return s.col.name
+}
+
+type joinClause struct {
+	table, alias      string
+	leftCol, rightCol colRef
+}
+
+type havingClause struct {
+	col colRef // the SUM(col) argument
+	op  string
+	val exprVal
+}
+
+type stmt struct {
+	kind      stmtKind
+	table     string
+	alias     string
+	cols      []string // create: column names; insert: target columns
+	pk        int
+	indexCol  string
+	sets      []setClause
+	where     []pred
+	sels      []selector
+	join      *joinClause
+	groupBy   []colRef
+	having    *havingClause
+	numParams int
+}
+
+func (s *stmt) hasAggregates() bool {
+	for _, sel := range s.sels {
+		if sel.agg != aggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// --- lexer ---
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokNumber
+	tokString
+	tokPunct
+)
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isWordByte(c):
+			j := i
+			for j < len(src) && (isWordByte(src[j]) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokWord, src[i:j]})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("udsql: unterminated string literal")
+			}
+			toks = append(toks, token{tokString, src[i+1 : j]})
+			i = j + 1
+		case c == '<' && i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>'),
+			c == '>' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{tokPunct, src[i : i+2]})
+			i += 2
+		case strings.IndexByte("(),=?<>*+", c) >= 0:
+			toks = append(toks, token{tokPunct, string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("udsql: unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	i    int
+	st   *stmt
+}
+
+func parse(src string) (*stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, st: &stmt{pk: -1}}
+	if err := p.statement(); err != nil {
+		return nil, fmt.Errorf("%w (in %q)", err, src)
+	}
+	if !p.atPunct("") && p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("udsql: trailing input at %q (in %q)", p.cur().text, src)
+	}
+	return p.st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokWord && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return fmt.Errorf("udsql: expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return fmt.Errorf("udsql: expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) word() (string, error) {
+	if p.cur().kind != tokWord {
+		return "", fmt.Errorf("udsql: expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) colref() (colRef, error) {
+	w, err := p.word()
+	if err != nil {
+		return colRef{}, err
+	}
+	if qual, name, ok := strings.Cut(w, "."); ok {
+		return colRef{qual: qual, name: name}, nil
+	}
+	return colRef{name: w}, nil
+}
+
+func (p *parser) placeholder() int {
+	n := p.st.numParams
+	p.st.numParams++
+	return n
+}
+
+func (p *parser) statement() error {
+	switch {
+	case p.eatKeyword("CREATE"):
+		if p.eatKeyword("TABLE") {
+			return p.createTable()
+		}
+		if p.eatKeyword("INDEX") {
+			return p.createIndex()
+		}
+		return fmt.Errorf("udsql: CREATE must be TABLE or INDEX")
+	case p.eatKeyword("INSERT"):
+		return p.insert()
+	case p.eatKeyword("UPDATE"):
+		return p.update()
+	case p.eatKeyword("SELECT"):
+		return p.selectStmt()
+	}
+	return fmt.Errorf("udsql: unsupported statement %q", p.cur().text)
+}
+
+func (p *parser) createTable() error {
+	p.st.kind = kindCreateTable
+	name, err := p.word()
+	if err != nil {
+		return err
+	}
+	p.st.table = name
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for {
+		col, err := p.word()
+		if err != nil {
+			return err
+		}
+		if _, err := p.word(); err != nil { // declared type, affinity-style: ignored
+			return err
+		}
+		if p.eatKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return err
+			}
+			p.st.pk = len(p.st.cols)
+		}
+		p.st.cols = append(p.st.cols, col)
+		if p.eatPunct(",") {
+			continue
+		}
+		return p.expectPunct(")")
+	}
+}
+
+func (p *parser) createIndex() error {
+	p.st.kind = kindCreateIndex
+	if _, err := p.word(); err != nil { // index name: unused
+		return err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return err
+	}
+	table, err := p.word()
+	if err != nil {
+		return err
+	}
+	p.st.table = table
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	col, err := p.word()
+	if err != nil {
+		return err
+	}
+	p.st.indexCol = col
+	return p.expectPunct(")")
+}
+
+func (p *parser) insert() error {
+	p.st.kind = kindInsert
+	if err := p.expectKeyword("INTO"); err != nil {
+		return err
+	}
+	table, err := p.word()
+	if err != nil {
+		return err
+	}
+	p.st.table = table
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for {
+		col, err := p.word()
+		if err != nil {
+			return err
+		}
+		p.st.cols = append(p.st.cols, col)
+		if p.eatPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for range p.st.cols {
+		if err := p.expectPunct("?"); err != nil {
+			return err
+		}
+		p.placeholder()
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if p.st.numParams != len(p.st.cols) {
+		return fmt.Errorf("udsql: INSERT has %d columns but %d placeholders", len(p.st.cols), p.st.numParams)
+	}
+	return p.expectPunct(")")
+}
+
+func (p *parser) update() error {
+	p.st.kind = kindUpdate
+	table, err := p.word()
+	if err != nil {
+		return err
+	}
+	p.st.table = table
+	if err := p.expectKeyword("SET"); err != nil {
+		return err
+	}
+	for {
+		col, err := p.word()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		sc := setClause{col: col}
+		if p.atKeyword(col) { // col = col + ?
+			p.next()
+			if err := p.expectPunct("+"); err != nil {
+				return err
+			}
+			sc.addSelf = true
+		}
+		if err := p.expectPunct("?"); err != nil {
+			return err
+		}
+		sc.param = p.placeholder()
+		p.st.sets = append(p.st.sets, sc)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		preds, err := p.predicates()
+		if err != nil {
+			return err
+		}
+		p.st.where = preds
+	}
+	return nil
+}
+
+func (p *parser) predicates() ([]pred, error) {
+	var preds []pred
+	for {
+		col, err := p.colref()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.compareOp()
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred{col: col, op: op, val: val})
+		if !p.eatKeyword("AND") {
+			return preds, nil
+		}
+	}
+}
+
+func (p *parser) compareOp() (string, error) {
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			return p.next().text, nil
+		}
+	}
+	return "", fmt.Errorf("udsql: expected comparison operator, got %q", p.cur().text)
+}
+
+func (p *parser) valueExpr() (exprVal, error) {
+	switch t := p.cur(); t.kind {
+	case tokPunct:
+		if t.text == "?" {
+			p.next()
+			return exprVal{param: p.placeholder()}, nil
+		}
+	case tokString:
+		p.next()
+		return exprVal{param: -1, lit: t.text}, nil
+	case tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return exprVal{}, fmt.Errorf("udsql: bad number %q", t.text)
+			}
+			return exprVal{param: -1, lit: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return exprVal{}, fmt.Errorf("udsql: bad number %q", t.text)
+		}
+		return exprVal{param: -1, lit: n}, nil
+	}
+	return exprVal{}, fmt.Errorf("udsql: expected ?, string, or number, got %q", p.cur().text)
+}
+
+func (p *parser) selectStmt() error {
+	p.st.kind = kindSelect
+	for {
+		sel, err := p.selector()
+		if err != nil {
+			return err
+		}
+		p.st.sels = append(p.st.sels, sel)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	table, alias, err := p.tableRef()
+	if err != nil {
+		return err
+	}
+	p.st.table, p.st.alias = table, alias
+	if p.eatKeyword("JOIN") {
+		jt, ja, err := p.tableRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return err
+		}
+		lc, err := p.colref()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		rc, err := p.colref()
+		if err != nil {
+			return err
+		}
+		// Normalize so leftCol refers to the FROM table.
+		j := &joinClause{table: jt, alias: ja, leftCol: lc, rightCol: rc}
+		if lc.qual == ja {
+			j.leftCol, j.rightCol = rc, lc
+		}
+		p.st.join = j
+	}
+	if p.eatKeyword("WHERE") {
+		preds, err := p.predicates()
+		if err != nil {
+			return err
+		}
+		p.st.where = preds
+	}
+	if p.eatKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			c, err := p.colref()
+			if err != nil {
+				return err
+			}
+			p.st.groupBy = append(p.st.groupBy, c)
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("HAVING") {
+		if err := p.expectKeyword("SUM"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		c, err := p.colref()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		op, err := p.compareOp()
+		if err != nil {
+			return err
+		}
+		val, err := p.valueExpr()
+		if err != nil {
+			return err
+		}
+		p.st.having = &havingClause{col: c, op: op, val: val}
+	}
+	return nil
+}
+
+func (p *parser) tableRef() (table, alias string, err error) {
+	table, err = p.word()
+	if err != nil {
+		return "", "", err
+	}
+	alias = table
+	if p.eatKeyword("AS") {
+		alias, err = p.word()
+		if err != nil {
+			return "", "", err
+		}
+	}
+	return table, alias, nil
+}
+
+func (p *parser) selector() (selector, error) {
+	if p.atKeyword("COUNT") {
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return selector{}, err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return selector{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return selector{}, err
+		}
+		return selector{agg: aggCount}, nil
+	}
+	if p.atKeyword("SUM") {
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return selector{}, err
+		}
+		c, err := p.colref()
+		if err != nil {
+			return selector{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return selector{}, err
+		}
+		return selector{agg: aggSum, col: c}, nil
+	}
+	c, err := p.colref()
+	if err != nil {
+		return selector{}, err
+	}
+	return selector{col: c}, nil
+}

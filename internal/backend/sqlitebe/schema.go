@@ -1,0 +1,397 @@
+package sqlitebe
+
+import (
+	"database/sql"
+	"fmt"
+	"strings"
+
+	"udbench/internal/datagen"
+	"udbench/internal/mmvalue"
+	"udbench/internal/relational"
+	"udbench/internal/udbms"
+	"udbench/internal/workload"
+)
+
+// The schema loader shreds a multi-model SuiteData into flat SQL
+// tables — the translation a real comparative run would do to put a
+// relational engine behind the same workload:
+//
+//   - relational tables map 1:1, keeping declared column order, the
+//     primary key, and every secondary index;
+//   - document collections become a table per collection (_id TEXT
+//     PRIMARY KEY + the union of scalar top-level fields), with each
+//     array-of-objects field normalized into a "<coll>_<field>" side
+//     table (parent, idx, scalar subfields) indexed on parent;
+//   - the key-value store becomes one "kv" table (k TEXT PRIMARY KEY
+//     + scalar fields of object values, or a single "v" column);
+//   - graph and XML have no natural relational shredding the query
+//     subset needs, so they are skipped — exactly why the backend's
+//     capability descriptor excludes the graph/XML queries.
+//
+// Rows are inserted in store key order, so per-group float sums in
+// SQL accumulate in the same order as the native engines' map
+// accumulation over Find/Scan — the agreement tests compare exact
+// cardinalities on the back of that.
+
+// loadIntoSQL materializes data in a scratch unified store, shreds it
+// through the database/sql seam, and returns the catalog of created
+// tables and columns (query planning degrades gracefully on absent
+// shapes, like the native engines do over empty stores).
+func loadIntoSQL(data workload.SuiteData, db *sql.DB) (map[string]map[string]bool, error) {
+	scratch := udbms.Open()
+	if err := data.Load(datagen.Target{
+		Relational: scratch.Relational,
+		Docs:       scratch.Docs,
+		Graph:      scratch.Graph,
+		KV:         scratch.KV,
+		XML:        scratch.XML,
+	}); err != nil {
+		return nil, fmt.Errorf("sqlitebe: load dataset: %w", err)
+	}
+	cat := map[string]map[string]bool{}
+	if err := shredRelational(scratch, db, cat); err != nil {
+		return nil, err
+	}
+	if err := shredCollections(scratch, db, cat); err != nil {
+		return nil, err
+	}
+	if err := shredKV(scratch, db, cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+func record(cat map[string]map[string]bool, table string, cols []string) {
+	set := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	cat[table] = set
+}
+
+func shredRelational(scratch *udbms.DB, db *sql.DB, cat map[string]map[string]bool) error {
+	for _, name := range scratch.Relational.TableNames() {
+		tbl, _ := scratch.Relational.Table(name)
+		schema := tbl.Schema()
+		defs := make([]string, 0, len(schema.Columns))
+		cols := make([]string, 0, len(schema.Columns))
+		for _, c := range schema.Columns {
+			if !safeIdent(c.Name) {
+				return fmt.Errorf("sqlitebe: table %s column %q is not shreddable", name, c.Name)
+			}
+			def := c.Name + " " + sqlTypeOfColumn(c.Type)
+			if c.Name == schema.PrimaryKey {
+				def += " PRIMARY KEY"
+			}
+			defs = append(defs, def)
+			cols = append(cols, c.Name)
+		}
+		if err := exec(db, "CREATE TABLE "+name+" ("+strings.Join(defs, ", ")+")"); err != nil {
+			return err
+		}
+		record(cat, name, cols)
+		ins := insertSQL(name, cols)
+		var insErr error
+		for _, row := range tbl.Query(nil).Rows() {
+			obj := row.MustObject()
+			args := make([]any, len(cols))
+			for i, c := range cols {
+				args[i] = sqlValue(obj.GetOr(c, mmvalue.Null))
+			}
+			if insErr = exec(db, ins, args...); insErr != nil {
+				return insErr
+			}
+		}
+		for _, col := range tbl.IndexedColumns() {
+			if err := exec(db, indexSQL(name, col)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func shredCollections(scratch *udbms.DB, db *sql.DB, cat map[string]map[string]bool) error {
+	for _, name := range scratch.Docs.CollectionNames() {
+		if !safeIdent(name) {
+			continue
+		}
+		coll := scratch.Docs.Collection(name)
+		docs := coll.Find(nil, nil, nil) // key order
+		// First pass: the union of scalar top-level fields, and each
+		// array-of-objects field with the union of its scalar subfields.
+		cols := newColSet("_id")
+		side := map[string]*colSet{}
+		var sideOrder []string
+		for _, d := range docs {
+			obj := d.MustObject()
+			for _, k := range obj.Keys() {
+				if k == "_id" || !safeIdent(k) {
+					continue
+				}
+				v, _ := obj.Get(k)
+				if elems, isArr := v.AsArray(); isArr {
+					s := side[k]
+					for _, el := range elems {
+						eo, isObj := el.AsObject()
+						if !isObj {
+							continue
+						}
+						if s == nil {
+							s = newColSet("parent", "idx")
+							side[k] = s
+							sideOrder = append(sideOrder, k)
+						}
+						for _, ek := range eo.Keys() {
+							if ev, _ := eo.Get(ek); safeIdent(ek) && isScalar(ev) {
+								s.add(ek, ev)
+							}
+						}
+					}
+					continue
+				}
+				if isScalar(v) {
+					cols.add(k, v)
+				}
+			}
+		}
+		if err := exec(db, cols.createSQL(name, "_id")); err != nil {
+			return err
+		}
+		record(cat, name, cols.names)
+		ins := insertSQL(name, cols.names)
+		for _, d := range docs {
+			obj := d.MustObject()
+			args := make([]any, len(cols.names))
+			for i, c := range cols.names {
+				args[i] = sqlValue(obj.GetOr(c, mmvalue.Null))
+			}
+			if err := exec(db, ins, args...); err != nil {
+				return err
+			}
+		}
+		for _, field := range sideOrder {
+			s := side[field]
+			st := name + "_" + field
+			if err := exec(db, s.createSQL(st, "")); err != nil {
+				return err
+			}
+			record(cat, st, s.names)
+			sideIns := insertSQL(st, s.names)
+			for _, d := range docs {
+				obj := d.MustObject()
+				id := obj.GetOr("_id", mmvalue.Null)
+				elems, _ := obj.GetOr(field, mmvalue.Null).AsArray()
+				for idx, el := range elems {
+					eo, isObj := el.AsObject()
+					if !isObj {
+						continue
+					}
+					args := make([]any, len(s.names))
+					args[0] = sqlValue(id)
+					args[1] = int64(idx)
+					for i, c := range s.names[2:] {
+						args[i+2] = sqlValue(eo.GetOr(c, mmvalue.Null))
+					}
+					if err := exec(db, sideIns, args...); err != nil {
+						return err
+					}
+				}
+			}
+			if err := exec(db, indexSQL(st, "parent")); err != nil {
+				return err
+			}
+		}
+		// Secondary indexes for index paths that shredded into columns.
+		for _, path := range coll.IndexPaths() {
+			if cols.has(path) && path != "_id" {
+				if err := exec(db, indexSQL(name, path)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func shredKV(scratch *udbms.DB, db *sql.DB, cat map[string]map[string]bool) error {
+	type entry struct {
+		key string
+		val mmvalue.Value
+	}
+	var entries []entry
+	scratch.KV.Scan(nil, "", "", func(k string, v mmvalue.Value) bool {
+		entries = append(entries, entry{k, v})
+		return true
+	})
+	cols := newColSet("k")
+	for _, e := range entries {
+		if obj, ok := e.val.AsObject(); ok {
+			for _, fk := range obj.Keys() {
+				if fv, _ := obj.Get(fk); safeIdent(fk) && isScalar(fv) {
+					cols.add(fk, fv)
+				}
+			}
+		} else if isScalar(e.val) {
+			cols.add("v", e.val)
+		}
+	}
+	if err := exec(db, cols.createSQL("kv", "k")); err != nil {
+		return err
+	}
+	record(cat, "kv", cols.names)
+	ins := insertSQL("kv", cols.names)
+	for _, e := range entries {
+		args := make([]any, len(cols.names))
+		args[0] = e.key
+		if obj, ok := e.val.AsObject(); ok {
+			for i, c := range cols.names[1:] {
+				args[i+1] = sqlValue(obj.GetOr(c, mmvalue.Null))
+			}
+		} else if isScalar(e.val) {
+			for i, c := range cols.names[1:] {
+				if c == "v" {
+					args[i+1] = sqlValue(e.val)
+				}
+			}
+		}
+		if err := exec(db, ins, args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// colSet accumulates a table's columns in first-seen order with the
+// affinity inferred from the first non-null value.
+type colSet struct {
+	names []string
+	types map[string]string
+}
+
+func newColSet(fixed ...string) *colSet {
+	s := &colSet{types: map[string]string{}}
+	for _, n := range fixed {
+		s.names = append(s.names, n)
+		if n == "idx" {
+			s.types[n] = "INTEGER"
+		} else {
+			s.types[n] = "TEXT"
+		}
+	}
+	return s
+}
+
+func (s *colSet) has(name string) bool { _, ok := s.types[name]; return ok }
+
+func (s *colSet) add(name string, v mmvalue.Value) {
+	if !s.has(name) {
+		s.names = append(s.names, name)
+		s.types[name] = sqlTypeOfValue(v)
+		return
+	}
+	// An int column that later sees a float widens to REAL.
+	if s.types[name] == "INTEGER" && v.Kind() == mmvalue.KindFloat {
+		s.types[name] = "REAL"
+	}
+}
+
+func (s *colSet) createSQL(table, pk string) string {
+	defs := make([]string, len(s.names))
+	for i, n := range s.names {
+		defs[i] = n + " " + s.types[n]
+		if n == pk {
+			defs[i] += " PRIMARY KEY"
+		}
+	}
+	return "CREATE TABLE " + table + " (" + strings.Join(defs, ", ") + ")"
+}
+
+func insertSQL(table string, cols []string) string {
+	marks := make([]string, len(cols))
+	for i := range marks {
+		marks[i] = "?"
+	}
+	return "INSERT INTO " + table + " (" + strings.Join(cols, ", ") +
+		") VALUES (" + strings.Join(marks, ", ") + ")"
+}
+
+func indexSQL(table, col string) string {
+	return "CREATE INDEX idx_" + table + "_" + col + " ON " + table + " (" + col + ")"
+}
+
+func exec(db *sql.DB, query string, args ...any) error {
+	if _, err := db.Exec(query, args...); err != nil {
+		return fmt.Errorf("sqlitebe: %w", err)
+	}
+	return nil
+}
+
+func sqlTypeOfColumn(t relational.ColumnType) string {
+	switch t {
+	case relational.TypeFloat:
+		return "REAL"
+	case relational.TypeString:
+		return "TEXT"
+	}
+	return "INTEGER" // int and bool (stored 0/1)
+}
+
+func sqlTypeOfValue(v mmvalue.Value) string {
+	switch v.Kind() {
+	case mmvalue.KindInt, mmvalue.KindBool:
+		return "INTEGER"
+	case mmvalue.KindFloat:
+		return "REAL"
+	}
+	return "TEXT"
+}
+
+func isScalar(v mmvalue.Value) bool {
+	switch v.Kind() {
+	case mmvalue.KindInt, mmvalue.KindFloat, mmvalue.KindString, mmvalue.KindBool:
+		return true
+	}
+	return false
+}
+
+// sqlValue converts a multi-model scalar to its SQL storage value.
+func sqlValue(v mmvalue.Value) any {
+	switch v.Kind() {
+	case mmvalue.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case mmvalue.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case mmvalue.KindString:
+		s, _ := v.AsString()
+		return s
+	case mmvalue.KindBool:
+		if b, _ := v.AsBool(); b {
+			return int64(1)
+		}
+		return int64(0)
+	}
+	return nil
+}
+
+func safeIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	if c := s[0]; !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			return false
+		}
+	}
+	// Reserved by the shredding itself.
+	switch s {
+	case "parent", "idx", "k", "v":
+		return false
+	}
+	return true
+}

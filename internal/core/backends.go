@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"udbench/internal/workload"
+
+	// Comparative backends register themselves with the workload
+	// backend registry; this is the one place the harness links them
+	// in, so `udbench mix -engine sqlite` and the f5 comparative legs
+	// work out of one import.
+	_ "udbench/internal/backend/sqlitebe"
+)
+
+// comparativeLegs builds a sweep leg for every registered backend
+// beyond the two baseline engines (which the callers provision
+// themselves so transactional experiments keep their direct handles).
+// Backends that do not support the suite — or whose capability subset
+// leaves the suite's mix empty — are skipped rather than erroring:
+// a comparative run reports what each system can express, and an
+// inexpressible suite is simply not that backend's trajectory.
+func comparativeLegs(data workload.SuiteData, hop time.Duration, suite *workload.Suite) ([]sweepEngine, func(), error) {
+	var legs []sweepEngine
+	var closers []io.Closer
+	closeAll := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	for _, name := range workload.BackendNames() {
+		if name == "udbms" || name == "federation" {
+			continue
+		}
+		spec, err := workload.ResolveBackend(name)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		be, err := spec.New(data, workload.BackendOptions{HopLatency: hop})
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("comparative backend %s: %w", name, err)
+		}
+		if !be.Capabilities().SupportsSuite(suite.Name) || len(suite.Mix(be)) == 0 {
+			if c, ok := be.(io.Closer); ok {
+				c.Close()
+			}
+			continue
+		}
+		if c, ok := be.(io.Closer); ok {
+			closers = append(closers, c)
+		}
+		legs = append(legs, sweepEngine{be.Name(), be})
+	}
+	return legs, closeAll, nil
+}

@@ -103,6 +103,10 @@ type testbed struct {
 	info workload.Info
 	uni  *workload.UDBMSEngine
 	fed  *workload.FederationEngine
+	// data is the suite dataset the testbed was loaded from, retained
+	// so comparative backends can be provisioned with the exact same
+	// data (suite testbeds only; nil for raw-dataset testbeds).
+	data workload.SuiteData
 }
 
 func newTestbed(sf float64, seed uint64, hop time.Duration) (*testbed, error) {
@@ -151,6 +155,7 @@ func newSuiteTestbed(sf float64, seed uint64, hop time.Duration, suite *workload
 		info: data.Info(),
 		uni:  workload.NewUDBMSEngine(db),
 		fed:  workload.NewFederationEngine(f),
+		data: data,
 	}, nil
 }
 

@@ -66,12 +66,14 @@ func f5ConfigFor(cfg Config) f5Config {
 		warmup: time.Second, measure: 3 * time.Second}
 }
 
-// sweepEngine is one system under test in a rate sweep: the engine and
+// sweepEngine is one system under test in a rate sweep: the backend and
 // the label its rows carry (an engine name for f5, a fsync policy for
-// f6's durable variants).
+// f6's durable variants). The sweep only needs the core Backend
+// contract — partial backends ride the same ladder with whatever mix
+// subset the suite grants them.
 type sweepEngine struct {
 	label string
-	e     workload.Engine
+	e     workload.Backend
 }
 
 // rateSweep drives the suite's mix open-loop at a geometric ladder of
@@ -165,10 +167,11 @@ func kneeOf(rows []f5Row, label string) (knee, last *f5Row) {
 	return nil, last
 }
 
-// f5Sweep runs the rate ladder over the two baseline engines — plus,
-// when cfg.Remote names a `udbench serve` address, the same sweep over
-// the wire, so the artifact carries the in-process-vs-remote knee
-// comparison side by side.
+// f5Sweep runs the rate ladder over the two baseline engines, every
+// registered comparative backend that supports the suite — plus, when
+// cfg.Remote names a `udbench serve` address, the same sweep over the
+// wire, so the artifact carries the in-process, comparative, and
+// remote knees side by side.
 func f5Sweep(cfg Config) ([]f5Row, error) {
 	p := f5ConfigFor(cfg)
 	suite, err := workload.ResolveSuite(cfg.Suite)
@@ -180,6 +183,12 @@ func f5Sweep(cfg Config) ([]f5Row, error) {
 		return nil, err
 	}
 	engines := []sweepEngine{{tb.uni.Name(), tb.uni}, {tb.fed.Name(), tb.fed}}
+	extra, closeExtra, err := comparativeLegs(tb.data, cfg.HopLatency, suite)
+	if err != nil {
+		return nil, err
+	}
+	defer closeExtra()
+	engines = append(engines, extra...)
 	if cfg.Remote != "" {
 		re, err := server.DialEngine(cfg.Remote, p.clients)
 		if err != nil {

@@ -36,10 +36,13 @@ func TestF5SweepRemote(t *testing.T) {
 		t.Fatal(err)
 	}
 	labels := sweepLabels(rows)
-	if len(labels) != 3 {
-		t.Fatalf("sweep labels = %v, want udbms + federation + one remote", labels)
+	if len(labels) != 4 {
+		t.Fatalf("sweep labels = %v, want udbms + federation + sqlite + one remote", labels)
 	}
-	remote := labels[2]
+	if labels[2] != "sqlite" {
+		t.Fatalf("third sweep label = %q, want the sqlite comparative leg", labels[2])
+	}
+	remote := labels[3]
 	if !strings.HasSuffix(remote, "-remote") {
 		t.Fatalf("third sweep label = %q, want a -remote engine", remote)
 	}

@@ -185,11 +185,14 @@ func (cl *Client) UQL(src string) ([]string, error) {
 
 // ServerInfo is what the info request advertises: the dataset
 // cardinalities clients build parameter generators from, the engine
-// name, and the workload suite the server's store was loaded with.
+// name, the workload suite the server's store was loaded with, and
+// the backend's encoded capability descriptor (empty from servers
+// predating capabilities; parse with workload.ParseCapabilities).
 type ServerInfo struct {
 	Info   workload.Info
 	Engine string
 	Suite  string
+	Caps   string
 }
 
 // Info fetches the server's dataset cardinalities, engine name, and
@@ -217,6 +220,9 @@ func (cl *Client) Info() (ServerInfo, error) {
 	}
 	if len(resp.rows) >= 2 {
 		si.Suite = resp.rows[1]
+	}
+	if len(resp.rows) >= 3 {
+		si.Caps = resp.rows[2]
 	}
 	return si, nil
 }

@@ -28,6 +28,7 @@ type RemoteEngine struct {
 	name  string
 	info  workload.Info
 	suite string
+	caps  workload.Capabilities
 }
 
 // DialEngine connects a RemoteEngine with conns pooled connections and
@@ -53,7 +54,23 @@ func DialEngine(addr string, conns int) (*RemoteEngine, error) {
 	e.info = si.Info
 	e.name = si.Engine + "-remote"
 	e.suite = si.Suite
+	// Old servers advertise no capability row; assume a fully capable
+	// native engine, which is all they could front.
+	e.caps = workload.FullCapabilities()
+	if c, ok := workload.ParseCapabilities(si.Caps); ok {
+		e.caps = c
+	}
 	return e, nil
+}
+
+// Capabilities implements workload.Backend with the descriptor the
+// server advertised at dial, plus this engine's own wire-backed
+// admission and nonce providers.
+func (e *RemoteEngine) Capabilities() workload.Capabilities {
+	c := e.caps
+	c.Admission = e
+	c.Nonce = e
+	return c
 }
 
 // Close tears down every pooled connection.
@@ -123,7 +140,7 @@ func (e *RemoteEngine) SnapshotRead(p workload.Params) (bool, error) {
 	return v != 0, err
 }
 
-// RunSuiteOp implements workload.SuiteExecutor over the wire, so a
+// RunSuiteOp implements workload.Backend over the wire, so a
 // registry suite's mix drives a server exactly like the native t2 ops
 // do. The server rejects suites other than its loaded one.
 func (e *RemoteEngine) RunSuiteOp(suite, op string, p workload.Params) (int, error) {

@@ -131,9 +131,9 @@ func TestRemoteSuiteOps(t *testing.T) {
 }
 
 // TestRemoteSuiteMismatch pins the suite guard: a server refuses ops
-// from a suite it did not load, and an engine without a SuiteExecutor
-// refuses them all — both as typed remote errors, never as silent
-// misreads of the wrong dataset.
+// from a suite it did not load, and a backend without registry-suite
+// execution refuses them all — both as typed remote errors, never as
+// silent misreads of the wrong dataset.
 func TestRemoteSuiteMismatch(t *testing.T) {
 	s, _, _ := startSuiteServer(t, "timeseries")
 	re, err := DialEngine(s.Addr().String(), 1)
@@ -146,7 +146,8 @@ func TestRemoteSuiteMismatch(t *testing.T) {
 		t.Errorf("mismatched suite err = %v, want ErrRemote naming the served suite", err)
 	}
 
-	// A stub engine advertises the default t2 suite and has no executor.
+	// A stub engine advertises the default t2 suite and cannot execute
+	// registry-suite ops.
 	bare := startServer(t, Config{Engine: &stubEngine{}})
 	re2, err := DialEngine(bare.Addr().String(), 1)
 	if err != nil {

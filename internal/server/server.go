@@ -19,7 +19,10 @@ import (
 // Config tunes a Server.
 type Config struct {
 	// Engine is the system under test the server fronts. Required.
-	Engine workload.Engine
+	// Any Backend works: native transaction requests against a backend
+	// without the TxnEngine capability answer with the unsupported
+	// error class instead of executing.
+	Engine workload.Backend
 	// DB, when set, additionally serves ad-hoc UQL queries against the
 	// unified engine. Optional: a federation server has no unified DB
 	// and answers UQL requests with an unsupported error.
@@ -195,10 +198,13 @@ func (s *Server) readLoop(cn *conn) {
 		case opPing:
 			cn.respond(response{id: req.id, status: StatusOK})
 		case opInfo:
+			// rows[2] advertises the backend's capability descriptor next
+			// to the engine name and suite label; old clients ignore the
+			// extra row, old servers simply omit it.
 			cn.respond(response{
 				id: req.id, status: StatusOK,
 				u64s: []uint64{uint64(s.cfg.Info.Customers), uint64(s.cfg.Info.Products), uint64(s.cfg.Info.Orders)},
-				rows: []string{s.cfg.Engine.Name(), s.cfg.Suite},
+				rows: []string{s.cfg.Engine.Name(), s.cfg.Suite, s.cfg.Engine.Capabilities().Encode()},
 			})
 		case opNonce:
 			cn.respond(response{id: req.id, status: StatusOK, value: s.nonce.Add(1)})
@@ -228,20 +234,29 @@ func (s *Server) exec(t task) {
 		n, err = s.cfg.Engine.RunQuery(req.query, req.params)
 		value = uint64(n)
 	case opTxn:
+		// The native transaction set is a capability, not part of the
+		// core Backend contract: a backend without it answers every txn
+		// request with the typed unsupported error.
+		te, ok := s.cfg.Engine.(workload.TxnEngine)
+		if !ok || !s.cfg.Engine.Capabilities().Transactions {
+			err = fmt.Errorf("server: backend %s has no native transactions: %w",
+				s.cfg.Engine.Name(), workload.ErrUnsupported)
+			break
+		}
 		switch req.txn {
 		case txnOrderUpdate:
-			err = s.cfg.Engine.OrderUpdate(req.params)
+			err = te.OrderUpdate(req.params)
 		case txnOrderUpdateOnce:
-			err = s.cfg.Engine.OrderUpdateOnce(req.params)
+			err = te.OrderUpdateOnce(req.params)
 		case txnStockTransferOnce:
-			err = s.cfg.Engine.StockTransferOnce(req.params)
+			err = te.StockTransferOnce(req.params)
 		case txnNewOrder:
-			err = s.cfg.Engine.NewOrder(req.params)
+			err = te.NewOrder(req.params)
 		case txnWriteFeedback:
-			err = s.cfg.Engine.WriteFeedback(req.params)
+			err = te.WriteFeedback(req.params)
 		case txnSnapshotRead:
 			var torn bool
-			torn, err = s.cfg.Engine.SnapshotRead(req.params)
+			torn, err = te.SnapshotRead(req.params)
 			if torn {
 				value = 1
 			}
@@ -256,14 +271,8 @@ func (s *Server) exec(t task) {
 				errMsg: fmt.Sprintf("server: suite %q not loaded (serving %q)", req.suite, s.cfg.Suite)})
 			return
 		}
-		ex, ok := s.cfg.Engine.(workload.SuiteExecutor)
-		if !ok {
-			t.c.respond(response{id: req.id, status: StatusErr, errClass: errClassUnsupported,
-				errMsg: "server: engine does not run suite ops"})
-			return
-		}
 		var n int
-		n, err = ex.RunSuiteOp(req.suite, req.suiteOp, req.params)
+		n, err = s.cfg.Engine.RunSuiteOp(req.suite, req.suiteOp, req.params)
 		value = uint64(n)
 	case opUQL:
 		if s.cfg.DB == nil {
@@ -297,6 +306,8 @@ func classifyErr(err error) byte {
 		return errClassDeadlock
 	case errors.Is(err, federation.ErrCoordinatorCrash):
 		return errClassCoordCrash
+	case errors.Is(err, workload.ErrUnsupported):
+		return errClassUnsupported
 	}
 	return errClassGeneric
 }
@@ -308,6 +319,11 @@ func errFromClass(class byte, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", txn.ErrDeadlock, msg)
 	case errClassCoordCrash:
 		return fmt.Errorf("%w (remote: %s)", federation.ErrCoordinatorCrash, msg)
+	case errClassUnsupported:
+		// Carries both sentinels: ErrRemote (the operation failed on the
+		// wire's far side) and the typed ErrUnsupported callers use to
+		// degrade gracefully.
+		return fmt.Errorf("%w: %w (remote: %s)", ErrRemote, workload.ErrUnsupported, msg)
 	}
 	return fmt.Errorf("%w: %s", ErrRemote, msg)
 }

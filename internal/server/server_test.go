@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -30,6 +31,12 @@ func (e *stubEngine) op() error {
 }
 
 func (e *stubEngine) Name() string { return "stub" }
+func (e *stubEngine) Capabilities() workload.Capabilities {
+	return workload.FullCapabilities()
+}
+func (e *stubEngine) RunSuiteOp(suite, op string, _ workload.Params) (int, error) {
+	return 0, fmt.Errorf("stub engine cannot run suite %s op %s: %w", suite, op, workload.ErrUnsupported)
+}
 func (e *stubEngine) RunQuery(q workload.QueryID, p workload.Params) (int, error) {
 	return int(q) * 10, e.op()
 }

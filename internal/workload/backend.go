@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrUnsupported is the typed "this backend cannot run that" error.
+// Backends return it (wrapped with context) from RunQuery/RunSuiteOp
+// for operations outside their capability descriptor, *before* touching
+// any data, and the server maps it onto the wire's unsupported error
+// class so remote callers see the same sentinel. Callers degrade
+// gracefully with errors.Is(err, ErrUnsupported) instead of parsing
+// messages.
+var ErrUnsupported = errors.New("workload: operation unsupported by backend")
+
+// Backend is the minimal contract a system under test must satisfy to
+// sit behind the harness: identify itself, describe what it can do, and
+// run read queries plus registry-suite ops. Everything else — the
+// native T1–T5 transaction set, lock/durability/admission telemetry,
+// server-issued run nonces — is an optional capability discovered
+// through the single Capabilities() descriptor rather than scattered
+// type assertions.
+type Backend interface {
+	// Name identifies the backend in reports ("udbms", "federation",
+	// "sqlite", ...).
+	Name() string
+	// Capabilities describes what the backend supports. The driver,
+	// sweeps, and mix builders consult it once per run; it must be
+	// cheap and stable for the backend's lifetime.
+	Capabilities() Capabilities
+	// RunQuery executes a read query and returns its result
+	// cardinality. Queries outside Capabilities().Queries return
+	// ErrUnsupported (wrapped) without touching data.
+	RunQuery(q QueryID, p Params) (int, error)
+	// RunSuiteOp executes one registered suite op. Suites outside
+	// Capabilities().Suites return ErrUnsupported (wrapped) without
+	// touching data.
+	RunSuiteOp(suite, op string, p Params) (int, error)
+}
+
+// TxnEngine is the native T2 transaction set — a capability, not part
+// of the core Backend contract. The two in-process engines and the
+// remote engine implement it; external backends may not. Callers gate
+// on Capabilities().Transactions / .SnapshotReads before asserting.
+type TxnEngine interface {
+	// OrderUpdate is transaction T1 — the paper's example: one order
+	// update touching JSON Orders/Product, key-value Feedback and XML
+	// Invoice atomically. Deadlock victims are retried internally.
+	OrderUpdate(p Params) error
+	// OrderUpdateOnce is T1 without retry: a single attempt that
+	// surfaces deadlock/2PC aborts to the caller.
+	OrderUpdateOnce(p Params) error
+	// StockTransferOnce is transaction T5: move one unit of stock from
+	// ProductID to ProductID2, locking the two product documents in
+	// parameter order. Two concurrent transfers over a hot product
+	// pair in opposite orders deadlock, which is what the contention
+	// experiment (F3) sweeps. Single attempt, no retry.
+	StockTransferOnce(p Params) error
+	// NewOrder is transaction T2: insert an order document, its XML
+	// invoice and a purchased graph edge.
+	NewOrder(p Params) error
+	// WriteFeedback is transaction T3: put key-value feedback and mark
+	// the order reviewed in the document store.
+	WriteFeedback(p Params) error
+	// SnapshotRead is transaction T4: read the same logical entity
+	// from three models and report whether the view was torn
+	// (total mismatch between order document and XML invoice).
+	SnapshotRead(p Params) (torn bool, err error)
+}
+
+// AllModels lists the five data models a fully multi-model backend
+// serves.
+var AllModels = []string{"relational", "document", "graph", "kv", "xml"}
+
+// Capabilities describes what a backend supports. The zero value means
+// "nothing"; nil Queries/Suites mean "everything registered" so the
+// fully capable native engines need no enumeration. The provider
+// fields replace the driver's old ad-hoc type asserts: a backend that
+// exports lock-table, durability, admission, suite-op, or run-nonce
+// telemetry sets the corresponding field (usually to itself).
+type Capabilities struct {
+	// Models lists the data models the backend serves (subset of
+	// AllModels).
+	Models []string
+	// Transactions reports whether the backend implements the native
+	// TxnEngine transaction set (T1–T3, T5).
+	Transactions bool
+	// SnapshotReads reports whether the backend's T4 snapshot read is
+	// available (requires Transactions).
+	SnapshotReads bool
+	// Queries lists the supported read queries; nil means all of
+	// AllQueries.
+	Queries []QueryID
+	// Suites lists the registry suites the backend can execute through
+	// RunSuiteOp (plus, for t2, its native mix subset); nil means every
+	// registered suite.
+	Suites []string
+
+	// LockStats, when non-nil, exposes the backend's lock-table
+	// telemetry; RunMix snapshots it around the run and reports the
+	// delta.
+	LockStats LockStatsProvider
+	// Durability, when non-nil, exposes write-ahead-log telemetry. A
+	// nil *wal.Stats return still means "no log attached this run".
+	Durability DurabilityProvider
+	// Admission, when non-nil, exposes server-side admission-control
+	// telemetry (remote backends sitting behind a bounded queue).
+	Admission AdmissionProvider
+	// SuiteStats, when non-nil, exposes suite-op execution counters.
+	SuiteStats SuiteStatsProvider
+	// Nonce, when non-nil, supplies server-issued run nonces so
+	// FreshIDs stay unique across processes sharing one store.
+	Nonce NonceProvider
+}
+
+// SupportsQuery reports whether q is inside the descriptor.
+func (c Capabilities) SupportsQuery(q QueryID) bool {
+	if c.Queries == nil {
+		return true
+	}
+	for _, have := range c.Queries {
+		if have == q {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportsSuite reports whether the named suite is inside the
+// descriptor.
+func (c Capabilities) SupportsSuite(name string) bool {
+	if c.Suites == nil {
+		return true
+	}
+	for _, have := range c.Suites {
+		if have == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Partial reports whether the descriptor restricts anything a fully
+// capable native engine would support. Reports attach the capability
+// block only for partial backends, so the two native engines' JSON
+// trajectories stay byte-identical.
+func (c Capabilities) Partial() bool {
+	return !c.Transactions || !c.SnapshotReads || c.Queries != nil || c.Suites != nil
+}
+
+// Report converts the descriptor to its frozen JSON form, or nil for a
+// fully capable backend (the block is omitted from native-engine
+// reports).
+func (c Capabilities) Report() *BackendCaps {
+	if !c.Partial() {
+		return nil
+	}
+	b := &BackendCaps{
+		Models:        append([]string(nil), c.Models...),
+		Transactions:  c.Transactions,
+		SnapshotReads: c.SnapshotReads,
+	}
+	qs := c.Queries
+	if qs == nil {
+		qs = AllQueries
+	}
+	for _, q := range qs {
+		b.Queries = append(b.Queries, q.String())
+	}
+	b.Suites = append([]string(nil), c.Suites...)
+	if b.Suites == nil {
+		b.Suites = SuiteNames()
+	}
+	return b
+}
+
+// Encode serializes the static half of the descriptor for the wire
+// (the server advertises it next to the suite label). Providers are
+// per-process and not encoded.
+func (c Capabilities) Encode() string {
+	var sb strings.Builder
+	sb.WriteString("models=")
+	sb.WriteString(strings.Join(c.Models, "+"))
+	sb.WriteString(";txn=")
+	sb.WriteString(boolBit(c.Transactions))
+	sb.WriteString(";snap=")
+	sb.WriteString(boolBit(c.SnapshotReads))
+	sb.WriteString(";queries=")
+	if c.Queries == nil {
+		sb.WriteString("*")
+	} else {
+		for i, q := range c.Queries {
+			if i > 0 {
+				sb.WriteString("+")
+			}
+			sb.WriteString(q.String())
+		}
+	}
+	sb.WriteString(";suites=")
+	if c.Suites == nil {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(strings.Join(c.Suites, "+"))
+	}
+	return sb.String()
+}
+
+func boolBit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ParseCapabilities is Encode's inverse; ok is false on malformed
+// input (an old server not advertising capabilities), in which case
+// callers should assume a fully capable backend.
+func ParseCapabilities(s string) (Capabilities, bool) {
+	var c Capabilities
+	seen := map[string]bool{}
+	for _, field := range strings.Split(s, ";") {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return Capabilities{}, false
+		}
+		seen[key] = true
+		switch key {
+		case "models":
+			if val != "" {
+				c.Models = strings.Split(val, "+")
+			}
+		case "txn":
+			c.Transactions = val == "1"
+		case "snap":
+			c.SnapshotReads = val == "1"
+		case "queries":
+			if val == "*" {
+				c.Queries = nil
+			} else if val != "" {
+				for _, name := range strings.Split(val, "+") {
+					n, err := strconv.Atoi(strings.TrimPrefix(name, "Q"))
+					if err != nil {
+						return Capabilities{}, false
+					}
+					c.Queries = append(c.Queries, QueryID(n))
+				}
+			} else {
+				c.Queries = []QueryID{}
+			}
+		case "suites":
+			if val == "*" {
+				c.Suites = nil
+			} else if val != "" {
+				c.Suites = strings.Split(val, "+")
+			} else {
+				c.Suites = []string{}
+			}
+		default:
+			return Capabilities{}, false
+		}
+	}
+	for _, key := range []string{"models", "txn", "snap", "queries", "suites"} {
+		if !seen[key] {
+			return Capabilities{}, false
+		}
+	}
+	return c, true
+}
+
+// FullCapabilities is the descriptor of a natively complete engine:
+// all five models, the whole transaction set, every query and suite.
+func FullCapabilities() Capabilities {
+	return Capabilities{Models: AllModels, Transactions: true, SnapshotReads: true}
+}
+
+// BackendOptions carries construction-time knobs a BackendSpec may
+// honor.
+type BackendOptions struct {
+	// HopLatency is the federation's simulated per-request network
+	// delay; other backends ignore it.
+	HopLatency time.Duration
+}
+
+// BackendSpec is one registered backend: a name, a one-line summary,
+// and a constructor that loads a suite dataset into a fresh instance.
+type BackendSpec struct {
+	// Name is the registry key ("udbms", "federation", "sqlite").
+	Name string
+	// Description is the one-line summary shown in listings.
+	Description string
+	// New builds a backend instance with data loaded. Instances that
+	// also implement io.Closer are closed by callers that own them.
+	New func(data SuiteData, opt BackendOptions) (Backend, error)
+}
+
+var (
+	backendMu  sync.RWMutex
+	backendReg = map[string]*BackendSpec{}
+)
+
+// RegisterBackend adds a backend to the registry. Duplicate or
+// anonymous registrations panic: they are programming errors in an
+// init path.
+func RegisterBackend(s *BackendSpec) {
+	if s == nil || s.Name == "" {
+		panic("workload: RegisterBackend with empty name")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendReg[s.Name]; dup {
+		panic("workload: duplicate backend " + s.Name)
+	}
+	backendReg[s.Name] = s
+}
+
+// BackendNames lists the registered backend names sorted.
+func BackendNames() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendReg))
+	for name := range backendReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BackendByName looks a backend spec up.
+func BackendByName(name string) (*BackendSpec, bool) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	s, ok := backendReg[name]
+	return s, ok
+}
+
+// DefaultBackend is the backend an empty -engine flag resolves to.
+const DefaultBackend = "udbms"
+
+// ResolveBackend maps an -engine flag value to its spec: "" means the
+// default, and an unknown name errors listing what is registered —
+// the same convention as ResolveSuite.
+func ResolveBackend(name string) (*BackendSpec, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	s, ok := BackendByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown backend %q (registered: %v)", name, BackendNames())
+	}
+	return s, nil
+}

@@ -23,17 +23,31 @@ type MixItem struct {
 	Run func(p Params) error
 }
 
-// StandardMix returns the benchmark's default OLTP mix over an engine:
+// StandardMix returns the benchmark's default OLTP mix over a backend:
 // 50% point/short queries (Q1), 20% order updates (T1), 15% new orders
-// (T2), 10% feedback writes (T3), 5% snapshot reads (T4).
-func StandardMix(e Engine) []MixItem {
-	return []MixItem{
-		{Name: "Q1", Weight: 50, Run: func(p Params) error { _, err := e.RunQuery(Q1, p); return err }},
-		{Name: "T1", Weight: 20, Run: e.OrderUpdate},
-		{Name: "T2", Weight: 15, Run: e.NewOrder},
-		{Name: "T3", Weight: 10, Run: e.WriteFeedback},
-		{Name: "T4", Weight: 5, Run: func(p Params) error { _, err := e.SnapshotRead(p); return err }},
+// (T2), 10% feedback writes (T3), 5% snapshot reads (T4). Backends
+// without the native transaction capability get the query subset only
+// (weights kept, so the surviving items' relative frequencies are
+// unchanged); a backend that cannot run Q1 either yields an empty mix,
+// which RunMix rejects as a configuration error.
+func StandardMix(b Backend) []MixItem {
+	caps := b.Capabilities()
+	te, _ := b.(TxnEngine)
+	var items []MixItem
+	if caps.SupportsQuery(Q1) {
+		items = append(items, MixItem{Name: "Q1", Weight: 50, Run: func(p Params) error { _, err := b.RunQuery(Q1, p); return err }})
 	}
+	if te != nil && caps.Transactions {
+		items = append(items,
+			MixItem{Name: "T1", Weight: 20, Run: te.OrderUpdate},
+			MixItem{Name: "T2", Weight: 15, Run: te.NewOrder},
+			MixItem{Name: "T3", Weight: 10, Run: te.WriteFeedback},
+		)
+		if caps.SnapshotReads {
+			items = append(items, MixItem{Name: "T4", Weight: 5, Run: func(p Params) error { _, err := te.SnapshotRead(p); return err }})
+		}
+	}
+	return items
 }
 
 // Result summarizes one driver run.
@@ -88,6 +102,11 @@ type Result struct {
 	// synthetic mixes — only in-process engines driving registry-suite
 	// ops report it).
 	SuiteStats *SuiteStats
+	// Capabilities is the backend's capability descriptor, attached
+	// only for partial backends (external engines that restrict the
+	// query/suite/transaction surface) so native-engine reports stay
+	// unchanged.
+	Capabilities *BackendCaps
 }
 
 // AdmissionStats is the server-side admission-control telemetry of one
@@ -305,7 +324,7 @@ func (rec *workerRecorder) observe(idx int, service, intended time.Duration, has
 	}
 }
 
-// RunMix drives the weighted mix against an engine and returns
+// RunMix drives the weighted mix against a backend and returns
 // aggregate metrics. Abort-class errors (deadlock, 2PC crash) are
 // counted but do not stop the run; other errors are counted as Errors.
 //
@@ -322,19 +341,21 @@ func (rec *workerRecorder) observe(idx int, service, intended time.Duration, has
 // experiment ladder) never collide on order ids. Everything else about
 // a run — op sequence, parameters, arrivals — remains a pure function
 // of the config.
-func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
+func RunMix(b Backend, info Info, mix []MixItem, cfg DriverConfig) Result {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
 	if cfg.OpsPerClient <= 0 {
 		cfg.OpsPerClient = 100
 	}
-	// A nil engine is allowed: the mix items carry their own Run
+	// A nil backend is allowed: the mix items carry their own Run
 	// closures, which is how driver-level tests exercise RunMix with
 	// synthetic operations.
 	name := "synthetic"
-	if e != nil {
-		name = e.Name()
+	var caps Capabilities
+	if b != nil {
+		name = b.Name()
+		caps = b.Capabilities()
 	}
 	suite := cfg.Suite
 	if suite == "" {
@@ -359,29 +380,29 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 		res.Errors = 1
 		return res
 	}
+	// All optional telemetry flows through the one capability
+	// descriptor: a provider is present iff the backend set the field,
+	// so no per-provider type asserts (and no duplicated nil-engine
+	// guards) remain here.
 	var lockBase txn.LockStats
-	lsp, hasLock := e.(LockStatsProvider)
-	if hasLock {
-		lockBase = lsp.LockStats()
+	if caps.LockStats != nil {
+		lockBase = caps.LockStats.LockStats()
 	}
 	var durBase *wal.Stats
-	dp, _ := e.(DurabilityProvider)
-	if dp != nil {
-		durBase = dp.DurabilityStats()
+	if caps.Durability != nil {
+		durBase = caps.Durability.DurabilityStats()
 	}
 	var admBase *AdmissionStats
-	ap, _ := e.(AdmissionProvider)
-	if ap != nil {
-		admBase = ap.AdmissionStats()
+	if caps.Admission != nil {
+		admBase = caps.Admission.AdmissionStats()
 	}
 	var suiteBase SuiteStats
-	ssp, hasSuite := e.(SuiteStatsProvider)
-	if hasSuite {
-		suiteBase = ssp.SuiteOpStats()
+	if caps.SuiteStats != nil {
+		suiteBase = caps.SuiteStats.SuiteOpStats()
 	}
 	nonce := uint64(0)
-	if np, ok := e.(NonceProvider); ok {
-		nonce = np.RunNonce()
+	if caps.Nonce != nil {
+		nonce = caps.Nonce.RunNonce()
 	}
 	if nonce == 0 {
 		nonce = runSeq.Add(1)
@@ -409,29 +430,35 @@ func RunMix(e Engine, info Info, mix []MixItem, cfg DriverConfig) Result {
 	}
 	res.Throughput = metrics.Throughput(res.Ops, res.Elapsed)
 	res.Rate.Achieved = res.Throughput
-	if hasLock {
-		delta := lsp.LockStats().Delta(lockBase)
+	if caps.LockStats != nil {
+		delta := caps.LockStats.LockStats().Delta(lockBase)
 		res.LockStats = &delta
 	}
 	if durBase != nil {
-		if end := dp.DurabilityStats(); end != nil {
+		if end := caps.Durability.DurabilityStats(); end != nil {
 			delta := end.Delta(*durBase)
 			res.Durability = &delta
 		}
 	}
 	if admBase != nil {
-		if end := ap.AdmissionStats(); end != nil {
+		if end := caps.Admission.AdmissionStats(); end != nil {
 			delta := end.Delta(*admBase)
 			res.Admission = &delta
 		}
 	}
-	if hasSuite {
+	if caps.SuiteStats != nil {
 		// Attached only when the run actually drove registry-suite ops:
 		// a native t2 mix leaves the counters untouched and the delta
 		// zero, keeping t2 reports byte-identical to before suites.
-		if delta := ssp.SuiteOpStats().Delta(suiteBase); delta != (SuiteStats{}) {
+		if delta := caps.SuiteStats.SuiteOpStats().Delta(suiteBase); delta != (SuiteStats{}) {
 			res.SuiteStats = &delta
 		}
+	}
+	// Partial backends carry their capability descriptor into the
+	// report so cross-engine legs are interpretable; native engines
+	// attach nothing and their JSON stays unchanged.
+	if b != nil {
+		res.Capabilities = caps.Report()
 	}
 	return res
 }
@@ -531,8 +558,9 @@ func RunTornReadProbe(e Engine, info Info, cfg DriverConfig) TornReadResult {
 
 // RunQueriesOnce executes every benchmark query once with fixed
 // parameters and returns per-query latencies and result counts —
-// the basis of the T2 (query latency) experiment.
-func RunQueriesOnce(e Engine, info Info, seed uint64) (map[QueryID]time.Duration, map[QueryID]int, error) {
+// the basis of the T2 (query latency) experiment. It needs only the
+// core Backend contract.
+func RunQueriesOnce(e Backend, info Info, seed uint64) (map[QueryID]time.Duration, map[QueryID]int, error) {
 	gen := NewParamGen(info, seed, 0)
 	p := gen.Next()
 	lat := make(map[QueryID]time.Duration, len(AllQueries))

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -133,10 +134,13 @@ func TestMixFidelity(t *testing.T) {
 	}
 }
 
-// nopEngine is the minimal Engine for mix-shape tests.
+// nopEngine is the minimal Engine for mix-shape tests: fully capable
+// per its descriptor (so StandardMix builds the whole 5-item mix) but
+// with no registered-suite execution.
 type nopEngine struct{}
 
 func (nopEngine) Name() string                          { return "nop" }
+func (nopEngine) Capabilities() Capabilities            { return FullCapabilities() }
 func (nopEngine) RunQuery(QueryID, Params) (int, error) { return 0, nil }
 func (nopEngine) OrderUpdate(Params) error              { return nil }
 func (nopEngine) OrderUpdateOnce(Params) error          { return nil }
@@ -144,6 +148,9 @@ func (nopEngine) StockTransferOnce(Params) error        { return nil }
 func (nopEngine) NewOrder(Params) error                 { return nil }
 func (nopEngine) WriteFeedback(Params) error            { return nil }
 func (nopEngine) SnapshotRead(Params) (bool, error)     { return false, nil }
+func (nopEngine) RunSuiteOp(suite, op string, _ Params) (int, error) {
+	return 0, fmt.Errorf("nop engine cannot run suite %s op %s: %w", suite, op, ErrUnsupported)
+}
 
 // TestRunMixRejectsInvalidMix pins the empty/zero-weight validation:
 // an undrivable mix must come back as a zero Result with one error

@@ -3,20 +3,24 @@ package workload
 import (
 	"sync/atomic"
 
+	"udbench/internal/datagen"
 	"udbench/internal/federation"
 	"udbench/internal/txn"
 	"udbench/internal/udbms"
 	"udbench/internal/wal"
 )
 
-// suiteCounters is the per-engine suite-op telemetry behind
+// SuiteStatsCounter is the per-backend suite-op telemetry behind
 // SuiteStatsProvider: lock-free so counting never perturbs the
-// concurrency the suites are built to measure.
-type suiteCounters struct {
+// concurrency the suites are built to measure. External backends
+// (internal/backend/...) embed one too, so every backend reports the
+// same suite_stats shape.
+type SuiteStatsCounter struct {
 	reads, writes, rows atomic.Int64
 }
 
-func (c *suiteCounters) observe(write bool, rows int) {
+// Observe counts one successful suite op and the rows it touched.
+func (c *SuiteStatsCounter) Observe(write bool, rows int) {
 	if write {
 		c.writes.Add(1)
 	} else {
@@ -25,7 +29,8 @@ func (c *suiteCounters) observe(write bool, rows int) {
 	c.rows.Add(int64(rows))
 }
 
-func (c *suiteCounters) stats() SuiteStats {
+// Stats snapshots the counters.
+func (c *SuiteStatsCounter) Stats() SuiteStats {
 	return SuiteStats{Reads: c.reads.Load(), Writes: c.writes.Load(), Rows: c.rows.Load()}
 }
 
@@ -39,7 +44,7 @@ type UDBMSEngine struct {
 	// driver then reports a durability delta per run.
 	Durable DurabilityProvider
 
-	suiteOps suiteCounters
+	suiteOps SuiteStatsCounter
 }
 
 // NewUDBMSEngine wraps db.
@@ -47,6 +52,17 @@ func NewUDBMSEngine(db *udbms.DB) *UDBMSEngine { return &UDBMSEngine{DB: db} }
 
 // Name implements Engine.
 func (e *UDBMSEngine) Name() string { return "udbms" }
+
+// Capabilities implements Backend: the unified engine is natively
+// complete (all models, full transaction set, every query and suite)
+// and exposes lock, durability, and suite-op telemetry.
+func (e *UDBMSEngine) Capabilities() Capabilities {
+	c := FullCapabilities()
+	c.LockStats = e
+	c.Durability = e
+	c.SuiteStats = e
+	return c
+}
 
 // LockStats implements LockStatsProvider: the unified engine has one
 // shared lock table, so its snapshot is the manager's directly.
@@ -142,10 +158,10 @@ func (e *UDBMSEngine) SnapshotRead(p Params) (bool, error) {
 	return snapshotReadBody(e.stores(), unifiedSession{tx}, p)
 }
 
-// RunSuiteOp implements SuiteExecutor: the op body runs under one
-// snapshot transaction for reads (abort releases it, like RunQuery) or
-// one ACID transaction for writes (RunTx retries deadlock victims,
-// like the native T1–T3 paths).
+// RunSuiteOp implements Backend: the op body runs under one snapshot
+// transaction for reads (abort releases it, like RunQuery) or one ACID
+// transaction for writes (RunTx retries deadlock victims, like the
+// native T1–T3 paths).
 func (e *UDBMSEngine) RunSuiteOp(suite, op string, p Params) (int, error) {
 	so, err := suiteOpBody(suite, op)
 	if err != nil {
@@ -164,13 +180,13 @@ func (e *UDBMSEngine) RunSuiteOp(suite, op string, p Params) (int, error) {
 		tx.Abort()
 	}
 	if err == nil {
-		e.suiteOps.observe(so.Write, n)
+		e.suiteOps.Observe(so.Write, n)
 	}
 	return n, err
 }
 
 // SuiteOpStats implements SuiteStatsProvider.
-func (e *UDBMSEngine) SuiteOpStats() SuiteStats { return e.suiteOps.stats() }
+func (e *UDBMSEngine) SuiteOpStats() SuiteStats { return e.suiteOps.Stats() }
 
 // FederationEngine adapts the polyglot federation. Reads hit each
 // store's latest state independently (no cross-store snapshot exists)
@@ -179,7 +195,7 @@ func (e *UDBMSEngine) SuiteOpStats() SuiteStats { return e.suiteOps.stats() }
 type FederationEngine struct {
 	F *federation.Federation
 
-	suiteOps suiteCounters
+	suiteOps SuiteStatsCounter
 }
 
 // NewFederationEngine wraps f.
@@ -189,6 +205,16 @@ func NewFederationEngine(f *federation.Federation) *FederationEngine {
 
 // Name implements Engine.
 func (e *FederationEngine) Name() string { return "federation" }
+
+// Capabilities implements Backend: the federation is natively complete
+// and exposes aggregated lock and suite-op telemetry (it runs without
+// a shared write-ahead log, so no durability provider).
+func (e *FederationEngine) Capabilities() Capabilities {
+	c := FullCapabilities()
+	c.LockStats = e
+	c.SuiteStats = e
+	return c
+}
 
 // LockStats implements LockStatsProvider: the federation aggregates
 // its five independent per-store lock tables.
@@ -278,7 +304,7 @@ func (e *FederationEngine) SnapshotRead(p Params) (bool, error) {
 	return snapshotReadBody(e.stores(), fedReadSession{e.F}, p)
 }
 
-// RunSuiteOp implements SuiteExecutor. Writes run via 2PC over
+// RunSuiteOp implements Backend. Writes run via 2PC over
 // per-store transactions (RunTx retries deadlock victims); reads hit
 // each store's latest state independently — so the weight-0 probes can
 // observe torn cross-store views here, never on the unified engine.
@@ -298,10 +324,39 @@ func (e *FederationEngine) RunSuiteOp(suite, op string, p Params) (int, error) {
 		n, err = so.Body(e.stores(), fedReadSession{e.F}, p)
 	}
 	if err == nil {
-		e.suiteOps.observe(so.Write, n)
+		e.suiteOps.Observe(so.Write, n)
 	}
 	return n, err
 }
 
 // SuiteOpStats implements SuiteStatsProvider.
-func (e *FederationEngine) SuiteOpStats() SuiteStats { return e.suiteOps.stats() }
+func (e *FederationEngine) SuiteOpStats() SuiteStats { return e.suiteOps.Stats() }
+
+// The two native engines register as backends so `udbench mix -engine`
+// and the f5 sweep construct any backend — native or external —
+// through one registry path.
+func init() {
+	RegisterBackend(&BackendSpec{
+		Name:        "udbms",
+		Description: "unified multi-model engine: one snapshot/commit across all five models",
+		New: func(data SuiteData, opt BackendOptions) (Backend, error) {
+			db := udbms.Open()
+			if err := data.Load(datagen.Target{Relational: db.Relational, Docs: db.Docs, Graph: db.Graph, KV: db.KV, XML: db.XML}); err != nil {
+				return nil, err
+			}
+			return NewUDBMSEngine(db), nil
+		},
+	})
+	RegisterBackend(&BackendSpec{
+		Name:        "federation",
+		Description: "polyglot federation: per-store engines, simulated hops, 2PC writes",
+		New: func(data SuiteData, opt BackendOptions) (Backend, error) {
+			f := federation.Open()
+			f.HopLatency = opt.HopLatency
+			if err := data.Load(datagen.Target{Relational: f.Relational, Docs: f.Docs, Graph: f.Graph, KV: f.KV, XML: f.XML}); err != nil {
+				return nil, err
+			}
+			return NewFederationEngine(f), nil
+		},
+	})
+}

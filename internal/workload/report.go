@@ -80,6 +80,23 @@ type RunSummary struct {
 	// (read/write op counts and rows touched); absent for the native t2
 	// mix and for remote engines.
 	SuiteStats *SuiteStats `json:"suite_stats,omitempty"`
+	// BackendCapabilities is the backend's capability descriptor;
+	// present only for partial backends (external engines restricting
+	// the model/query/suite/transaction surface), so pre-existing
+	// native-engine trajectories are untouched. Frozen like suite and
+	// suite_stats: cross-engine legs are only comparable after checking
+	// the capability sets overlap.
+	BackendCapabilities *BackendCaps `json:"backend_capabilities,omitempty"`
+}
+
+// BackendCaps is the frozen JSON form of a partial backend's
+// capability descriptor (see Capabilities.Report).
+type BackendCaps struct {
+	Models        []string `json:"models"`
+	Transactions  bool     `json:"transactions"`
+	SnapshotReads bool     `json:"snapshot_reads"`
+	Queries       []string `json:"queries"`
+	Suites        []string `json:"suites"`
 }
 
 func opSummary(name string, d *metrics.DualHistogram) OpSummary {
@@ -122,6 +139,8 @@ func (r Result) Summary() RunSummary {
 		Durability:    r.Durability,
 		Admission:     r.Admission,
 		SuiteStats:    r.SuiteStats,
+
+		BackendCapabilities: r.Capabilities,
 	}
 	if s.Suite == "" {
 		s.Suite = DefaultSuite

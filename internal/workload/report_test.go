@@ -21,6 +21,11 @@ var goldenSummaryFields = []string{
 	"admission.queue_depth_max",
 	"admission.queue_wait_p99_ns",
 	"admission.shed",
+	"backend_capabilities.models[]",
+	"backend_capabilities.queries[]",
+	"backend_capabilities.snapshot_reads",
+	"backend_capabilities.suites[]",
+	"backend_capabilities.transactions",
 	"clients",
 	"dropped",
 	"durability.appends",
@@ -117,6 +122,15 @@ func TestRunSummaryGoldenFields(t *testing.T) {
 	// And the suite-op block: synthetic mixes drive no registry suite,
 	// so populate it by hand to pin its keys.
 	s.SuiteStats = &SuiteStats{Reads: 5, Writes: 3, Rows: 40}
+	// And the capability block: only partial backends attach it, so
+	// populate it by hand to pin its keys.
+	s.BackendCapabilities = &BackendCaps{
+		Models:        []string{"relational"},
+		Transactions:  false,
+		SnapshotReads: false,
+		Queries:       []string{"Q1"},
+		Suites:        []string{"t2"},
+	}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
@@ -213,10 +227,17 @@ func TestEngineLockStatsReachReport(t *testing.T) {
 }
 
 // lockingEngine is a minimal Engine + LockStatsProvider whose single
-// operation takes one exclusive lock.
+// operation takes one exclusive lock; its capability descriptor is
+// what routes the provider to the driver.
 type lockingEngine struct {
 	nopEngine
 	mgr *txn.Manager
+}
+
+func (e lockingEngine) Capabilities() Capabilities {
+	c := FullCapabilities()
+	c.LockStats = e
+	return c
 }
 
 func (e lockingEngine) LockStats() txn.LockStats { return e.mgr.LockStats() }

@@ -58,16 +58,7 @@ type Suite struct {
 	// builder. The t2 suite uses it to keep driving the engines'
 	// native entry points (including the unified pipeline-query path),
 	// so the refactor cannot shift its numbers.
-	mixFor func(e Engine) []MixItem
-}
-
-// SuiteExecutor is implemented by engines that can run registered
-// suite ops: both in-process engines execute the shared op bodies
-// under their own transaction/session regime, and the remote engine
-// forwards over the wire. This is the seam ROADMAP item 4's external
-// engines will plug into.
-type SuiteExecutor interface {
-	RunSuiteOp(suite, op string, p Params) (int, error)
+	mixFor func(b Backend) []MixItem
 }
 
 // SuiteStats counts suite-op executions on an engine: reads, writes,
@@ -172,15 +163,14 @@ func (s *Suite) Probes() []SuiteOp {
 	return probes
 }
 
-// Mix builds the suite's default weighted mix over an engine. Suites
+// Mix builds the suite's default weighted mix over a backend. Suites
 // with a native mix (t2) delegate to it; all others dispatch through
-// the engine's SuiteExecutor. An engine without one yields mix items
-// that fail descriptively instead of panicking mid-run.
-func (s *Suite) Mix(e Engine) []MixItem {
+// the backend's RunSuiteOp, which is part of the core contract — a
+// backend that cannot execute the suite returns ErrUnsupported per op.
+func (s *Suite) Mix(b Backend) []MixItem {
 	if s.mixFor != nil {
-		return s.mixFor(e)
+		return s.mixFor(b)
 	}
-	ex, _ := e.(SuiteExecutor)
 	var items []MixItem
 	for _, op := range s.Ops {
 		if op.Weight <= 0 {
@@ -191,10 +181,7 @@ func (s *Suite) Mix(e Engine) []MixItem {
 			Name:   op.Name,
 			Weight: op.Weight,
 			Run: func(p Params) error {
-				if ex == nil {
-					return fmt.Errorf("workload: engine %s cannot run suite %s ops", e.Name(), s.Name)
-				}
-				_, err := ex.RunSuiteOp(s.Name, op.Name, p)
+				_, err := b.RunSuiteOp(s.Name, op.Name, p)
 				return err
 			},
 		})
@@ -221,14 +208,11 @@ func suiteOpBody(suite, op string) (SuiteOp, error) {
 }
 
 // RunSuiteProbe runs one weight-0 consistency probe through the
-// engine's suite executor and returns its violation count (0 = the
-// invariant held for the probed entity).
-func RunSuiteProbe(e Engine, suite, op string, p Params) (int, error) {
-	ex, ok := e.(SuiteExecutor)
-	if !ok {
-		return 0, fmt.Errorf("workload: engine %s cannot run suite probes", e.Name())
-	}
-	return ex.RunSuiteOp(suite, op, p)
+// backend's RunSuiteOp and returns its violation count (0 = the
+// invariant held for the probed entity). Backends that cannot execute
+// the suite return ErrUnsupported.
+func RunSuiteProbe(b Backend, suite, op string, p Params) (int, error) {
+	return b.RunSuiteOp(suite, op, p)
 }
 
 // The t2 suite is the original benchmark: the TPC-C-ish multi-model

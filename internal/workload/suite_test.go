@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"strconv"
 	"strings"
@@ -65,9 +66,9 @@ func TestSuiteRegistry(t *testing.T) {
 	}
 }
 
-// recordingExecutor is a nopEngine that implements SuiteExecutor by
-// recording every dispatched (op, params) per client — the suite-level
-// analogue of traceMix, with the client index recovered from FreshID.
+// recordingExecutor is a nopEngine whose RunSuiteOp records every
+// dispatched (op, params) per client — the suite-level analogue of
+// traceMix, with the client index recovered from FreshID.
 type recordingExecutor struct {
 	nopEngine
 	t      *testing.T
@@ -350,14 +351,14 @@ func TestSuiteOpErrors(t *testing.T) {
 	if _, err := fx.uni.RunSuiteOp("t2", "Q1", Params{}); err == nil {
 		t.Error("t2 native op ran through the shared-body dispatch")
 	}
-	if _, err := RunSuiteProbe(nopEngine{}, "timeseries", "watermark", Params{}); err == nil {
-		t.Error("probe ran on an engine without a SuiteExecutor")
+	if _, err := RunSuiteProbe(nopEngine{}, "timeseries", "watermark", Params{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("probe on a backend without suite execution = %v, want ErrUnsupported", err)
 	}
 	mix := (&Suite{Name: "x", Ops: []SuiteOp{{Name: "a", Weight: 1}}}).Mix(nopEngine{})
 	if len(mix) != 1 {
 		t.Fatalf("mix items = %d, want 1", len(mix))
 	}
-	if err := mix[0].Run(Params{}); err == nil {
-		t.Error("mix over a non-executor engine ran silently")
+	if err := mix[0].Run(Params{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("mix over a backend without suite execution = %v, want ErrUnsupported", err)
 	}
 }

@@ -118,39 +118,16 @@ type Params struct {
 	FreshID string
 }
 
-// Engine abstracts the system under test. Both implementations must
-// return identical results for identical dataset + params, which the
-// equivalence tests assert.
+// Engine is a fully native system under test: the core Backend
+// contract plus the T2 transaction set. The unified and federation
+// engines (and the remote engine fronting them) implement it; both
+// in-process implementations must return identical results for
+// identical dataset + params, which the equivalence tests assert.
+// External backends implement only Backend and advertise what subset
+// they support through Capabilities — see backend.go.
 type Engine interface {
-	// Name identifies the engine in reports ("udbms" / "federation").
-	Name() string
-	// RunQuery executes a read query and returns its result
-	// cardinality (used both for verification and to keep the
-	// optimizer honest).
-	RunQuery(q QueryID, p Params) (int, error)
-	// OrderUpdate is transaction T1 — the paper's example: one order
-	// update touching JSON Orders/Product, key-value Feedback and XML
-	// Invoice atomically. Deadlock victims are retried internally.
-	OrderUpdate(p Params) error
-	// OrderUpdateOnce is T1 without retry: a single attempt that
-	// surfaces deadlock/2PC aborts to the caller.
-	OrderUpdateOnce(p Params) error
-	// StockTransferOnce is transaction T5: move one unit of stock from
-	// ProductID to ProductID2, locking the two product documents in
-	// parameter order. Two concurrent transfers over a hot product
-	// pair in opposite orders deadlock, which is what the contention
-	// experiment (F3) sweeps. Single attempt, no retry.
-	StockTransferOnce(p Params) error
-	// NewOrder is transaction T2: insert an order document, its XML
-	// invoice and a purchased graph edge.
-	NewOrder(p Params) error
-	// WriteFeedback is transaction T3: put key-value feedback and mark
-	// the order reviewed in the document store.
-	WriteFeedback(p Params) error
-	// SnapshotRead is transaction T4: read the same logical entity
-	// from three models and report whether the view was torn
-	// (total mismatch between order document and XML invoice).
-	SnapshotRead(p Params) (torn bool, err error)
+	Backend
+	TxnEngine
 }
 
 // Info describes dataset cardinalities the parameter generator needs.
